@@ -1,0 +1,87 @@
+// Command preexec runs one benchmark end-to-end: baseline simulation,
+// p-thread selection under a chosen target, and the pre-execution run,
+// printing the paper's metrics.
+//
+// Usage:
+//
+//	preexec -bench mcf -target L
+//	preexec -bench gap -target E -idle 0.10
+//	preexec -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	target := flag.String("target", "L", "selection target: O, L, E, P, P2")
+	idle := flag.Float64("idle", 0.05, "idle energy factor")
+	memlat := flag.Int("memlat", 200, "memory latency in cycles")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range program.Names() {
+			bm, _ := program.ByName(n)
+			fmt.Printf("%-10s %s\n", n, bm.Description)
+		}
+		return
+	}
+
+	tgt, err := parseTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.CPU.Energy.IdleFactor = *idle
+	cfg.CPU.Hier.MemLatency = *memlat
+
+	br, err := experiments.RunBenchmark(*bench, []pthsel.Target{tgt}, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	base := br.Prepared.Baseline
+	run := br.Runs[tgt]
+	fmt.Printf("benchmark      %s (train input)\n", *bench)
+	fmt.Printf("baseline       %d cycles, IPC %.3f, %d L2 misses, energy %.0f\n",
+		base.Cycles, base.IPC(), base.DemandL2Misses, base.Energy.Total())
+	fmt.Printf("target         %s-p-threads: %d selected (avg len %.1f) from %d candidates\n",
+		tgt, len(run.Sel.PThreads), run.AvgPThreadLen, run.Sel.CandidatesEvaluated)
+	fmt.Printf("pre-execution  %d cycles, IPC %.3f\n", run.Res.Cycles, run.Res.IPC())
+	fmt.Printf("speedup        %+.1f%%   energy %+.1f%%   ED %+.1f%%   ED2 %+.1f%%\n",
+		run.SpeedupPct, run.EnergySavePct, run.EDSavePct, run.ED2SavePct)
+	fmt.Printf("coverage       %.0f%% full + %.0f%% partial of baseline misses\n",
+		run.FullCovPct, run.PartCovPct)
+	fmt.Printf("overhead       %+.1f%% p-instructions, %.0f%% useful spawns\n",
+		run.PInstIncPct, run.UsefulPct)
+	fmt.Printf("predictions    LADVagg %.0f cycles, EADVagg %.0f energy units\n",
+		run.Sel.PredLADV, run.Sel.PredEADV)
+}
+
+func parseTarget(s string) (pthsel.Target, error) {
+	switch s {
+	case "O":
+		return pthsel.TargetO, nil
+	case "L":
+		return pthsel.TargetL, nil
+	case "E":
+		return pthsel.TargetE, nil
+	case "P":
+		return pthsel.TargetP, nil
+	case "P2":
+		return pthsel.TargetP2, nil
+	}
+	return 0, fmt.Errorf("unknown target %q (want O, L, E, P or P2)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "preexec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command report regenerates the paper's evaluation artifacts: Figure 2,
+// Figure 3, Table 3, Figure 4, Figure 5 (all three axes) and the ED² study.
+//
+// Usage:
+//
+//	report              # everything (several minutes)
+//	report -fig 3       # one figure
+//	report -table 3     # the validation table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (2, 3, 4 or 5); 0 = all")
+	table := flag.Int("table", 0, "regenerate one table (3); 0 = all")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	names := experiments.PaperBenchmarks()
+	all := *fig == 0 && *table == 0
+
+	emit := func(out string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if all || *fig == 2 {
+		emit(experiments.Figure2(names, cfg))
+	}
+	if all || *fig == 3 {
+		out, _, err := experiments.Figure3(names, cfg)
+		emit(out, err)
+	}
+	if all || *table == 3 {
+		_, out, err := experiments.Table3(experiments.Table3Benchmarks(), cfg)
+		emit(out, err)
+	}
+	if all || *fig == 4 {
+		emit(experiments.Figure4(names, cfg))
+	}
+	if all || *fig == 5 {
+		for _, axis := range []experiments.SweepAxis{
+			experiments.SweepIdleFactor, experiments.SweepMemLatency, experiments.SweepL2Size,
+		} {
+			emit(experiments.Figure5(axis, experiments.Figure5Benchmarks(axis), cfg))
+		}
+	}
+	if all {
+		emit(experiments.ED2Study(names, cfg))
+	}
+}

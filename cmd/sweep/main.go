@@ -1,0 +1,52 @@
+// Command sweep runs one of the paper's Figure 5 sensitivity sweeps over
+// any benchmark set.
+//
+// Usage:
+//
+//	sweep -axis idle                    # paper's idle-factor triple
+//	sweep -axis mem -bench mcf,twolf    # custom benchmark set
+//	sweep -axis l2 -all                 # all nine benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	axisName := flag.String("axis", "idle", "sweep axis: idle, mem, l2")
+	bench := flag.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the axis)")
+	all := flag.Bool("all", false, "sweep every benchmark")
+	flag.Parse()
+
+	var axis experiments.SweepAxis
+	switch *axisName {
+	case "idle":
+		axis = experiments.SweepIdleFactor
+	case "mem":
+		axis = experiments.SweepMemLatency
+	case "l2":
+		axis = experiments.SweepL2Size
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown axis %q (want idle, mem or l2)\n", *axisName)
+		os.Exit(1)
+	}
+
+	names := experiments.Figure5Benchmarks(axis)
+	if *all {
+		names = experiments.PaperBenchmarks()
+	} else if *bench != "" {
+		names = strings.Split(*bench, ",")
+	}
+
+	out, err := experiments.Figure5(axis, names, experiments.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

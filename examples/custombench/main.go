@@ -1,0 +1,106 @@
+// Custombench: write your own workload in the micro-ISA, then let the full
+// pipeline — profiling, slicing, criticality analysis, PTHSEL+E selection,
+// and the timing simulator — find and evaluate p-threads for it.
+//
+// The workload is a B-tree-ish lookup loop: a key stream (sequential)
+// indexes a fanout table (cached) and then a leaf array (>L2, random): the
+// leaf load is the problem load, and its address is computable from the key
+// several iterations ahead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	preexec "repro"
+)
+
+func buildWorkload() *preexec.Program {
+	const (
+		rI    = preexec.Reg(1)
+		rN    = preexec.Reg(2)
+		rKey  = preexec.Reg(3)
+		rT    = preexec.Reg(4)
+		rLeaf = preexec.Reg(5)
+		rA    = preexec.Reg(6)
+		rV    = preexec.Reg(7)
+		rC    = preexec.Reg(8)
+		rAcc  = preexec.Reg(9)
+		rW    = preexec.Reg(10)
+	)
+	const (
+		keys      = 1 << 14 // 128KB key stream
+		fanout    = 64
+		leafWords = 1 << 18 // 2MB of leaves
+		steps     = 8000
+	)
+	// Data segment: keys, a fanout table of leaf-region offsets, leaves.
+	mem := make([]int64, keys+fanout+leafWords)
+	seed := int64(12345)
+	next := func(n int64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := (seed >> 33) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	for i := 0; i < keys; i++ {
+		mem[i] = next(int64(leafWords / 8))
+	}
+	for f := 0; f < fanout; f++ {
+		mem[keys+f] = int64((keys + fanout + f*(leafWords/fanout)) * 8)
+	}
+	for w := keys + fanout; w < len(mem); w++ {
+		mem[w] = next(1000)
+	}
+
+	b := preexec.NewBuilder("btree-lookup")
+	b.MovI(rI, 0)
+	b.MovI(rN, steps)
+	b.Label("top")
+	b.AndI(rT, rI, keys-1)
+	b.ShlI(rT, rT, 3)
+	b.Load(rKey, rT, 0) // key stream (covered by the stride prefetcher)
+	b.AndI(rT, rKey, fanout-1)
+	b.ShlI(rT, rT, 3)
+	b.Load(rLeaf, rT, int64(keys*8)) // fanout table (always cached)
+	b.AndI(rA, rKey, (leafWords/fanout)-8)
+	b.ShlI(rA, rA, 3)
+	b.Add(rA, rA, rLeaf)
+	b.Load(rV, rA, 0) // leaf: the problem load (random, >L2)
+	b.Add(rAcc, rAcc, rV)
+	b.CmpLTI(rC, rV, 80)
+	b.BrZ(rC, "skip")
+	b.AddI(rAcc, rAcc, 7)
+	b.Label("skip")
+	for k := 0; k < 6; k++ {
+		b.AddI(rW, rW, 1)
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}
+
+func main() {
+	prog := buildWorkload()
+	study, err := preexec.Analyze(prog, preexec.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := study.Baseline()
+	fmt.Printf("custom workload %q: %d committed instructions, IPC %.3f, %d L2 misses\n",
+		prog.Name, base.Committed, base.IPC(), base.DemandL2Misses)
+
+	for _, tgt := range []preexec.Target{preexec.TargetL, preexec.TargetE} {
+		run, err := study.Run(tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s-p-threads: %d selected, speedup %+.1f%%, energy %+.1f%%, ED %+.1f%%\n",
+			tgt, len(run.Sel.PThreads), run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+	}
+}

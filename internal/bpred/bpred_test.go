@@ -1,0 +1,139 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := int64(100), int64(50)
+	var wrong int
+	for i := 0; i < 100; i++ {
+		pred, _ := p.PredictAndUpdate(pc, true, tgt)
+		if i > 4 && !pred {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("always-taken branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestAlternatingLearnedByGshare(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := int64(200), int64(10)
+	var wrongLate int
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		pred, _ := p.PredictAndUpdate(pc, taken, tgt)
+		if i >= 200 && pred != taken {
+			wrongLate++
+		}
+	}
+	// gshare keys on history, so a strict alternation is fully predictable.
+	if wrongLate > 5 {
+		t.Errorf("alternating branch mispredicted %d/200 times after warmup", wrongLate)
+	}
+}
+
+func TestMispredictStats(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		p.PredictAndUpdate(int64(i*64), i%3 == 0, 5)
+	}
+	if p.Stats.Lookups != 10 {
+		t.Errorf("lookups = %d, want 10", p.Stats.Lookups)
+	}
+	if p.Stats.Mispredicts == 0 {
+		t.Error("cold predictor must mispredict at least once on a mixed pattern")
+	}
+	if r := p.Stats.MispredictRate(); r <= 0 || r > 1 {
+		t.Errorf("mispredict rate = %v out of range", r)
+	}
+	if (Stats{}).MispredictRate() != 0 {
+		t.Error("empty stats must have zero rate")
+	}
+}
+
+func TestBTBMissThenHit(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := int64(300), int64(77)
+	_, hit := p.PredictAndUpdate(pc, true, tgt)
+	if hit {
+		t.Error("first taken branch must miss the BTB")
+	}
+	_, hit = p.PredictAndUpdate(pc, true, tgt)
+	if !hit {
+		t.Error("second taken branch must hit the BTB")
+	}
+}
+
+func TestBTBTargetChange(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := int64(400)
+	p.PredictAndUpdate(pc, true, 1)
+	_, hit := p.PredictAndUpdate(pc, true, 2)
+	if hit {
+		t.Error("changed target must count as a BTB miss")
+	}
+	_, hit = p.PredictAndUpdate(pc, true, 2)
+	if !hit {
+		t.Error("target must be updated after a mismatch")
+	}
+}
+
+func TestBTBNotConsultedWhenNotTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		_, hit := p.PredictAndUpdate(500, false, 9)
+		if !hit {
+			t.Error("not-taken branches must not report BTB misses")
+		}
+	}
+	if p.Stats.BTBMisses != 0 {
+		t.Errorf("BTB misses = %d, want 0", p.Stats.BTBMisses)
+	}
+}
+
+func TestPredictJump(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.PredictJump(600, 11) {
+		t.Error("cold jump must miss BTB")
+	}
+	if !p.PredictJump(600, 11) {
+		t.Error("warm jump must hit BTB")
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	// 8-entry, 2-way BTB: 4 sets. Five PCs mapping to the same set must
+	// evict each other.
+	p := New(Config{Entries: 64, HistoryBits: 4, BTBEntries: 8, BTBWays: 2})
+	pcs := []int64{0, 4, 8} // all map to set 0 of 4 sets
+	for _, pc := range pcs {
+		p.PredictJump(pc, pc+1)
+	}
+	// pc 0 was LRU and must have been evicted by pc 8.
+	if p.PredictJump(0, 1) {
+		t.Error("LRU entry must have been evicted")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Entries != 8192 {
+		t.Errorf("zero config must default; entries = %d", p.cfg.Entries)
+	}
+}
+
+func TestDifferentBranchesIsolatedInBimodal(t *testing.T) {
+	p := New(Config{Entries: 1024, HistoryBits: 10, BTBEntries: 256, BTBWays: 4})
+	// Branch A always taken, branch B never taken, different indices.
+	for i := 0; i < 64; i++ {
+		p.PredictAndUpdate(1, true, 5)
+		p.PredictAndUpdate(2, false, 5)
+	}
+	predA, _ := p.PredictAndUpdate(1, true, 5)
+	predB, _ := p.PredictAndUpdate(2, false, 5)
+	if !predA || predB {
+		t.Errorf("biased branches mispredicted: A=%v B=%v", predA, predB)
+	}
+}

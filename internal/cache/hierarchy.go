@@ -1,0 +1,352 @@
+package cache
+
+// Level identifies the hierarchy level that served an access.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlMem
+)
+
+// String returns "L1", "L2" or "Mem".
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	default:
+		return "Mem"
+	}
+}
+
+// HierConfig parameterizes the full on-chip memory hierarchy.
+type HierConfig struct {
+	L1I, L1D, L2 Config
+	ITLBEntries  int
+	DTLBEntries  int
+	PageBytes    int
+	TLBMissPen   int // page-walk penalty in cycles
+	MemLatency   int // main-memory access latency in cycles
+	BusBytes     int // memory bus width
+	BusFreqDiv   int // bus clock divider relative to the core
+	MSHRs        int // maximum outstanding misses
+
+	// Conventional stride prefetcher (the address-prediction prefetching
+	// the paper assumes handles non-problem loads). Zero entries disables.
+	StrideEntries int
+	StrideDegree  int
+}
+
+// DefaultHierConfig returns the paper's memory hierarchy.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1I:         Config{SizeBytes: 32 << 10, Ways: 2, BlockBytes: 64, HitLatency: 1},
+		L1D:         Config{SizeBytes: 16 << 10, Ways: 2, BlockBytes: 64, HitLatency: 2},
+		L2:          Config{SizeBytes: 256 << 10, Ways: 4, BlockBytes: 64, HitLatency: 12},
+		ITLBEntries: 64,
+		DTLBEntries: 64,
+		PageBytes:   4 << 10,
+		TLBMissPen:  30,
+		MemLatency:  200,
+		BusBytes:    16,
+		BusFreqDiv:  4,
+		MSHRs:       16,
+
+		StrideEntries: 512,
+		StrideDegree:  4,
+	}
+}
+
+// AccessInfo describes the outcome of a data-load access.
+type AccessInfo struct {
+	DoneAt     int64 // cycle the value is available
+	Level      Level // deepest level consulted
+	L2Access   bool  // the L2 was accessed (for energy accounting)
+	TLBMiss    bool
+	PrefHit    int32 // p-thread ID whose prefetch served this access, else NoPrefetcher
+	PrefInFlit bool  // served by merging with an in-flight prefetch (partial coverage)
+}
+
+// PrefetchInfo describes the outcome of a p-thread target-load prefetch.
+type PrefetchInfo struct {
+	DoneAt         int64
+	AlreadyPresent bool // block already cached or in flight: useless prefetch
+}
+
+// AccessCounts groups per-structure access counters split between the main
+// thread and p-threads, feeding the energy model and the paper's striped
+// energy breakdowns.
+type AccessCounts struct {
+	L1IMain, L1IPth int64
+	L1DMain, L1DPth int64
+	L2Main, L2Pth   int64
+}
+
+// Hierarchy composes the caches, TLBs, MSHRs and memory bus into the memory
+// system seen by the timing simulator. It is not safe for concurrent use;
+// the simulator is single-threaded by design (determinism).
+type Hierarchy struct {
+	cfg  HierConfig
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	ITLB *TLB
+	DTLB *TLB
+	MSHR *MSHRFile
+	Pref *StridePrefetcher // nil when disabled
+
+	busFreeAt int64
+
+	// Counts feeds energy accounting.
+	Counts AccessCounts
+	// DemandL2Misses counts main-thread load misses that went to memory.
+	DemandL2Misses int64
+}
+
+// NewHierarchy builds the hierarchy described by cfg.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		L1I:  New(cfg.L1I),
+		L1D:  New(cfg.L1D),
+		L2:   New(cfg.L2),
+		ITLB: NewTLB(cfg.ITLBEntries, cfg.PageBytes),
+		DTLB: NewTLB(cfg.DTLBEntries, cfg.PageBytes),
+		MSHR: NewMSHRFile(cfg.MSHRs),
+	}
+	if cfg.StrideEntries > 0 {
+		h.Pref = NewStridePrefetcher(cfg.StrideEntries, cfg.StrideDegree)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// busOccupancy returns the core cycles one block transfer occupies the bus.
+func (h *Hierarchy) busOccupancy() int64 {
+	beats := (h.cfg.L2.BlockBytes + h.cfg.BusBytes - 1) / h.cfg.BusBytes
+	return int64(beats * h.cfg.BusFreqDiv)
+}
+
+// memAccess schedules a main-memory access issued at start and returns its
+// completion time, modelling bus queueing.
+func (h *Hierarchy) memAccess(start int64) int64 {
+	xferStart := start
+	if h.busFreeAt > xferStart {
+		xferStart = h.busFreeAt
+	}
+	h.busFreeAt = xferStart + h.busOccupancy()
+	return xferStart + int64(h.cfg.MemLatency)
+}
+
+// FetchBlock performs an instruction fetch of the block containing addr at
+// the given cycle. Instruction fetch is blocking (no MSHR involvement);
+// pthread attributes the access for energy accounting.
+func (h *Hierarchy) FetchBlock(addr, now int64, pthread bool) (doneAt int64) {
+	if pthread {
+		h.Counts.L1IPth++
+	} else {
+		h.Counts.L1IMain++
+	}
+	start := now
+	if !h.ITLB.Lookup(addr) {
+		start += int64(h.cfg.TLBMissPen)
+	}
+	r := h.L1I.Lookup(addr)
+	if r.Hit {
+		done := start + int64(h.cfg.L1I.HitLatency)
+		if r.ReadyAt > done {
+			done = r.ReadyAt
+		}
+		return done
+	}
+	// L1I miss: consult L2.
+	if pthread {
+		h.Counts.L2Pth++
+	} else {
+		h.Counts.L2Main++
+	}
+	l2start := start + int64(h.cfg.L1I.HitLatency)
+	r2 := h.L2.Lookup(addr)
+	var done int64
+	if r2.Hit {
+		done = l2start + int64(h.cfg.L2.HitLatency)
+		if r2.ReadyAt > done {
+			done = r2.ReadyAt
+		}
+	} else {
+		done = h.memAccess(l2start + int64(h.cfg.L2.HitLatency))
+		h.L2.Fill(addr, done, NoPrefetcher)
+	}
+	h.L1I.Fill(addr, done, NoPrefetcher)
+	return done
+}
+
+// Load performs a data load at the given cycle. pthread marks p-thread
+// embedded loads (they access the hierarchy normally but are accounted
+// separately, and do not train the stride prefetcher); pc is the static PC
+// used for prefetcher training (pass a negative value for p-thread loads).
+// ok=false means the MSHR file was full and the access must be retried; no
+// state was modified in that case beyond statistics.
+func (h *Hierarchy) Load(addr, now int64, pthread bool, pc int64) (AccessInfo, bool) {
+	if !pthread && pc >= 0 && h.Pref != nil {
+		if paddr, ok := h.Pref.Train(pc, addr); ok {
+			h.hwPrefetch(paddr, now)
+		}
+	}
+	info := AccessInfo{Level: LvlL1, PrefHit: NoPrefetcher}
+	start := now
+	if !h.DTLB.Lookup(addr) {
+		start += int64(h.cfg.TLBMissPen)
+		info.TLBMiss = true
+	}
+	if pthread {
+		h.Counts.L1DPth++
+	} else {
+		h.Counts.L1DMain++
+	}
+	r := h.L1D.Lookup(addr)
+	if r.Hit {
+		info.DoneAt = start + int64(h.cfg.L1D.HitLatency)
+		if r.ReadyAt > info.DoneAt {
+			info.DoneAt = r.ReadyAt
+		}
+		return info, true
+	}
+	// L1D miss: consult L2.
+	info.Level = LvlL2
+	info.L2Access = true
+	if pthread {
+		h.Counts.L2Pth++
+	} else {
+		h.Counts.L2Main++
+	}
+	l2start := start + int64(h.cfg.L1D.HitLatency)
+	r2 := h.L2.Lookup(addr)
+	if r2.Hit {
+		done := l2start + int64(h.cfg.L2.HitLatency)
+		inFlight := r2.ReadyAt > done
+		if inFlight {
+			done = r2.ReadyAt
+		}
+		if !pthread && r2.PrefID != NoPrefetcher {
+			// A p-thread prefetch served this (otherwise-missing) load.
+			info.PrefHit = r2.PrefID
+			info.PrefInFlit = inFlight
+			h.L2.ClearPrefID(addr)
+		}
+		if inFlight {
+			info.Level = LvlMem // latency was memory-bound even though merged
+		}
+		info.DoneAt = done
+		h.L1D.Fill(addr, done, NoPrefetcher)
+		return info, true
+	}
+	// L2 miss: need an MSHR and a memory access.
+	info.Level = LvlMem
+	block := h.L2.Block(addr)
+	if readyAt, merged := h.MSHR.Lookup(block, now); merged {
+		info.DoneAt = readyAt
+		h.L1D.Fill(addr, readyAt, NoPrefetcher)
+		return info, true
+	}
+	// Reserve the MSHR before scheduling the bus: a rejected request must
+	// not advance the bus clock (it will retry next cycle).
+	if h.MSHR.InFlight(now) >= h.MSHR.Cap() {
+		h.MSHR.FullRej++
+		return info, false // retry next cycle
+	}
+	reqStart := l2start + int64(h.cfg.L2.HitLatency)
+	done := h.memAccess(reqStart)
+	h.MSHR.Alloc(block, done, now)
+	if !pthread {
+		h.DemandL2Misses++
+	}
+	h.L2.Fill(addr, done, NoPrefetcher)
+	h.L1D.Fill(addr, done, NoPrefetcher)
+	info.DoneAt = done
+	return info, true
+}
+
+// hwPrefetch issues a conventional stride prefetch into the L2. It silently
+// drops when the block is already present/in flight or no MSHR is free
+// (prefetches never stall anything).
+func (h *Hierarchy) hwPrefetch(addr, now int64) {
+	if addr < 0 || h.L2.Probe(addr) {
+		return
+	}
+	block := h.L2.Block(addr)
+	if _, merged := h.MSHR.Lookup(block, now); merged {
+		return
+	}
+	if h.MSHR.InFlight(now) >= h.MSHR.Cap() {
+		return
+	}
+	h.Counts.L2Main++ // the prefetch engine occupies an L2 port
+	done := h.memAccess(now + int64(h.cfg.L2.HitLatency))
+	h.MSHR.Alloc(block, done, now)
+	h.L2.Fill(addr, done, NoPrefetcher)
+}
+
+// PrefetchL2 performs a p-thread target-load prefetch into the L2 (DDMT
+// prefetches bypass the L1). ok=false means the MSHR file was full.
+func (h *Hierarchy) PrefetchL2(addr, now int64, pthID int32) (PrefetchInfo, bool) {
+	h.Counts.L2Pth++
+	var info PrefetchInfo
+	r := h.L2.Lookup(addr)
+	if r.Hit {
+		info.AlreadyPresent = true
+		info.DoneAt = now
+		return info, true
+	}
+	block := h.L2.Block(addr)
+	if readyAt, merged := h.MSHR.Lookup(block, now); merged {
+		info.AlreadyPresent = true
+		info.DoneAt = readyAt
+		return info, true
+	}
+	if h.MSHR.InFlight(now) >= h.MSHR.Cap() {
+		h.MSHR.FullRej++
+		return info, false // retry next cycle without advancing the bus
+	}
+	done := h.memAccess(now + int64(h.cfg.L2.HitLatency))
+	h.MSHR.Alloc(block, done, now)
+	h.L2.Fill(addr, done, pthID)
+	info.DoneAt = done
+	return info, true
+}
+
+// StoreCommit performs the data-cache write of a committing store. Stores
+// drain through a write buffer and never block commit; a store miss installs
+// the line without timing back-pressure (write-allocate, no writeback
+// traffic modelled).
+func (h *Hierarchy) StoreCommit(addr, now int64) {
+	h.Counts.L1DMain++
+	if !h.DTLB.Lookup(addr) {
+		now += int64(h.cfg.TLBMissPen)
+	}
+	r := h.L1D.Lookup(addr)
+	if r.Hit {
+		return
+	}
+	h.Counts.L2Main++
+	r2 := h.L2.Lookup(addr)
+	if r2.Hit {
+		h.L1D.Fill(addr, now, NoPrefetcher)
+		return
+	}
+	// Store misses drain through the write buffer without occupying the
+	// demand-fetch bus or MSHRs (they are off the critical path and never
+	// retried; modelling their bandwidth would let store streams starve
+	// loads, which the write buffer exists to prevent).
+	done := now + int64(h.cfg.L2.HitLatency) + int64(h.cfg.MemLatency)
+	h.L2.Fill(addr, done, NoPrefetcher)
+	h.L1D.Fill(addr, done, NoPrefetcher)
+}
+
+// BusFreeAt exposes the bus schedule clock for diagnostics.
+func (h *Hierarchy) BusFreeAt() int64 { return h.busFreeAt }

@@ -1,0 +1,180 @@
+package cache
+
+import "testing"
+
+func testHier() *Hierarchy {
+	cfg := DefaultHierConfig()
+	return NewHierarchy(cfg)
+}
+
+func TestLoadHitLatencies(t *testing.T) {
+	h := testHier()
+	// Cold load: DTLB miss (30) + L1 (2) + L2 (12) + mem (200).
+	info, ok := h.Load(0x1000, 0, false, -1)
+	if !ok {
+		t.Fatal("MSHR full on first access")
+	}
+	if info.Level != LvlMem || !info.L2Access || !info.TLBMiss {
+		t.Errorf("cold load info = %+v", info)
+	}
+	want := int64(30 + 2 + 12 + 200)
+	if info.DoneAt != want {
+		t.Errorf("cold load done at %d, want %d", info.DoneAt, want)
+	}
+	// Warm load after fill completes: L1 hit.
+	info2, _ := h.Load(0x1000, want+1, false, -1)
+	if info2.Level != LvlL1 || info2.DoneAt != want+1+2 {
+		t.Errorf("warm load = %+v", info2)
+	}
+}
+
+func TestLoadMergesWithInFlightMiss(t *testing.T) {
+	h := testHier()
+	info1, _ := h.Load(0x2000, 0, false, -1)
+	// Second access to same block while in flight: waits for the fill, does
+	// not start another memory access.
+	info2, _ := h.Load(0x2008, 5, false, -1)
+	if info2.DoneAt != info1.DoneAt {
+		t.Errorf("merged access done at %d, want %d", info2.DoneAt, info1.DoneAt)
+	}
+	if h.DemandL2Misses != 1 {
+		t.Errorf("demand misses = %d, want 1", h.DemandL2Misses)
+	}
+}
+
+func TestMSHRLimitBlocksLoad(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.MSHRs = 1
+	h := NewHierarchy(cfg)
+	h.Load(0x10000, 0, false, -1)
+	_, ok := h.Load(0x20000, 0, false, -1)
+	if ok {
+		t.Error("second concurrent miss must be rejected with a 1-entry MSHR file")
+	}
+}
+
+func TestPrefetchServesLaterLoad(t *testing.T) {
+	h := testHier()
+	pi, ok := h.PrefetchL2(0x3000, 0, 7)
+	if !ok || pi.AlreadyPresent {
+		t.Fatalf("prefetch = %+v, %v", pi, ok)
+	}
+	// Load after the prefetch completes: L2 hit on a prefetched line.
+	info, _ := h.Load(0x3000, pi.DoneAt+10, false, -1)
+	if info.Level != LvlL2 {
+		t.Errorf("level = %v, want L2", info.Level)
+	}
+	if info.PrefHit != 7 || info.PrefInFlit {
+		t.Errorf("prefetch credit = %d partial=%v, want 7,false", info.PrefHit, info.PrefInFlit)
+	}
+	// Credit is granted only once.
+	// (New address in same block to avoid L1 hit.)
+	info2, _ := h.Load(0x3008, info.DoneAt+1, false, -1)
+	_ = info2
+	if info2.PrefHit != NoPrefetcher && info2.Level == LvlL2 {
+		t.Error("prefetch credit granted twice")
+	}
+}
+
+func TestPrefetchPartialCoverage(t *testing.T) {
+	h := testHier()
+	pi, _ := h.PrefetchL2(0x4000, 0, 3)
+	// Load arrives while the prefetch is still in flight.
+	info, _ := h.Load(0x4000, 50, false, -1)
+	if !info.PrefInFlit || info.PrefHit != 3 {
+		t.Errorf("partial coverage not detected: %+v", info)
+	}
+	if info.DoneAt != pi.DoneAt {
+		t.Errorf("merged load done at %d, want %d", info.DoneAt, pi.DoneAt)
+	}
+	if info.Level != LvlMem {
+		t.Errorf("partial coverage level = %v, want Mem", info.Level)
+	}
+}
+
+func TestPrefetchAlreadyPresent(t *testing.T) {
+	h := testHier()
+	h.Load(0x5000, 0, false, -1)
+	pi, ok := h.PrefetchL2(0x5000, 300, 1)
+	if !ok || !pi.AlreadyPresent {
+		t.Errorf("prefetch of cached block = %+v", pi)
+	}
+}
+
+func TestPrefetchDoesNotFillL1(t *testing.T) {
+	h := testHier()
+	pi, _ := h.PrefetchL2(0x6000, 0, 2)
+	if h.L1D.Probe(0x6000) {
+		t.Error("prefetch must bypass the L1")
+	}
+	if !h.L2.Probe(0x6000) {
+		t.Error("prefetch must fill the L2")
+	}
+	_ = pi
+}
+
+func TestFetchBlockPath(t *testing.T) {
+	h := testHier()
+	done := h.FetchBlock(0x7000, 0, false)
+	// ITLB miss (30) + L1I (1) + L2 (12) + mem (200).
+	if done != 30+1+12+200 {
+		t.Errorf("cold fetch done at %d", done)
+	}
+	done2 := h.FetchBlock(0x7000, done+1, false)
+	if done2 != done+1+1 {
+		t.Errorf("warm fetch done at %d, want %d", done2, done+1+1)
+	}
+	if h.Counts.L1IMain != 2 {
+		t.Errorf("L1I accesses = %d", h.Counts.L1IMain)
+	}
+}
+
+func TestBusContentionSerializesTransfers(t *testing.T) {
+	h := testHier()
+	a, _ := h.Load(0x10000, 0, false, -1)
+	b, _ := h.Load(0x20000, 0, false, -1)
+	if b.DoneAt <= a.DoneAt {
+		t.Error("concurrent misses must serialize on the memory bus")
+	}
+	occ := h.busOccupancy()
+	if b.DoneAt-a.DoneAt != occ {
+		t.Errorf("bus spacing = %d, want %d", b.DoneAt-a.DoneAt, occ)
+	}
+}
+
+func TestStoreCommitCounts(t *testing.T) {
+	h := testHier()
+	h.StoreCommit(0x8000, 0)
+	if h.Counts.L1DMain != 1 || h.Counts.L2Main != 1 {
+		t.Errorf("store counts = %+v", h.Counts)
+	}
+	if !h.L1D.Probe(0x8000) {
+		t.Error("store must write-allocate")
+	}
+	// Second store to the same line: L1 hit, no L2 access.
+	h.StoreCommit(0x8008, 100)
+	if h.Counts.L2Main != 1 {
+		t.Error("store hit must not access L2")
+	}
+}
+
+func TestPthreadAccountingSeparated(t *testing.T) {
+	h := testHier()
+	h.Load(0x9000, 0, true, -1)
+	if h.Counts.L1DPth != 1 || h.Counts.L1DMain != 0 {
+		t.Errorf("pthread load not separated: %+v", h.Counts)
+	}
+	if h.DemandL2Misses != 0 {
+		t.Error("pthread misses must not count as demand misses")
+	}
+	h.FetchBlock(0xa000, 0, true)
+	if h.Counts.L1IPth != 1 {
+		t.Errorf("pthread fetch not separated: %+v", h.Counts)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LvlL1.String() != "L1" || LvlL2.String() != "L2" || LvlMem.String() != "Mem" {
+		t.Error("level names wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package cache
+
+// MSHRFile bounds the number of outstanding misses to main memory, matching
+// the paper's 16-outstanding-miss limit, and implements request merging at
+// block granularity.
+type MSHRFile struct {
+	cap     int
+	blocks  []int64
+	readyAt []int64
+
+	// Stats.
+	Allocs  int64
+	Merges  int64
+	FullRej int64
+}
+
+// NewMSHRFile returns an MSHR file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{cap: capacity}
+}
+
+// Cap returns the file's capacity.
+func (m *MSHRFile) Cap() int { return m.cap }
+
+// InFlight returns the number of outstanding misses at the given time,
+// expiring completed entries as a side effect.
+func (m *MSHRFile) InFlight(now int64) int {
+	m.expire(now)
+	return len(m.blocks)
+}
+
+// Lookup returns the completion time of an in-flight miss on block, if any.
+func (m *MSHRFile) Lookup(block, now int64) (readyAt int64, ok bool) {
+	m.expire(now)
+	for i, b := range m.blocks {
+		if b == block {
+			m.Merges++
+			return m.readyAt[i], true
+		}
+	}
+	return 0, false
+}
+
+// Alloc reserves an entry for block completing at readyAt. It fails when the
+// file is full, in which case the requester must retry later.
+func (m *MSHRFile) Alloc(block, readyAt, now int64) bool {
+	m.expire(now)
+	if len(m.blocks) >= m.cap {
+		m.FullRej++
+		return false
+	}
+	m.Allocs++
+	m.blocks = append(m.blocks, block)
+	m.readyAt = append(m.readyAt, readyAt)
+	return true
+}
+
+func (m *MSHRFile) expire(now int64) {
+	w := 0
+	for i := range m.blocks {
+		if m.readyAt[i] > now {
+			m.blocks[w] = m.blocks[i]
+			m.readyAt[w] = m.readyAt[i]
+			w++
+		}
+	}
+	m.blocks = m.blocks[:w]
+	m.readyAt = m.readyAt[:w]
+}

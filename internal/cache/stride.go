@@ -1,0 +1,69 @@
+package cache
+
+// StridePrefetcher is a conventional per-PC stride prefetcher (reference
+// prediction table). The paper's premise is that address-prediction driven
+// prefetching already eliminates the predictable misses and that p-threads
+// exist for the "problem" loads that defy it — so the baseline hierarchy
+// must include one, or trivially-streaming loads would masquerade as
+// problem loads and inflate pre-execution's value.
+//
+// On every demand load the table is trained with the load's PC and address;
+// after two consistent strides it becomes confident and prefetches
+// degree blocks ahead into the L2.
+type StridePrefetcher struct {
+	entries int
+	degree  int
+	pc      []int64 // tag, -1 invalid
+	last    []int64
+	stride  []int64
+	conf    []int8
+
+	Trained int64
+	Issued  int64
+}
+
+// NewStridePrefetcher returns a table with the given number of entries and
+// prefetch degree.
+func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
+	p := &StridePrefetcher{
+		entries: entries,
+		degree:  degree,
+		pc:      make([]int64, entries),
+		last:    make([]int64, entries),
+		stride:  make([]int64, entries),
+		conf:    make([]int8, entries),
+	}
+	for i := range p.pc {
+		p.pc[i] = -1
+	}
+	return p
+}
+
+// Train updates the table for a demand load at pc touching addr and returns
+// the address to prefetch (confident, non-zero stride) or ok=false.
+func (p *StridePrefetcher) Train(pc, addr int64) (prefAddr int64, ok bool) {
+	i := int(uint64(pc) % uint64(p.entries))
+	if p.pc[i] != pc {
+		p.pc[i] = pc
+		p.last[i] = addr
+		p.stride[i] = 0
+		p.conf[i] = 0
+		return 0, false
+	}
+	s := addr - p.last[i]
+	p.last[i] = addr
+	if s == p.stride[i] && s != 0 {
+		if p.conf[i] < 3 {
+			p.conf[i]++
+		}
+	} else {
+		p.stride[i] = s
+		p.conf[i] = 0
+	}
+	p.Trained++
+	if p.conf[i] >= 2 && p.stride[i] != 0 {
+		p.Issued++
+		return addr + p.stride[i]*int64(p.degree), true
+	}
+	return 0, false
+}

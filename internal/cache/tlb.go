@@ -1,0 +1,50 @@
+package cache
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement over fixed-size pages. A miss costs a fixed page-table-walk
+// penalty, charged by the hierarchy.
+type TLB struct {
+	pageBits uint
+	tags     []int64 // page numbers; -1 invalid
+	lru      []int32
+	clock    int32
+
+	Stats Stats
+}
+
+// NewTLB returns an empty TLB with the given number of entries and page
+// size in bytes (a power of two).
+func NewTLB(entries, pageBytes int) *TLB {
+	t := &TLB{
+		pageBits: uint(log2(pageBytes)),
+		tags:     make([]int64, entries),
+		lru:      make([]int32, entries),
+	}
+	for i := range t.tags {
+		t.tags[i] = -1
+	}
+	return t
+}
+
+// Lookup probes (and on miss, installs) the page of addr. It reports whether
+// the translation hit.
+func (t *TLB) Lookup(addr int64) bool {
+	t.Stats.Accesses++
+	page := addr >> t.pageBits
+	victim := 0
+	for i := range t.tags {
+		if t.tags[i] == page {
+			t.clock++
+			t.lru[i] = t.clock
+			return true
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.Stats.Misses++
+	t.clock++
+	t.tags[victim] = page
+	t.lru[victim] = t.clock
+	return false
+}

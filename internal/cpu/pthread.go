@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PThread is a static pre-execution thread in the DDMT model: a control-less,
+// unchained instruction sequence (the body) spawned whenever the main thread
+// dispatches the trigger instruction. Bodies contain only ALU operations and
+// loads; the loads listed in Targets are problem-load copies that prefetch
+// into the L2 instead of delivering a value to the context.
+type PThread struct {
+	ID        int32      // dense identifier assigned by the selector
+	TriggerPC int32      // static PC whose dispatch spawns the body
+	Body      []isa.Inst // executed in order; fixed sequence (control-less)
+	Targets   []int      // body indices of prefetch target loads
+	TargetPC  int32      // static PC of the primary problem load (diagnostics)
+}
+
+// Validate checks the DDMT structural restrictions.
+func (p *PThread) Validate() error {
+	if len(p.Body) == 0 {
+		return fmt.Errorf("p-thread %d: empty body", p.ID)
+	}
+	for i, in := range p.Body {
+		if in.IsStore() || in.IsControl() {
+			return fmt.Errorf("p-thread %d: body[%d] = %s violates control-less-ness", p.ID, i, in)
+		}
+		if !in.IsALU() && !in.IsLoad() && in.Op != isa.Nop {
+			return fmt.Errorf("p-thread %d: body[%d] = %s not executable in lightweight mode", p.ID, i, in)
+		}
+	}
+	if len(p.Targets) == 0 {
+		return fmt.Errorf("p-thread %d: no target loads", p.ID)
+	}
+	seen := make(map[int]bool)
+	for _, t := range p.Targets {
+		if t < 0 || t >= len(p.Body) {
+			return fmt.Errorf("p-thread %d: target index %d out of body range", p.ID, t)
+		}
+		if !p.Body[t].IsLoad() {
+			return fmt.Errorf("p-thread %d: target body[%d] = %s is not a load", p.ID, t, p.Body[t])
+		}
+		if seen[t] {
+			return fmt.Errorf("p-thread %d: duplicate target %d", p.ID, t)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// LiveIns returns the architectural registers the body reads before writing,
+// i.e. the values copied from the main thread at spawn.
+func (p *PThread) LiveIns() []isa.Reg {
+	written := make(map[isa.Reg]bool)
+	seen := make(map[isa.Reg]bool)
+	var live []isa.Reg
+	for _, in := range p.Body {
+		s1, s2, r1, r2 := in.Sources()
+		if r1 && s1 != isa.Zero && !written[s1] && !seen[s1] {
+			seen[s1] = true
+			live = append(live, s1)
+		}
+		if r2 && s2 != isa.Zero && !written[s2] && !seen[s2] {
+			seen[s2] = true
+			live = append(live, s2)
+		}
+		if in.HasDst() {
+			written[in.Dst] = true
+		}
+	}
+	return live
+}
+
+// Size returns the body length (SIZE(p) in the selection equations).
+func (p *PThread) Size() int { return len(p.Body) }
+
+// Loads returns the number of loads in the body (LOAD(p)).
+func (p *PThread) Loads() int {
+	n := 0
+	for _, in := range p.Body {
+		if in.IsLoad() {
+			n++
+		}
+	}
+	return n
+}
+
+// ALUs returns the number of ALU operations in the body (ALU(p)).
+func (p *PThread) ALUs() int {
+	n := 0
+	for _, in := range p.Body {
+		if in.IsALU() {
+			n++
+		}
+	}
+	return n
+}

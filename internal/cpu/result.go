@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/energy"
+)
+
+// StallCategory classifies a cycle in the CPI-stack execution-time breakdown
+// (the five categories of Figure 2's left graph).
+type StallCategory uint8
+
+// Breakdown categories, bottom of the bar stack first as in the paper.
+const (
+	CatMem    StallCategory = iota // ROB head waiting on main memory
+	CatL2                          // ROB head waiting on the L2
+	CatExec                        // ROB head executing / waiting for operands
+	CatCommit                      // head complete; commit bandwidth bound
+	CatFetch                       // ROB empty: front-end supply (i-cache,
+	// mispredict refill, fetch contention)
+	NumCategories
+)
+
+// String names the category.
+func (c StallCategory) String() string {
+	switch c {
+	case CatMem:
+		return "mem"
+	case CatL2:
+		return "L2"
+	case CatExec:
+		return "exec"
+	case CatCommit:
+		return "commit"
+	default:
+		return "fetch"
+	}
+}
+
+// PThreadStats aggregates per-static-p-thread runtime behaviour; it is the
+// measured counterpart of the selector's predictions, enabling the paper's
+// validation experiments.
+type PThreadStats struct {
+	ID            int32
+	Spawns        int64 // dynamic instances started (DCtrig realized)
+	Dropped       int64 // trigger dispatches with no free context
+	UsefulSpawns  int64 // instances whose prefetch served a main-thread load
+	FullCovered   int64 // main-thread loads that hit a completed prefetch
+	PartCovered   int64 // main-thread loads merged with an in-flight prefetch
+	InstsExecuted int64 // p-instructions issued
+	Aborted       int64 // instances squashed on a wild address
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Cycles    int64
+	Committed int64 // main-thread instructions committed
+
+	// P-thread aggregates.
+	Spawns        int64
+	DroppedSpawns int64
+	UsefulSpawns  int64
+	FullCovered   int64
+	PartCovered   int64
+	PInstsFetched int64
+	PInstsExec    int64
+	PerPThread    []PThreadStats
+
+	// Memory system.
+	DemandL2Misses int64
+	CacheCounts    cache.AccessCounts
+
+	// Execution-time breakdown: cycles attributed to each category.
+	TimeBreakdown [NumCategories]int64
+
+	// Energy.
+	Events energy.Events
+	Energy energy.Breakdown
+
+	// Branch prediction.
+	Bpred bpred.Stats
+}
+
+// IPC returns committed main-thread instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// PInstIncrease returns executed p-instructions as a fraction of committed
+// main-thread instructions (the paper's "% p-inst increase" diagnostic).
+func (r *Result) PInstIncrease() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.PInstsExec) / float64(r.Committed)
+}
+
+// Usefulness returns the fraction of spawned p-thread instances whose
+// prefetch served a main-thread load (the paper's "% useful spawns").
+func (r *Result) Usefulness() float64 {
+	if r.Spawns == 0 {
+		return 0
+	}
+	return float64(r.UsefulSpawns) / float64(r.Spawns)
+}
+
+// EnergyTotal returns total energy in model units.
+func (r *Result) EnergyTotal() float64 { return r.Energy.Total() }
+
+// ED returns the energy-delay product (energy × cycles).
+func (r *Result) ED() float64 { return r.Energy.Total() * float64(r.Cycles) }
+
+// ED2 returns the energy-delay-squared product.
+func (r *Result) ED2() float64 {
+	return r.Energy.Total() * float64(r.Cycles) * float64(r.Cycles)
+}

@@ -1,0 +1,630 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Per-dynamic-instruction state flags.
+const (
+	fDispatched uint8 = 1 << iota
+	fIssued
+	fRSFreed
+	fMispred
+	fFwd // load served by store forwarding
+)
+
+// Served-level encoding stored alongside flags (2 bits).
+const (
+	lvlNone uint8 = iota
+	lvlL1
+	lvlL2
+	lvlMem
+)
+
+type fetchEnt struct {
+	dyn     int32
+	availAt int64
+}
+
+// Simulator runs one program execution (a dynamic trace) through the timing
+// model, optionally with a set of selected p-threads installed in the
+// trigger table. Create one per run; it is single-use.
+type Simulator struct {
+	cfg  Config
+	tr   *trace.Trace
+	prog *isa.Program
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	now int64
+	n   int
+
+	// Main-thread front end.
+	fetchIdx        int
+	fetchResumeAt   int64
+	stalledOnBranch int32 // dyn index of unresolved mispredicted branch, -1 none
+	fetchQ          []fetchEnt
+	fqHead, fqLen   int
+
+	// Back end.
+	rob             []int32
+	robHead, robLen int
+	state           []uint8
+	level           []uint8
+	completeAt      []int64
+	rsUsed          int
+	physUsed        int
+
+	// Dispatch-time architectural state (correct path).
+	specRegs   [isa.NumRegs]int64
+	lastWriter [isa.NumRegs]int64
+	mem        []int64
+	inflightSt map[int64]int // addr -> count of dispatched, uncommitted stores
+
+	// Pre-execution.
+	triggers    map[int32][]*PThread
+	ctxs        []pctx
+	rrCtx       int // round-robin fetch arbitration pointer
+	spawnUseful []bool
+	spawnStatic []int32
+	perPThread  map[int32]*PThreadStats
+
+	// Statistics.
+	res          Result
+	memMainAcc   int64 // d-cache/LSQ accesses by the main thread
+	memPthAcc    int64
+	aluMain      int64
+	aluPth       int64
+	instsMain    int64
+	instsPth     int64
+	branchesMain int64
+}
+
+// NewSimulator prepares a run of tr on the configured processor with the
+// given p-threads installed (nil for an unoptimized baseline run).
+func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator, error) {
+	n := tr.Len()
+	s := &Simulator{
+		cfg:             cfg,
+		tr:              tr,
+		prog:            tr.Prog,
+		hier:            cache.NewHierarchy(cfg.Hier),
+		bp:              bpred.New(cfg.Bpred),
+		n:               n,
+		stalledOnBranch: -1,
+		fetchQ:          make([]fetchEnt, cfg.FetchQCap),
+		rob:             make([]int32, cfg.ROBSize),
+		state:           make([]uint8, n),
+		level:           make([]uint8, n),
+		completeAt:      make([]int64, n),
+		mem:             make([]int64, len(tr.Prog.InitMem)),
+		inflightSt:      make(map[int64]int),
+		triggers:        make(map[int32][]*PThread),
+		ctxs:            make([]pctx, cfg.Contexts-1),
+		perPThread:      make(map[int32]*PThreadStats),
+	}
+	copy(s.mem, tr.Prog.InitMem)
+	for r := range s.lastWriter {
+		s.lastWriter[r] = -1
+	}
+	for _, pt := range pthreads {
+		if err := pt.Validate(); err != nil {
+			return nil, err
+		}
+		s.triggers[pt.TriggerPC] = append(s.triggers[pt.TriggerPC], pt)
+		s.perPThread[pt.ID] = &PThreadStats{ID: pt.ID}
+	}
+	return s, nil
+}
+
+// Run simulates to completion and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+	lastCommit := int64(0)
+	for !s.done() {
+		if s.now >= maxCycles {
+			return nil, fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
+		}
+		if s.now-lastCommit > 1_000_000 {
+			return nil, fmt.Errorf("cpu: no commit in 1M cycles at cycle %d (deadlock): %s", s.now, s.debugState())
+		}
+		committed := s.commitStage()
+		if committed > 0 {
+			lastCommit = s.now
+		}
+		s.attributeCycle(committed)
+		s.issueStage()
+		s.dispatchStage()
+		s.fetchStage()
+		s.now++
+	}
+	s.finalize()
+	return &s.res, nil
+}
+
+func (s *Simulator) done() bool {
+	return s.fetchIdx >= s.n && s.fqLen == 0 && s.robLen == 0
+}
+
+func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.tr.Entries[d].PC] }
+
+// ---------------------------------------------------------------- commit --
+
+func (s *Simulator) commitStage() int {
+	committed := 0
+	for s.robLen > 0 && committed < s.cfg.CommitWidth {
+		d := s.rob[s.robHead]
+		if s.state[d]&fIssued == 0 || s.completeAt[d] > s.now {
+			break
+		}
+		in := s.inst(d)
+		e := &s.tr.Entries[d]
+		if s.state[d]&fRSFreed == 0 {
+			s.rsUsed--
+			s.state[d] |= fRSFreed
+		}
+		if in.IsStore() {
+			s.hier.StoreCommit(e.Addr, s.now)
+			s.memMainAcc++
+			if c := s.inflightSt[e.Addr]; c <= 1 {
+				delete(s.inflightSt, e.Addr)
+			} else {
+				s.inflightSt[e.Addr] = c - 1
+			}
+		}
+		if in.HasDst() {
+			s.physUsed--
+		}
+		s.robHead = (s.robHead + 1) % s.cfg.ROBSize
+		s.robLen--
+		s.res.Committed++
+		committed++
+	}
+	return committed
+}
+
+// attributeCycle classifies this cycle for the CPI-stack breakdown.
+func (s *Simulator) attributeCycle(committed int) {
+	var cat StallCategory
+	switch {
+	case committed > 0:
+		cat = CatCommit
+	case s.robLen == 0:
+		cat = CatFetch
+	default:
+		d := s.rob[s.robHead]
+		if s.state[d]&fIssued != 0 {
+			switch s.level[d] {
+			case lvlMem:
+				cat = CatMem
+			case lvlL2:
+				cat = CatL2
+			default:
+				cat = CatExec
+			}
+		} else {
+			cat = CatExec
+		}
+	}
+	s.res.TimeBreakdown[cat]++
+}
+
+// ----------------------------------------------------------------- issue --
+
+func (s *Simulator) ready(prod int64) bool {
+	if prod == trace.NoProducer {
+		return true
+	}
+	return s.state[prod]&fIssued != 0 && s.completeAt[prod] <= s.now
+}
+
+func (s *Simulator) issueStage() {
+	issueBudget := s.cfg.IssueWidth
+	loadBudget := s.cfg.LoadPorts
+	storeBudget := s.cfg.StorePorts
+
+	// Main thread: scan ROB oldest-first.
+	for i := 0; i < s.robLen && issueBudget > 0; i++ {
+		d := s.rob[(s.robHead+i)%s.cfg.ROBSize]
+		st := s.state[d]
+		if st&fIssued != 0 {
+			if st&fRSFreed == 0 && s.completeAt[d] <= s.now {
+				s.rsUsed--
+				s.state[d] |= fRSFreed
+			}
+			continue
+		}
+		e := &s.tr.Entries[d]
+		if !s.ready(e.Prod1) || !s.ready(e.Prod2) {
+			continue
+		}
+		in := s.inst(d)
+		switch {
+		case in.IsLoad():
+			if loadBudget == 0 {
+				continue
+			}
+			if s.inflightSt[e.Addr] > 0 {
+				// Store-to-load forwarding through the LSQ.
+				s.completeAt[d] = s.now + int64(s.cfg.Hier.L1D.HitLatency)
+				s.level[d] = lvlL1
+				s.state[d] |= fFwd
+				s.memMainAcc++
+			} else {
+				info, ok := s.hier.Load(e.Addr, s.now, false, int64(e.PC))
+				if !ok {
+					continue // MSHR full; retry next cycle
+				}
+				s.memMainAcc++
+				s.completeAt[d] = info.DoneAt
+				switch info.Level {
+				case cache.LvlMem:
+					s.level[d] = lvlMem
+				case cache.LvlL2:
+					s.level[d] = lvlL2
+				default:
+					s.level[d] = lvlL1
+				}
+				if info.PrefHit != cache.NoPrefetcher {
+					s.creditPrefetch(info.PrefHit, info.PrefInFlit)
+				}
+			}
+			loadBudget--
+		case in.IsStore():
+			if storeBudget == 0 {
+				continue
+			}
+			s.completeAt[d] = s.now + 1 // address generation
+			storeBudget--
+		default:
+			lat := int64(in.ExecLatency())
+			s.completeAt[d] = s.now + lat
+			if in.IsALU() {
+				s.aluMain++
+			}
+		}
+		s.state[d] |= fIssued
+		issueBudget--
+	}
+
+	// P-threads: in-order issue per context with leftover bandwidth.
+	for c := range s.ctxs {
+		ctx := &s.ctxs[c]
+		if !ctx.active {
+			continue
+		}
+		s.freePctxRS(ctx)
+	ctxIssue:
+		for issueBudget > 0 && ctx.issued < ctx.dispatched && ctx.issued < ctx.limit() {
+			j := ctx.issued
+			if !s.pdepReady(ctx, ctx.dep1[j]) || !s.pdepReady(ctx, ctx.dep2[j]) {
+				break
+			}
+			in := ctx.pt.Body[j]
+			if in.IsLoad() {
+				if loadBudget == 0 {
+					break ctxIssue
+				}
+				if ctx.isTarget(j) {
+					if _, ok := s.hier.PrefetchL2(ctx.addrs[j], s.now, ctx.spawnID); !ok {
+						break ctxIssue // MSHR full; retry next cycle
+					}
+					// The p-thread is finished with a target load once the
+					// prefetch is launched.
+					ctx.completeAt[j] = s.now + 1
+				} else {
+					info, ok := s.hier.Load(ctx.addrs[j], s.now, true, -1)
+					if !ok {
+						break ctxIssue
+					}
+					ctx.completeAt[j] = info.DoneAt
+				}
+				s.memPthAcc++
+				loadBudget--
+			} else {
+				ctx.completeAt[j] = s.now + int64(in.ExecLatency())
+				if in.IsALU() {
+					s.aluPth++
+				}
+			}
+			ctx.issued++
+			issueBudget--
+			s.res.PInstsExec++
+			s.perPThread[ctx.pt.ID].InstsExecuted++
+		}
+		s.maybeRelease(ctx)
+	}
+	_ = storeBudget
+}
+
+func (s *Simulator) pdepReady(ctx *pctx, d depRef) bool {
+	switch d.kind {
+	case depNone:
+		return true
+	case depMain:
+		return s.state[d.idx]&fIssued != 0 && s.completeAt[d.idx] <= s.now
+	default: // depBody
+		return ctx.completeAt[d.idx] > 0 && ctx.completeAt[d.idx] <= s.now
+	}
+}
+
+func (s *Simulator) freePctxRS(ctx *pctx) {
+	for j := ctx.freed; j < ctx.issued; j++ {
+		if ctx.completeAt[j] > s.now {
+			break
+		}
+		s.rsUsed--
+		if ctx.pt.Body[j].HasDst() {
+			s.physUsed--
+		}
+		ctx.freed++
+	}
+}
+
+func (s *Simulator) maybeRelease(ctx *pctx) {
+	// All issuable body instructions (everything before an abort point) have
+	// issued, completed and returned their resources: the context retires.
+	// Instructions past the abort point never allocated resources (dispatch
+	// skips them), so nothing further needs freeing.
+	if ctx.issued == ctx.limit() && ctx.freed == ctx.issued {
+		ctx.active = false
+	}
+}
+
+func (s *Simulator) creditPrefetch(spawnID int32, partial bool) {
+	stat := s.perPThread[s.spawnStatic[spawnID]]
+	if partial {
+		s.res.PartCovered++
+		stat.PartCovered++
+	} else {
+		s.res.FullCovered++
+		stat.FullCovered++
+	}
+	if !s.spawnUseful[spawnID] {
+		s.spawnUseful[spawnID] = true
+		s.res.UsefulSpawns++
+		stat.UsefulSpawns++
+	}
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (s *Simulator) dispatchStage() {
+	budget := s.cfg.DispatchWidth
+	for budget > 0 && s.fqLen > 0 {
+		fe := s.fetchQ[s.fqHead]
+		if fe.availAt > s.now {
+			break
+		}
+		d := fe.dyn
+		in := s.inst(d)
+		if s.robLen >= s.cfg.ROBSize || s.rsUsed >= s.cfg.RSSize {
+			break
+		}
+		if in.HasDst() && s.physUsed >= s.cfg.PhysRegs {
+			break
+		}
+		// Spawn p-threads before the trigger's own register update: the
+		// body re-executes the trigger computation from pre-trigger state.
+		e := &s.tr.Entries[d]
+		if pts, hit := s.triggers[e.PC]; hit {
+			for _, pt := range pts {
+				s.spawn(pt)
+			}
+		}
+		s.fqHead = (s.fqHead + 1) % s.cfg.FetchQCap
+		s.fqLen--
+		s.rob[(s.robHead+s.robLen)%s.cfg.ROBSize] = d
+		s.robLen++
+		s.state[d] |= fDispatched
+		s.rsUsed++
+		if in.HasDst() {
+			s.physUsed++
+			s.specRegs[in.Dst] = e.Val
+			s.lastWriter[in.Dst] = int64(d)
+		}
+		if in.IsStore() {
+			s.mem[e.Addr>>3] = e.Val
+			s.inflightSt[e.Addr]++
+		}
+		s.instsMain++
+		if in.IsBranch() {
+			s.branchesMain++
+		}
+		budget--
+	}
+
+	// P-thread dispatch with leftover rename bandwidth.
+	for c := range s.ctxs {
+		ctx := &s.ctxs[c]
+		if !ctx.active || budget == 0 {
+			continue
+		}
+		for budget > 0 && ctx.dispatched < ctx.fetched && ctx.blockReadyAt <= s.now {
+			j := ctx.dispatched
+			if j >= ctx.limit() {
+				// Aborted tail: consume without occupying resources.
+				ctx.dispatched++
+				continue
+			}
+			if s.rsUsed >= s.cfg.RSSize {
+				break
+			}
+			in := ctx.pt.Body[j]
+			if in.HasDst() && s.physUsed >= s.cfg.PhysRegs {
+				break
+			}
+			s.rsUsed++
+			if in.HasDst() {
+				s.physUsed++
+			}
+			ctx.dispatched++
+			s.instsPth++
+			budget--
+		}
+	}
+}
+
+// spawn starts a p-thread instance on a free context, if any.
+func (s *Simulator) spawn(pt *PThread) {
+	stat := s.perPThread[pt.ID]
+	var ctx *pctx
+	for c := range s.ctxs {
+		if !s.ctxs[c].active {
+			ctx = &s.ctxs[c]
+			break
+		}
+	}
+	if ctx == nil {
+		s.res.DroppedSpawns++
+		stat.Dropped++
+		return
+	}
+	spawnID := int32(len(s.spawnUseful))
+	s.spawnUseful = append(s.spawnUseful, false)
+	s.spawnStatic = append(s.spawnStatic, pt.ID)
+	ctx.init(pt, spawnID, s)
+	s.res.Spawns++
+	stat.Spawns++
+}
+
+// ----------------------------------------------------------------- fetch --
+
+func (s *Simulator) fetchStage() {
+	// Single i-cache port: an eligible p-thread block fetch displaces the
+	// main thread this cycle (DDMT gives latency-critical p-threads fetch
+	// priority; this contention is the overhead LOH models).
+	if s.pthFetch() {
+		return
+	}
+	if s.fetchIdx >= s.n {
+		return
+	}
+	// A mispredicted branch blocks fetch until it resolves.
+	if s.stalledOnBranch >= 0 {
+		d := s.stalledOnBranch
+		if s.state[d]&fIssued != 0 && s.completeAt[d] <= s.now {
+			s.fetchResumeAt = s.completeAt[d] + int64(s.cfg.RedirectPen)
+			s.stalledOnBranch = -1
+		} else {
+			return
+		}
+	}
+	if s.now < s.fetchResumeAt || s.fqLen >= s.cfg.FetchQCap {
+		return
+	}
+	// I-cache access for the block containing the next PC. Instruction
+	// addresses live in their own space at 8 bytes per instruction.
+	iaddr := int64(s.tr.Entries[s.fetchIdx].PC) * 8
+	done := s.hier.FetchBlock(iaddr, s.now, false)
+	if done > s.now+int64(s.cfg.Hier.L1I.HitLatency) {
+		s.fetchResumeAt = done // i-cache miss: stall until fill
+		return
+	}
+	width := s.cfg.FetchWidth
+	if space := s.cfg.FetchQCap - s.fqLen; space < width {
+		width = space
+	}
+	for w := 0; w < width && s.fetchIdx < s.n; w++ {
+		d := int32(s.fetchIdx)
+		e := &s.tr.Entries[d]
+		in := s.prog.Insts[e.PC]
+		s.fetchQ[(s.fqHead+s.fqLen)%s.cfg.FetchQCap] = fetchEnt{dyn: d, availAt: s.now + int64(s.cfg.FrontEndDepth)}
+		s.fqLen++
+		s.fetchIdx++
+		if in.IsBranch() {
+			pred, btbHit := s.bp.PredictAndUpdate(int64(e.PC), e.Taken, int64(in.Target))
+			if pred != e.Taken {
+				s.state[d] |= fMispred
+				s.stalledOnBranch = d
+				break
+			}
+			if e.Taken {
+				if !btbHit {
+					s.fetchResumeAt = s.now + 2 // BTB miss bubble
+				}
+				break // redirect: stop fetching this cycle
+			}
+		} else if in.IsJump() {
+			if !s.bp.PredictJump(int64(e.PC), int64(in.Target)) {
+				s.fetchResumeAt = s.now + 2
+			}
+			break
+		}
+	}
+}
+
+// pthFetch performs at most one p-thread block fetch, returning whether the
+// i-cache port was consumed.
+func (s *Simulator) pthFetch() bool {
+	nctx := len(s.ctxs)
+	if nctx == 0 {
+		return false
+	}
+	for off := 0; off < nctx; off++ {
+		c := (s.rrCtx + off) % nctx
+		ctx := &s.ctxs[c]
+		if !ctx.active || ctx.fetched >= len(ctx.pt.Body) || ctx.nextBlockAt > s.now {
+			continue
+		}
+		k := len(ctx.pt.Body) - ctx.fetched
+		if k > s.cfg.FetchWidth {
+			k = s.cfg.FetchWidth
+		}
+		iaddr := int64(ctx.pt.TriggerPC)*8 + int64(ctx.fetched)*8
+		done := s.hier.FetchBlock(iaddr, s.now, true)
+		ctx.fetched += k
+		ctx.blockReadyAt = done + int64(s.cfg.PthFrontEnd)
+		// Pacing: one instruction per cycle overall.
+		ctx.nextBlockAt = s.now + int64(k)
+		s.res.PInstsFetched += int64(k)
+		s.rrCtx = (c + 1) % nctx
+		return true
+	}
+	return false
+}
+
+// -------------------------------------------------------------- finalize --
+
+func (s *Simulator) finalize() {
+	s.res.Cycles = s.now
+	s.res.DemandL2Misses = s.hier.DemandL2Misses
+	s.res.CacheCounts = s.hier.Counts
+	s.res.Bpred = s.bp.Stats
+	s.res.Events = energy.Events{
+		Cycles:          s.now,
+		FetchBlocksMain: s.hier.Counts.L1IMain,
+		FetchBlocksPth:  s.hier.Counts.L1IPth,
+		InstsMain:       s.instsMain,
+		InstsPth:        s.instsPth,
+		ALUMain:         s.aluMain,
+		ALUPth:          s.aluPth,
+		MemMain:         s.memMainAcc,
+		MemPth:          s.memPthAcc,
+		L2Main:          s.hier.Counts.L2Main,
+		L2Pth:           s.hier.Counts.L2Pth,
+		BranchesMain:    s.branchesMain,
+	}
+	s.res.Energy = energy.Compute(s.cfg.Energy, s.res.Events)
+	for _, st := range s.perPThread {
+		s.res.PerPThread = append(s.res.PerPThread, *st)
+	}
+}
+
+// Run is a convenience that builds and runs a simulator in one call.
+func Run(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Result, error) {
+	s, err := NewSimulator(cfg, tr, pthreads)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

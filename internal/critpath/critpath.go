@@ -1,0 +1,491 @@
+// Package critpath implements the Fields-style critical-path model the
+// paper's first PTHSEL extension is built on (§4.1): a dependence-graph
+// model of execution over the dynamic trace with edges for in-order
+// dispatch bandwidth, branch mispredictions, the finite ROB, dataflow, and
+// in-order commit bandwidth.
+//
+// The analyzer provides three services:
+//
+//  1. an estimated unoptimized execution time (the L0 the composite model
+//     needs),
+//  2. a five-category breakdown of that time (the paper's Figure 2 stack),
+//  3. per-problem-load cost curves: the latency-reduction to execution-time-
+//     reduction function sampled at 25/50/75/100% tolerated latency, computed
+//     as the average of a pessimistic pass (only this load's misses
+//     shortened) and an optimistic pass (all other loads' L2 misses resolved)
+//     to approximate interaction costs — the paper's §4.1 worked example.
+package critpath
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the model. Latencies are end-to-end load-use times
+// per hierarchy level.
+type Config struct {
+	Width      int // dispatch/commit bandwidth per cycle
+	ROBSize    int
+	MispredPen int // cycles from branch execute to useful re-dispatch
+	LatL1      int // load-to-use, L1 hit
+	LatL2      int // load-to-use, L2 hit
+	LatMem     int // load-to-use, memory
+	BusOcc     int // memory-bus occupancy per block transfer (bandwidth edges)
+}
+
+// DefaultConfig derives the model from the simulator's default processor
+// and hierarchy configuration.
+func DefaultConfig(h cache.HierConfig) Config {
+	return Config{
+		Width:      6,
+		ROBSize:    128,
+		MispredPen: 10,
+		LatL1:      h.L1D.HitLatency,
+		LatL2:      h.L1D.HitLatency + h.L2.HitLatency,
+		LatMem:     h.L1D.HitLatency + h.L2.HitLatency + h.MemLatency,
+		BusOcc:     (h.L2.BlockBytes / h.BusBytes) * h.BusFreqDiv,
+	}
+}
+
+// Curve is the latency-reduction → execution-time-reduction function for one
+// static problem load, sampled at 25%, 50%, 75% and 100% of the full miss
+// latency and linearly interpolated between samples (the paper computes only
+// these four points for tractability).
+type Curve struct {
+	MissLat float64    // full per-miss latency being tolerated (cycles)
+	Gain    [4]float64 // per-miss execution-time gain at 25/50/75/100%
+}
+
+// GainAt returns the per-miss execution-time reduction for tolerating the
+// given number of cycles of the load's latency, interpolating the sampled
+// curve. Tolerated latencies beyond the full miss latency saturate.
+func (c Curve) GainAt(tolerated float64) float64 {
+	if tolerated <= 0 || c.MissLat <= 0 {
+		return 0
+	}
+	f := tolerated / c.MissLat
+	if f >= 1 {
+		return c.Gain[3]
+	}
+	// Piecewise-linear through (0,0), (.25,G0), (.5,G1), (.75,G2), (1,G3).
+	seg := int(f / 0.25)
+	lo := 0.0
+	if seg > 0 {
+		lo = c.Gain[seg-1]
+	}
+	hi := c.Gain[seg]
+	frac := (f - 0.25*float64(seg)) / 0.25
+	return lo + (hi-lo)*frac
+}
+
+// FlatCurve returns the original PTHSEL cost model: one cycle of tolerated
+// latency is one cycle of execution-time reduction (the identity, saturating
+// at the full miss latency).
+func FlatCurve(missLat float64) Curve {
+	return Curve{MissLat: missLat, Gain: [4]float64{0.25 * missLat, 0.5 * missLat, 0.75 * missLat, missLat}}
+}
+
+// Analyzer owns the model state for one trace.
+type Analyzer struct {
+	cfg     Config
+	tr      *trace.Trace
+	prof    *profile.Profile
+	levels  []uint8 // per dynamic instruction: load service level
+	mispred []bool  // per dynamic instruction: branch mispredicted in model
+
+	baseline  int64
+	breakdown [5]int64 // indexed by cpu.StallCategory order: mem,L2,exec,commit,fetch
+}
+
+// New builds an analyzer. The profile must have been collected from the same
+// trace (it supplies per-load service levels); mispredictions are modelled
+// with a simple 2-bit/gshare hybrid like the simulator's.
+func New(tr *trace.Trace, prof *profile.Profile, cfg Config) *Analyzer {
+	a := &Analyzer{cfg: cfg, tr: tr, prof: prof}
+	a.levels = prof.Levels
+	a.mispred = modelMispredicts(tr)
+	a.baseline, a.breakdown = a.pass(passConfig{attribute: true, reducePC: -1})
+	return a
+}
+
+// Baseline returns the model-estimated unoptimized execution time.
+func (a *Analyzer) Baseline() int64 { return a.baseline }
+
+// Breakdown returns estimated cycles per category: mem, L2, exec, commit,
+// fetch — the paper's Figure 2 stack order.
+func (a *Analyzer) Breakdown() [5]int64 { return a.breakdown }
+
+// passConfig controls one longest-path computation.
+type passConfig struct {
+	attribute bool
+	// reducePC, when ≥ 0, scales the miss latency of that static load's L2
+	// misses by (1-reduceFrac).
+	reducePC   int32
+	reduceFrac float64
+	// resolveOthers treats every other load's L2/memory misses as L2 hits
+	// (the optimistic interaction-cost estimate).
+	resolveOthers bool
+}
+
+// latency returns the modelled load-to-use latency of instruction i and
+// whether the access is still a demand memory access (bus-bound at use
+// time). Covered/resolved misses are served from the L2 at use time — their
+// prefetch consumed bus bandwidth earlier — so they are not demand-bound.
+func (a *Analyzer) latency(i int, in isa.Inst, pc passConfig) (lat float64, demandMem bool) {
+	if !in.IsLoad() {
+		if in.IsALU() {
+			return float64(in.ExecLatency()), false
+		}
+		return 1, false
+	}
+	lvl := a.levels[i]
+	base := float64(a.cfg.LatL1)
+	switch lvl {
+	case profile.LvlL2:
+		base = float64(a.cfg.LatL2)
+	case profile.LvlMem:
+		base = float64(a.cfg.LatMem)
+	}
+	e := &a.tr.Entries[i]
+	isTargetMiss := pc.reducePC >= 0 && e.PC == pc.reducePC && lvl == profile.LvlMem
+	if isTargetMiss {
+		miss := base - float64(a.cfg.LatL1)
+		// A partially-covered miss still completes through memory.
+		return float64(a.cfg.LatL1) + miss*(1-pc.reduceFrac), pc.reduceFrac < 1
+	}
+	if pc.resolveOthers && lvl == profile.LvlMem {
+		return float64(a.cfg.LatL2), false // resolved: found in the L2
+	}
+	return base, lvl == profile.LvlMem
+}
+
+// pass runs the longest-path DP and returns total time and, if requested,
+// the per-category attribution of the critical path.
+func (a *Analyzer) pass(pc passConfig) (int64, [5]int64) {
+	n := a.tr.Len()
+	if n == 0 {
+		return 0, [5]int64{}
+	}
+	cfg := a.cfg
+	// Node times.
+	D := make([]float64, n)
+	E := make([]float64, n)
+	C := make([]float64, n)
+	// Last-arriving edge codes for attribution.
+	const (
+		fromDOrder = iota // D[i-1] / bandwidth
+		fromMispred
+		fromROB
+		fromDSelf // E determined by own dispatch
+		fromProd1
+		fromProd2
+		fromE // C determined by own execute
+		fromCOrder
+	)
+	var eFrom, cFrom []uint8
+	var dFrom []uint8
+	if pc.attribute {
+		dFrom = make([]uint8, n)
+		eFrom = make([]uint8, n)
+		cFrom = make([]uint8, n)
+	}
+
+	lastMispred := -1
+	busFree := 0.0
+	busOcc := float64(a.cfg.BusOcc)
+	for i := 0; i < n; i++ {
+		e := &a.tr.Entries[i]
+		in := a.tr.Prog.Insts[e.PC]
+
+		// Dispatch.
+		d := 0.0
+		from := uint8(fromDOrder)
+		if i > 0 && D[i-1] > d {
+			d = D[i-1]
+		}
+		if i >= cfg.Width {
+			if v := D[i-cfg.Width] + 1; v > d {
+				d = v
+			}
+		}
+		if lastMispred >= 0 {
+			if v := E[lastMispred] + float64(cfg.MispredPen); v > d {
+				d = v
+				from = fromMispred
+			}
+		}
+		if i >= cfg.ROBSize {
+			if v := C[i-cfg.ROBSize]; v > d {
+				d = v
+				from = fromROB
+			}
+		}
+		D[i] = d
+		if pc.attribute {
+			dFrom[i] = from
+		}
+
+		// Execute.
+		lat, demandMem := a.latency(i, in, pc)
+		base := d
+		efrom := uint8(fromDSelf)
+		if e.Prod1 != trace.NoProducer {
+			if v := E[e.Prod1]; v > base {
+				base = v
+				efrom = fromProd1
+			}
+		}
+		if e.Prod2 != trace.NoProducer {
+			if v := E[e.Prod2]; v > base {
+				base = v
+				efrom = fromProd2
+			}
+		}
+		E[i] = base + lat
+		// Memory-bus bandwidth: every original L2 miss occupies a bus slot
+		// (covered misses via their earlier prefetch), and a demand miss
+		// cannot complete before its slot plus the memory latency.
+		if a.levels[i] == profile.LvlMem && busOcc > 0 {
+			slot := busFree
+			if base > slot {
+				slot = base
+			}
+			busFree = slot + busOcc
+			if demandMem {
+				if v := slot + lat; v > E[i] {
+					E[i] = v
+				}
+			}
+		}
+		if pc.attribute {
+			eFrom[i] = efrom
+		}
+
+		// Commit.
+		c := E[i] + 1
+		cfrom := uint8(fromE)
+		if i > 0 && C[i-1] > c {
+			c = C[i-1]
+			cfrom = fromCOrder
+		}
+		if i >= cfg.Width {
+			if v := C[i-cfg.Width] + 1; v > c {
+				c = v
+				cfrom = fromCOrder
+			}
+		}
+		C[i] = c
+		if pc.attribute {
+			cFrom[i] = cfrom
+		}
+
+		if in.IsBranch() && a.mispred[i] {
+			lastMispred = i
+		}
+	}
+	total := int64(C[n-1] + 0.5)
+	var bd [5]int64
+	if pc.attribute {
+		bd = a.attribute(D, E, C, dFrom, eFrom, cFrom, pc)
+	}
+	return total, bd
+}
+
+// attribute walks the critical path backward from the last commit,
+// assigning each edge's time to a category: 0=mem, 1=L2, 2=exec, 3=commit,
+// 4=fetch (matching the simulator's StallCategory order).
+func (a *Analyzer) attribute(D, E, C []float64, dFrom, eFrom, cFrom []uint8, pc passConfig) [5]int64 {
+	var bd [5]float64
+	const (
+		fromDOrder = iota
+		fromMispred
+		fromROB
+		fromDSelf
+		fromProd1
+		fromProd2
+		fromE
+		fromCOrder
+	)
+	type node struct {
+		kind uint8 // 0=D,1=E,2=C
+		i    int
+	}
+	cur := node{2, a.tr.Len() - 1}
+	curT := C[cur.i]
+	for {
+		var next node
+		var nextT float64
+		var cat int
+		switch cur.kind {
+		case 2: // commit node
+			if cFrom[cur.i] == fromCOrder {
+				if cur.i == 0 {
+					bd[3] += curT
+					goto done
+				}
+				next = node{2, cur.i - 1}
+				nextT = C[cur.i-1]
+				cat = 3 // commit
+			} else {
+				next = node{1, cur.i}
+				nextT = E[cur.i]
+				cat = 3 // the E->C edge is commit overhead (1 cycle)
+			}
+		case 1: // execute node
+			in := a.tr.Prog.Insts[a.tr.Entries[cur.i].PC]
+			switch {
+			case in.IsLoad() && a.levels[cur.i] == profile.LvlMem:
+				cat = 0
+			case in.IsLoad() && a.levels[cur.i] == profile.LvlL2:
+				cat = 1
+			default:
+				cat = 2
+			}
+			switch eFrom[cur.i] {
+			case fromProd1:
+				next = node{1, int(a.tr.Entries[cur.i].Prod1)}
+				nextT = E[next.i]
+			case fromProd2:
+				next = node{1, int(a.tr.Entries[cur.i].Prod2)}
+				nextT = E[next.i]
+			default:
+				next = node{0, cur.i}
+				nextT = D[cur.i]
+			}
+		default: // dispatch node
+			// Fetch bandwidth, mispredict refill, and the finite window all
+			// fold into the fetch bar, as in the paper.
+			cat = 4
+			if cur.i == 0 {
+				bd[4] += curT
+				goto done
+			}
+			switch dFrom[cur.i] {
+			case fromROB:
+				next = node{2, cur.i - a.cfg.ROBSize}
+				nextT = C[next.i]
+			default:
+				next = node{0, cur.i - 1}
+				nextT = D[next.i]
+			}
+		}
+		bd[cat] += curT - nextT
+		cur, curT = next, nextT
+		if cur.kind == 0 && cur.i == 0 {
+			bd[4] += curT
+			break
+		}
+		if curT <= 0 {
+			break
+		}
+	}
+done:
+	var out [5]int64
+	for i := range bd {
+		out[i] = int64(bd[i] + 0.5)
+	}
+	return out
+}
+
+// CostCurve computes the per-miss cost curve for the given static problem
+// load: the average of the pessimistic estimate (only this load shortened)
+// and the optimistic one (all other misses resolved), per §4.1.
+func (a *Analyzer) CostCurve(pc int32) Curve {
+	ls := a.prof.Loads[pc]
+	missLat := float64(a.cfg.LatMem - a.cfg.LatL1)
+	curve := Curve{MissLat: missLat}
+	if ls == nil || ls.L2Misses == 0 {
+		return curve
+	}
+	nMiss := float64(ls.L2Misses)
+
+	pessBase := a.baseline
+	// Optimistic baseline: all *other* loads' misses resolved, this load's
+	// misses untouched (reducePC exempts the target from resolution and a
+	// zero fraction leaves its latency intact).
+	optBase, _ := a.pass(passConfig{reducePC: pc, reduceFrac: 0, resolveOthers: true})
+
+	fracs := [4]float64{0.25, 0.5, 0.75, 1.0}
+	for k, f := range fracs {
+		pess, _ := a.pass(passConfig{reducePC: pc, reduceFrac: f})
+		opt, _ := a.pass(passConfig{reducePC: pc, reduceFrac: f, resolveOthers: true})
+		pessGain := float64(pessBase-pess) / nMiss
+		optGain := float64(optBase-opt) / nMiss
+		if pessGain < 0 {
+			pessGain = 0
+		}
+		if optGain < 0 {
+			optGain = 0
+		}
+		curve.Gain[k] = (pessGain + optGain) / 2
+	}
+	// Enforce monotonicity (numerical noise can produce tiny inversions).
+	for k := 1; k < 4; k++ {
+		if curve.Gain[k] < curve.Gain[k-1] {
+			curve.Gain[k] = curve.Gain[k-1]
+		}
+	}
+	return curve
+}
+
+// modelMispredicts replays a hybrid predictor over the trace (same structure
+// as the simulator's) and marks mispredicted conditional branches.
+func modelMispredicts(tr *trace.Trace) []bool {
+	const entries = 8192
+	const hbits = 12
+	bim := make([]uint8, entries)
+	gsh := make([]uint8, entries)
+	cho := make([]uint8, entries)
+	for i := range bim {
+		bim[i], gsh[i], cho[i] = 1, 1, 1
+	}
+	var hist uint64
+	out := make([]bool, tr.Len())
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		in := tr.Prog.Insts[e.PC]
+		if !in.IsBranch() {
+			continue
+		}
+		bi := int(uint64(e.PC) % entries)
+		gi := int((uint64(e.PC) ^ (hist & ((1 << hbits) - 1))) % entries)
+		bPred := bim[bi] >= 2
+		gPred := gsh[gi] >= 2
+		pred := bPred
+		if cho[bi] >= 2 {
+			pred = gPred
+		}
+		out[i] = pred != e.Taken
+		if bPred != gPred {
+			if gPred == e.Taken {
+				satInc(&cho[bi])
+			} else {
+				satDec(&cho[bi])
+			}
+		}
+		if e.Taken {
+			satInc(&bim[bi])
+			satInc(&gsh[gi])
+			hist = hist<<1 | 1
+		} else {
+			satDec(&bim[bi])
+			satDec(&gsh[gi])
+			hist = hist << 1
+		}
+	}
+	return out
+}
+
+func satInc(c *uint8) {
+	if *c < 3 {
+		*c++
+	}
+}
+
+func satDec(c *uint8) {
+	if *c > 0 {
+		*c--
+	}
+}

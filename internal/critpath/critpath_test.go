@@ -1,0 +1,253 @@
+package critpath
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func analyzerFor(t *testing.T, p *isa.Program) (*Analyzer, *trace.Trace, *profile.Profile) {
+	t.Helper()
+	tr, err := trace.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stride prefetcher would cover these synthetic stride loops; the
+	// tests exercise the criticality model on raw misses.
+	hier := cache.DefaultHierConfig()
+	hier.StrideEntries = 0
+	prof := profile.Collect(tr, hier)
+	return New(tr, prof, DefaultConfig(hier)), tr, prof
+}
+
+// missLoop builds a loop with one 64B-stride load per iteration (every
+// iteration misses to memory once caches are cold).
+func missLoop(iters int) *isa.Program {
+	b := isa.NewBuilder("missloop")
+	const (
+		rI, rN, rA, rV, rC = isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	)
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(iters))
+	b.Label("top")
+	b.ShlI(rA, rI, 6)
+	b.Load(rV, rA, 0)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(make([]int64, iters*8+8))
+	return b.MustBuild()
+}
+
+func TestBaselinePositiveAndBounded(t *testing.T) {
+	a, tr, _ := analyzerFor(t, missLoop(200))
+	base := a.Baseline()
+	if base <= 0 {
+		t.Fatal("baseline must be positive")
+	}
+	// Sanity bounds: at least n/width cycles, at most n * memory latency.
+	n := int64(tr.Len())
+	if base < n/6 {
+		t.Errorf("baseline %d below bandwidth bound %d", base, n/6)
+	}
+	if base > n*220 {
+		t.Errorf("baseline %d absurdly high", base)
+	}
+}
+
+func TestBreakdownSumsToBaseline(t *testing.T) {
+	a, _, _ := analyzerFor(t, missLoop(200))
+	var sum int64
+	for _, v := range a.Breakdown() {
+		sum += v
+	}
+	base := a.Baseline()
+	// Attribution walks the single critical path; rounding can shift a few
+	// cycles.
+	diff := sum - base
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.02*float64(base)+10 {
+		t.Errorf("breakdown sums to %d, baseline %d", sum, base)
+	}
+}
+
+func TestMemDominatedBreakdown(t *testing.T) {
+	a, _, _ := analyzerFor(t, missLoop(300))
+	bd := a.Breakdown()
+	if float64(bd[0]) < 0.3*float64(a.Baseline()) {
+		t.Errorf("mem share %d of %d: stride-miss loop must be memory-bound", bd[0], a.Baseline())
+	}
+}
+
+func TestCostCurveMonotone(t *testing.T) {
+	p := missLoop(300)
+	a, tr, prof := analyzerFor(t, p)
+	problems := prof.ProblemLoads(0.9, 10)
+	if len(problems) == 0 {
+		t.Fatal("no problem loads")
+	}
+	curve := a.CostCurve(problems[0].PC)
+	if curve.MissLat <= 0 {
+		t.Fatal("no miss latency")
+	}
+	prev := 0.0
+	for k, g := range curve.Gain {
+		if g < prev {
+			t.Errorf("curve not monotone at %d: %v", k, curve.Gain)
+		}
+		prev = g
+	}
+	if curve.Gain[3] <= 0 {
+		t.Error("full tolerance of the only problem load must yield gain")
+	}
+	// The flat model must dominate the criticality-aware curve: tolerating
+	// the full latency cannot gain more than the latency itself per miss.
+	if curve.Gain[3] > curve.MissLat*1.05 {
+		t.Errorf("gain %v exceeds tolerated latency %v", curve.Gain[3], curve.MissLat)
+	}
+	_ = tr
+}
+
+// Two interleaved, independent miss streams: each load alone has low
+// criticality (the other stream keeps the machine busy), so the pessimistic
+// estimate is small — the averaged curve must fall clearly below the flat
+// model (the paper's interaction-cost scenario).
+func TestContemporaneousMissesReduceCriticality(t *testing.T) {
+	b := isa.NewBuilder("dual")
+	const (
+		rI, rN, rA1, rA2, rV1, rV2, rC = isa.Reg(1), isa.Reg(2), isa.Reg(3),
+			isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+	)
+	iters := 250
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(iters))
+	b.MovI(rA2, int64(iters*64+64)) // second region offset
+	b.Label("top")
+	b.ShlI(rA1, rI, 6)
+	pcLoad1 := b.Load(rV1, rA1, 0)
+	b.Add(rA2, rA2, isa.Zero) // keep rA2
+	b.Load(rV2, rA2, 0)
+	b.AddI(rA2, rA2, 64)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(make([]int64, iters*16+64))
+	p := b.MustBuild()
+
+	a, _, _ := analyzerFor(t, p)
+	curve := a.CostCurve(int32(pcLoad1))
+	flat := FlatCurve(curve.MissLat)
+	if curve.Gain[3] >= flat.Gain[3]*0.9 {
+		t.Errorf("interaction-aware gain %v not clearly below flat %v", curve.Gain[3], flat.Gain[3])
+	}
+	if curve.Gain[3] <= 0 {
+		t.Error("averaged estimate must stay positive (optimistic half)")
+	}
+}
+
+func TestGainAtInterpolation(t *testing.T) {
+	c := Curve{MissLat: 200, Gain: [4]float64{10, 30, 60, 100}}
+	cases := []struct{ tol, want float64 }{
+		{0, 0},
+		{-5, 0},
+		{50, 10},   // 25%
+		{100, 30},  // 50%
+		{150, 60},  // 75%
+		{200, 100}, // 100%
+		{400, 100}, // saturates
+		{25, 5},    // halfway to first sample
+		{125, 45},  // halfway between 50% and 75%
+	}
+	for _, tc := range cases {
+		if got := c.GainAt(tc.tol); got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("GainAt(%v) = %v, want %v", tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestFlatCurveIsIdentity(t *testing.T) {
+	c := FlatCurve(200)
+	for _, tol := range []float64{0, 37, 100, 150, 200, 300} {
+		want := tol
+		if want > 200 {
+			want = 200
+		}
+		if got := c.GainAt(tol); got < want-1e-6 || got > want+1e-6 {
+			t.Errorf("flat GainAt(%v) = %v, want %v", tol, got, want)
+		}
+	}
+}
+
+func TestZeroCurveForNonProblemLoad(t *testing.T) {
+	a, _, _ := analyzerFor(t, missLoop(100))
+	curve := a.CostCurve(9999) // no such load
+	if curve.Gain[3] != 0 {
+		t.Error("unknown load must have a zero curve")
+	}
+}
+
+func TestModelTracksSimulatorOnBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark in short mode")
+	}
+	// The model need not match simulated cycles, but must be within 2x on a
+	// real workload (relative accuracy is what selection needs).
+	bm, err := program.ByName("gap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.MustRun(bm.Build(program.Train))
+	prof := profile.Collect(tr, cache.DefaultHierConfig())
+	a := New(tr, prof, DefaultConfig(cache.DefaultHierConfig()))
+	est := a.Baseline()
+	if est <= 0 {
+		t.Fatal("no estimate")
+	}
+	if est < int64(tr.Len())/6 {
+		t.Errorf("estimate %d below dispatch bound", est)
+	}
+}
+
+func TestMispredictModelFlagsChaoticBranches(t *testing.T) {
+	b := isa.NewBuilder("chaos")
+	const rI, rN, rH, rC, rC2 = isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	b.MovI(rI, 0)
+	b.MovI(rN, 2000)
+	b.Label("top")
+	b.AddI(rI, rI, 1)
+	b.MulI(rH, rI, 2654435761)
+	b.ShrI(rH, rH, 13)
+	b.AndI(rC, rH, 1)
+	b.BrZ(rC, "skip")
+	b.Nop()
+	b.Label("skip")
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	tr := trace.MustRun(b.MustBuild())
+	mis := modelMispredicts(tr)
+	var count int
+	for _, m := range mis {
+		if m {
+			count++
+		}
+	}
+	// ~2000 chaotic branches; the multiplicative-hash direction bit retains
+	// structure a gshare can partially learn, so expect a substantial (not
+	// total) mispredict count, and the predictable loop-back branch mostly
+	// right.
+	if count < 150 {
+		t.Errorf("only %d mispredicts modelled on a chaotic branch", count)
+	}
+	if count > 2500 {
+		t.Errorf("%d mispredicts: predictable branches also failing", count)
+	}
+}

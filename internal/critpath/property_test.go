@@ -1,0 +1,47 @@
+package critpath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: GainAt is monotone non-decreasing in tolerated latency for any
+// monotone curve, and bounded by the last sample.
+func TestGainAtMonotoneProperty(t *testing.T) {
+	check := func(g0, g1, g2, g3 uint16, t1, t2 uint16) bool {
+		// Build a monotone curve from arbitrary deltas.
+		c := Curve{MissLat: 200}
+		c.Gain[0] = float64(g0 % 100)
+		c.Gain[1] = c.Gain[0] + float64(g1%100)
+		c.Gain[2] = c.Gain[1] + float64(g2%100)
+		c.Gain[3] = c.Gain[2] + float64(g3%100)
+		a, b := float64(t1%500), float64(t2%500)
+		if a > b {
+			a, b = b, a
+		}
+		ga, gb := c.GainAt(a), c.GainAt(b)
+		return ga <= gb+1e-9 && gb <= c.Gain[3]+1e-9 && ga >= -1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the flat curve dominates itself proportionally — GainAt scales
+// linearly with tolerated latency up to saturation.
+func TestFlatCurveLinearityProperty(t *testing.T) {
+	check := func(lat uint16, tol uint16) bool {
+		missLat := float64(lat%400) + 10
+		c := FlatCurve(missLat)
+		x := float64(tol % 1000)
+		want := x
+		if want > missLat {
+			want = missLat
+		}
+		got := c.GainAt(x)
+		return got > want-1e-6 && got < want+1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsMatchPaperConstants(t *testing.T) {
+	p := DefaultParams()
+	// Table 2, eq. E8: 9%, 4.9%, 0.8%, 3.8%, 13.6%, 5% of max per-cycle.
+	if p.FetchBlock != 9 || p.ExecAll != 4.9 || p.ExecALU != 0.8 ||
+		p.ExecLoad != 3.8 || p.L2Access != 13.6 {
+		t.Errorf("per-access constants diverge from the paper: %+v", p)
+	}
+	if p.IdlePerCycle() != 5 {
+		t.Errorf("Eidle/c = %v, want 5", p.IdlePerCycle())
+	}
+}
+
+func TestComputeZeroEvents(t *testing.T) {
+	b := Compute(DefaultParams(), Events{})
+	if b.Total() != 0 {
+		t.Errorf("empty events must cost nothing, got %v", b.Total())
+	}
+}
+
+func TestComputeIdleOnly(t *testing.T) {
+	b := Compute(DefaultParams(), Events{Cycles: 100})
+	if b.Idle != 500 {
+		t.Errorf("idle = %v, want 500", b.Idle)
+	}
+	if b.Total() != 500 {
+		t.Errorf("total = %v, want 500", b.Total())
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	p := DefaultParams()
+	e := Events{
+		Cycles:          10,
+		FetchBlocksMain: 2, FetchBlocksPth: 1,
+		InstsMain: 4, InstsPth: 3,
+		ALUMain: 2, ALUPth: 1,
+		MemMain: 5, MemPth: 2,
+		L2Main: 1, L2Pth: 1,
+		BranchesMain: 2,
+	}
+	b := Compute(p, e)
+	if b.ImemMain != 18 || b.ImemPth != 9 {
+		t.Errorf("imem = %v/%v", b.ImemMain, b.ImemPth)
+	}
+	if b.DmemMain != 19 || math.Abs(b.DmemPth-7.6) > 1e-9 {
+		t.Errorf("dmem = %v/%v", b.DmemMain, b.DmemPth)
+	}
+	if b.L2Main != 13.6 || b.L2Pth != 13.6 {
+		t.Errorf("l2 = %v/%v", b.L2Main, b.L2Pth)
+	}
+	wantOoOMain := 4*(4.9+3.7) + 2*0.8
+	if math.Abs(b.OoOMain-wantOoOMain) > 1e-9 {
+		t.Errorf("OoO main = %v, want %v", b.OoOMain, wantOoOMain)
+	}
+	wantOoOPth := 3*4.9 + 1*0.8
+	if math.Abs(b.OoOPth-wantOoOPth) > 1e-9 {
+		t.Errorf("OoO pth = %v, want %v", b.OoOPth, wantOoOPth)
+	}
+	wantROB := 4*0.9 + 2*1.1
+	if math.Abs(b.ROBBpred-wantROB) > 1e-9 {
+		t.Errorf("rob+bpred = %v, want %v", b.ROBBpred, wantROB)
+	}
+	if b.Idle != 50 {
+		t.Errorf("idle = %v, want 50", b.Idle)
+	}
+}
+
+func TestPthTotal(t *testing.T) {
+	b := Breakdown{ImemPth: 1, DmemPth: 2, L2Pth: 3, OoOPth: 4, ImemMain: 100}
+	if b.PthTotal() != 10 {
+		t.Errorf("PthTotal = %v, want 10", b.PthTotal())
+	}
+}
+
+// Property: energy is additive — computing two event sets separately and
+// summing equals computing their sum.
+func TestComputeAdditivity(t *testing.T) {
+	p := DefaultParams()
+	check := func(c1, c2 uint16, i1, i2 uint16, l1, l2 uint16) bool {
+		e1 := Events{Cycles: int64(c1), InstsMain: int64(i1), L2Main: int64(l1)}
+		e2 := Events{Cycles: int64(c2), InstsMain: int64(i2), L2Main: int64(l2)}
+		sum := Events{
+			Cycles:    e1.Cycles + e2.Cycles,
+			InstsMain: e1.InstsMain + e2.InstsMain,
+			L2Main:    e1.L2Main + e2.L2Main,
+		}
+		got := Compute(p, e1).Total() + Compute(p, e2).Total()
+		want := Compute(p, sum).Total()
+		return math.Abs(got-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy is monotone in every event count.
+func TestComputeMonotonicity(t *testing.T) {
+	p := DefaultParams()
+	base := Events{Cycles: 100, InstsMain: 50, MemMain: 10}
+	baseTotal := Compute(p, base).Total()
+	variants := []Events{
+		{Cycles: 101, InstsMain: 50, MemMain: 10},
+		{Cycles: 100, InstsMain: 51, MemMain: 10},
+		{Cycles: 100, InstsMain: 50, MemMain: 11},
+		{Cycles: 100, InstsMain: 50, MemMain: 10, InstsPth: 1},
+		{Cycles: 100, InstsMain: 50, MemMain: 10, L2Pth: 1},
+	}
+	for i, v := range variants {
+		if Compute(p, v).Total() <= baseTotal {
+			t.Errorf("variant %d not monotone", i)
+		}
+	}
+}
+
+// Property: idle factor scales only the idle component.
+func TestIdleFactorScaling(t *testing.T) {
+	e := Events{Cycles: 1000, InstsMain: 500, MemMain: 100, L2Main: 10}
+	p0 := DefaultParams()
+	p0.IdleFactor = 0
+	p10 := DefaultParams()
+	p10.IdleFactor = 0.10
+	b0, b10 := Compute(p0, e), Compute(p10, e)
+	if b0.Idle != 0 {
+		t.Errorf("idle at factor 0 = %v", b0.Idle)
+	}
+	if b10.Idle != 10000 {
+		t.Errorf("idle at factor 0.10 = %v, want 10000", b10.Idle)
+	}
+	if b10.Total()-b0.Total() != b10.Idle {
+		t.Error("idle factor must affect only the idle component")
+	}
+}

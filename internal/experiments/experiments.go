@@ -1,0 +1,225 @@
+// Package experiments drives the paper's evaluation: it prepares each
+// benchmark (trace, profile, slice trees, criticality curves, baseline
+// simulation), runs p-thread selection under each target, simulates the
+// augmented executions, and derives every number the paper's figures and
+// tables report. The per-experiment entry points in figures.go map 1:1 to
+// the paper's Figure 2, Figure 3, Table 3, Figure 4 and Figure 5.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/critpath"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+	"repro/internal/slicer"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	CPU    cpu.Config
+	Slicer slicer.Config
+
+	// Problem-load mining thresholds.
+	ProblemCoverage float64 // fraction of L2 misses the problem set must cover
+	MinMisses       int64   // ignore loads with fewer L2 misses
+
+	// Scale divides benchmark iteration counts indirectly by using the
+	// given input class for measurement.
+	MeasureInput program.InputClass
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		CPU:             cpu.DefaultConfig(),
+		Slicer:          slicer.DefaultConfig(),
+		ProblemCoverage: 0.9,
+		MinMisses:       100,
+		MeasureInput:    program.Train,
+	}
+}
+
+// Prepared bundles everything selection and measurement need for one
+// benchmark under one input class.
+type Prepared struct {
+	Name     string
+	Input    program.InputClass
+	Trace    *trace.Trace
+	Prof     *profile.Profile
+	Trees    []*slicer.Tree
+	Curves   map[int32]critpath.Curve
+	Baseline *cpu.Result
+	Params   pthsel.Params
+}
+
+// Prepare builds, traces, profiles and baselines one benchmark.
+func Prepare(name string, input program.InputClass, cfg Config) (*Prepared, error) {
+	bm, err := program.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog := bm.Build(input)
+	tr, err := trace.Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p, err := PrepareTrace(name, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Input = input
+	return p, nil
+}
+
+// PrepareTrace profiles and baselines an already-traced program (used for
+// custom workloads supplied through the public façade).
+func PrepareTrace(name string, tr *trace.Trace, cfg Config) (*Prepared, error) {
+	prof := profile.Collect(tr, cfg.CPU.Hier)
+	problems := prof.ProblemLoads(cfg.ProblemCoverage, cfg.MinMisses)
+	trees := slicer.BuildTrees(tr, prof, problems, cfg.Slicer)
+
+	cp := critpath.New(tr, prof, critpathConfig(cfg))
+	curves := make(map[int32]critpath.Curve, len(problems))
+	for _, ls := range problems {
+		curves[ls.PC] = cp.CostCurve(ls.PC)
+	}
+
+	base, err := cpu.Run(cfg.CPU, tr, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", name, err)
+	}
+
+	h := cfg.CPU.Hier
+	p := &Prepared{
+		Name:     name,
+		Trace:    tr,
+		Prof:     prof,
+		Trees:    trees,
+		Curves:   curves,
+		Baseline: base,
+		Params: pthsel.Params{
+			BWSEQproc: float64(cfg.CPU.FetchWidth),
+			BWSEQmt:   base.IPC(),
+			MissLat:   float64(h.MemLatency),
+			LatL1:     float64(h.L1D.HitLatency),
+			LatL2:     float64(h.L1D.HitLatency + h.L2.HitLatency),
+			LatMem:    float64(h.L1D.HitLatency + h.L2.HitLatency + h.MemLatency),
+			Energy:    cfg.CPU.Energy,
+			L0:        float64(base.Cycles),
+			E0:        base.Energy.Total(),
+			Curves:    curves,
+			MinDCptcm: 16,
+		},
+	}
+	return p, nil
+}
+
+func critpathConfig(cfg Config) critpath.Config {
+	c := critpath.DefaultConfig(cfg.CPU.Hier)
+	c.Width = cfg.CPU.DispatchWidth
+	c.ROBSize = cfg.CPU.ROBSize
+	c.MispredPen = cfg.CPU.FrontEndDepth + cfg.CPU.RedirectPen
+	return c
+}
+
+// TargetRun is one (benchmark, target) measurement with derived metrics.
+type TargetRun struct {
+	Target pthsel.Target
+	Sel    *pthsel.Selection
+	Res    *cpu.Result
+
+	SpeedupPct    float64 // %IPC gain
+	EnergySavePct float64
+	EDSavePct     float64
+	ED2SavePct    float64
+	FullCovPct    float64 // fully covered misses / baseline misses
+	PartCovPct    float64
+	PInstIncPct   float64 // p-instructions / committed main instructions
+	UsefulPct     float64
+	AvgPThreadLen float64
+}
+
+// RunTarget selects p-threads on sel's profile and measures them on meas
+// (sel == meas for ideal profiling; they differ for the realistic-profiling
+// experiment).
+func RunTarget(sel, meas *Prepared, target pthsel.Target, cfg Config) (*TargetRun, error) {
+	selection := pthsel.Select(sel.Trace, sel.Prof, sel.Trees, sel.Params, target)
+	res, err := cpu.Run(cfg.CPU, meas.Trace, selection.PThreads)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", meas.Name, target, err)
+	}
+	return Derive(selection, meas.Baseline, res), nil
+}
+
+// Derive computes the paper's reported percentages for one measured run
+// against its baseline.
+func Derive(selection *pthsel.Selection, base, res *cpu.Result) *TargetRun {
+	t := &TargetRun{Target: selection.Target, Sel: selection, Res: res}
+	bc, nc := float64(base.Cycles), float64(res.Cycles)
+	be, ne := base.Energy.Total(), res.Energy.Total()
+	t.SpeedupPct = metrics.SpeedupPct(bc, nc)
+	t.EnergySavePct = metrics.ImprovementPct(be, ne)
+	t.EDSavePct = metrics.ImprovementPct(metrics.ED(be, bc), metrics.ED(ne, nc))
+	t.ED2SavePct = metrics.ImprovementPct(metrics.ED2(be, bc), metrics.ED2(ne, nc))
+	if base.DemandL2Misses > 0 {
+		t.FullCovPct = 100 * float64(res.FullCovered) / float64(base.DemandL2Misses)
+		t.PartCovPct = 100 * float64(res.PartCovered) / float64(base.DemandL2Misses)
+	}
+	t.PInstIncPct = 100 * res.PInstIncrease()
+	t.UsefulPct = 100 * res.Usefulness()
+	t.AvgPThreadLen = selection.AvgPThreadLen()
+	return t
+}
+
+// BenchResult is one benchmark's full evaluation.
+type BenchResult struct {
+	Name     string
+	Prepared *Prepared
+	Runs     map[pthsel.Target]*TargetRun
+}
+
+// RunBenchmark prepares one benchmark and evaluates the given targets with
+// ideal (same-run) profiling, as in the paper's primary study.
+func RunBenchmark(name string, targets []pthsel.Target, cfg Config) (*BenchResult, error) {
+	prep, err := Prepare(name, cfg.MeasureInput, cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := &BenchResult{Name: name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
+	for _, tgt := range targets {
+		run, err := RunTarget(prep, prep, tgt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		br.Runs[tgt] = run
+	}
+	return br, nil
+}
+
+// RunAll evaluates the given benchmarks × targets in parallel (each
+// benchmark independently; determinism is per-benchmark).
+func RunAll(names []string, targets []pthsel.Target, cfg Config) ([]*BenchResult, error) {
+	results := make([]*BenchResult, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i], errs[i] = RunBenchmark(name, targets, cfg)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/pthsel"
+)
+
+func TestPrepareProducesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	prep, err := Prepare("gap", program.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Baseline.Cycles <= 0 || prep.Baseline.Committed <= 0 {
+		t.Error("baseline missing")
+	}
+	if len(prep.Trees) == 0 {
+		t.Error("no slice trees")
+	}
+	if len(prep.Curves) == 0 {
+		t.Error("no criticality curves")
+	}
+	if prep.Params.BWSEQmt <= 0 || prep.Params.L0 <= 0 || prep.Params.E0 <= 0 {
+		t.Errorf("params incomplete: %+v", prep.Params)
+	}
+	if prep.Params.MinDCptcm <= 0 {
+		t.Error("candidate coverage floor unset")
+	}
+}
+
+func TestPrepareUnknownBenchmark(t *testing.T) {
+	if _, err := Prepare("nonesuch", program.Train, DefaultConfig()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestPaperShape asserts the qualitative results the paper reports, on a
+// representative benchmark subset:
+//   - pre-execution speeds every target up;
+//   - L-p-threads achieve the best latency reduction;
+//   - E-p-threads consume the least energy of all targets;
+//   - energy-blind latency targeting costs energy relative to E.
+func TestPaperShape(t *testing.T) {
+	cfg := DefaultConfig()
+	results, err := RunAll([]string{"twolf", "vortex", "vpr.route"}, PrimaryTargets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range results {
+		runs := br.Runs
+		for tgt, r := range runs {
+			if r.SpeedupPct < -1 {
+				t.Errorf("%s/%s: slowdown %.1f%%", br.Name, tgt, r.SpeedupPct)
+			}
+		}
+		l, e := runs[pthsel.TargetL], runs[pthsel.TargetE]
+		if l.SpeedupPct < e.SpeedupPct-1 {
+			t.Errorf("%s: L speedup %.1f below E %.1f (metric robustness)", br.Name, l.SpeedupPct, e.SpeedupPct)
+		}
+		if e.EnergySavePct < l.EnergySavePct-1 {
+			t.Errorf("%s: E energy %.1f worse than L %.1f", br.Name, e.EnergySavePct, l.EnergySavePct)
+		}
+		// E-p-threads are near energy-neutral or better (within noise).
+		if e.EnergySavePct < -3 {
+			t.Errorf("%s: E-p-threads increased energy by %.1f%%", br.Name, -e.EnergySavePct)
+		}
+	}
+}
+
+func TestRunTargetRealisticProfiling(t *testing.T) {
+	cfg := DefaultConfig()
+	profPrep, err := Prepare("gap", program.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measPrep, err := Prepare("gap", program.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunTarget(profPrep, measPrep, pthsel.TargetL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ref-profiled p-threads must still help on Train (the paper's
+	// robustness result), though typically less than ideal profiling.
+	if run.SpeedupPct <= 0 {
+		t.Errorf("realistic profiling speedup %.1f%%, want positive", run.SpeedupPct)
+	}
+}
+
+func TestTable3RatiosFinite(t *testing.T) {
+	rows, rendered, err := Table3([]string{"gap", "vortex"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for name, v := range map[string]float64{
+			"latency": r.LatencyPred, "energy": r.EnergyPred, "ED": r.EDPred,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s %s prediction not finite: %v", r.Name, name, v)
+			}
+		}
+		// Relative accuracy: the measured latency gain should be within a
+		// factor of ~4 of the prediction (the paper reports 0.64–1.21).
+		if r.LatencyPred < 0.2 || r.LatencyPred > 5 {
+			t.Errorf("%s latency prediction ratio %.2f wildly off", r.Name, r.LatencyPred)
+		}
+	}
+	if !strings.Contains(rendered, "Latency prediction") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+func TestFigure5SweepPoints(t *testing.T) {
+	for _, axis := range []SweepAxis{SweepIdleFactor, SweepMemLatency, SweepL2Size} {
+		labels, mutations := SweepPoints(axis)
+		if len(labels) != 3 || len(mutations) != 3 {
+			t.Errorf("%s: %d points, want 3", axis, len(labels))
+		}
+		for _, m := range mutations {
+			cfg := DefaultConfig()
+			m(&cfg)
+		}
+		if axis.String() == "" {
+			t.Error("axis name empty")
+		}
+	}
+	// Mutations actually mutate.
+	_, muts := SweepPoints(SweepMemLatency)
+	cfg := DefaultConfig()
+	muts[0](&cfg)
+	if cfg.CPU.Hier.MemLatency != 100 {
+		t.Errorf("mem latency mutation ineffective: %d", cfg.CPU.Hier.MemLatency)
+	}
+	_, muts = SweepPoints(SweepL2Size)
+	cfg = DefaultConfig()
+	muts[2](&cfg)
+	if cfg.CPU.Hier.L2.SizeBytes != 512<<10 || cfg.CPU.Hier.L2.HitLatency != 15 {
+		t.Error("L2 mutation ineffective")
+	}
+}
+
+func TestFigure5BenchmarkTriples(t *testing.T) {
+	if got := Figure5Benchmarks(SweepIdleFactor); len(got) != 3 || got[0] != "gap" {
+		t.Errorf("idle triple = %v", got)
+	}
+	if got := Figure5Benchmarks(SweepMemLatency); got[0] != "gcc" {
+		t.Errorf("mem triple = %v", got)
+	}
+	if got := Figure5Benchmarks(SweepL2Size); got[0] != "mcf" {
+		t.Errorf("l2 triple = %v", got)
+	}
+	if got := Table3Benchmarks(); len(got) != 4 {
+		t.Errorf("table 3 benchmarks = %v", got)
+	}
+	if got := PaperBenchmarks(); len(got) != 9 {
+		t.Errorf("paper benchmarks = %v", got)
+	}
+}
+
+func TestZeroIdleFactorEndToEnd(t *testing.T) {
+	// At a 0% idle factor the E target must select nothing and leave the
+	// execution untouched (the paper's §5.4 observation).
+	cfg := DefaultConfig()
+	cfg.CPU.Energy.IdleFactor = 0
+	br, err := RunBenchmark("vortex", []pthsel.Target{pthsel.TargetE}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := br.Runs[pthsel.TargetE]
+	if len(run.Sel.PThreads) != 0 {
+		t.Errorf("E selected %d p-threads at 0%% idle", len(run.Sel.PThreads))
+	}
+	if run.Res.Cycles != br.Prepared.Baseline.Cycles {
+		t.Error("empty selection must reproduce the baseline exactly")
+	}
+}
+
+func TestMemoryLatencyScalesGains(t *testing.T) {
+	run := func(memlat int) float64 {
+		cfg := DefaultConfig()
+		cfg.CPU.Hier.MemLatency = memlat
+		br, err := RunBenchmark("gap", []pthsel.Target{pthsel.TargetL}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return br.Runs[pthsel.TargetL].SpeedupPct
+	}
+	lo, hi := run(100), run(300)
+	if hi <= lo {
+		t.Errorf("gains at 300-cycle memory (%.1f%%) not above 100-cycle (%.1f%%)", hi, lo)
+	}
+}
+
+func TestDeriveMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	br, err := RunBenchmark("twolf", []pthsel.Target{pthsel.TargetL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := br.Runs[pthsel.TargetL]
+	// Consistency between derived percentages and raw results.
+	base := br.Prepared.Baseline
+	wantSpeedup := 100 * (float64(base.Cycles)/float64(r.Res.Cycles) - 1)
+	if math.Abs(r.SpeedupPct-wantSpeedup) > 1e-9 {
+		t.Errorf("speedup %.3f vs recomputed %.3f", r.SpeedupPct, wantSpeedup)
+	}
+	if r.FullCovPct < 0 || r.PartCovPct < 0 || r.FullCovPct+r.PartCovPct > 150 {
+		t.Errorf("coverage out of range: %.1f + %.1f", r.FullCovPct, r.PartCovPct)
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+)
+
+// PrimaryTargets are the p-thread flavours of the paper's main study
+// (Figure 3): original PTHSEL (O), latency (L), energy (E), ED (P).
+var PrimaryTargets = []pthsel.Target{pthsel.TargetO, pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
+
+// Figure2 reproduces the paper's Figure 2: execution-time (critical-path
+// category) and energy breakdowns for unoptimized execution (N) and
+// PTHSEL-driven pre-execution (O), normalized to N = 100.
+func Figure2(names []string, cfg Config) (string, error) {
+	results, err := RunAll(names, []pthsel.Target{pthsel.TargetO}, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 (left): execution-time breakdown, %% of unoptimized cycles\n")
+	fmt.Fprintf(&b, "%-10s %-3s %7s %7s %7s %7s %7s %8s\n", "bench", "run", "mem", "L2", "exec", "commit", "fetch", "total")
+	for _, br := range results {
+		base := br.Prepared.Baseline
+		printTime := func(tag string, r *cpu.Result) {
+			n := float64(base.Cycles) / 100
+			fmt.Fprintf(&b, "%-10s %-3s %7.1f %7.1f %7.1f %7.1f %7.1f %8.1f\n",
+				br.Name, tag,
+				float64(r.TimeBreakdown[cpu.CatMem])/n,
+				float64(r.TimeBreakdown[cpu.CatL2])/n,
+				float64(r.TimeBreakdown[cpu.CatExec])/n,
+				float64(r.TimeBreakdown[cpu.CatCommit])/n,
+				float64(r.TimeBreakdown[cpu.CatFetch])/n,
+				float64(r.Cycles)/n)
+		}
+		printTime("N", base)
+		printTime("O", br.Runs[pthsel.TargetO].Res)
+	}
+	fmt.Fprintf(&b, "\nFigure 2 (right): energy breakdown, %% of unoptimized energy\n")
+	fmt.Fprintf(&b, "%-10s %-3s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s %8s\n",
+		"bench", "run", "imem", "dmem", "l2", "OoO", "rob+bp", "idle", "imemP", "dmemP", "l2P", "OoOP", "total")
+	for _, br := range results {
+		base := br.Prepared.Baseline
+		printE := func(tag string, r *cpu.Result) {
+			n := base.Energy.Total() / 100
+			e := r.Energy
+			fmt.Fprintf(&b, "%-10s %-3s %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %8.1f\n",
+				br.Name, tag,
+				e.ImemMain/n, e.DmemMain/n, e.L2Main/n, e.OoOMain/n, e.ROBBpred/n, e.Idle/n,
+				e.ImemPth/n, e.DmemPth/n, e.L2Pth/n, e.OoOPth/n, e.Total()/n)
+		}
+		printE("N", base)
+		printE("O", br.Runs[pthsel.TargetO].Res)
+	}
+	return b.String(), nil
+}
+
+// Figure3 reproduces the paper's Figure 3: improvements, diagnostics, and
+// both breakdowns for all four primary targets across all benchmarks.
+func Figure3(names []string, cfg Config) (string, []*BenchResult, error) {
+	results, err := RunAll(names, PrimaryTargets, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 (top): %%IPC gain / %%energy save / %%ED save\n")
+	fmt.Fprintf(&b, "%-10s", "bench")
+	for _, tgt := range PrimaryTargets {
+		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
+	}
+	fmt.Fprintln(&b)
+	gm := map[pthsel.Target][3][]float64{}
+	for _, br := range results {
+		fmt.Fprintf(&b, "%-10s", br.Name)
+		for _, tgt := range PrimaryTargets {
+			r := br.Runs[tgt]
+			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
+			acc := gm[tgt]
+			acc[0] = append(acc[0], r.SpeedupPct)
+			acc[1] = append(acc[1], r.EnergySavePct)
+			acc[2] = append(acc[2], r.EDSavePct)
+			gm[tgt] = acc
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-10s", "GMean")
+	for _, tgt := range PrimaryTargets {
+		acc := gm[tgt]
+		fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f",
+			metrics.GMeanPct(acc[0]), metrics.GMeanPct(acc[1]), metrics.GMeanPct(acc[2]))
+	}
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "\nFigure 3 (diagnostics): full+part coverage %% / %%useful spawns / %%p-inst increase / avg length\n")
+	fmt.Fprintf(&b, "%-10s", "bench")
+	for _, tgt := range PrimaryTargets {
+		fmt.Fprintf(&b, " |%28s", tgt.String()+" (cov/useful/pinst/len)")
+	}
+	fmt.Fprintln(&b)
+	for _, br := range results {
+		fmt.Fprintf(&b, "%-10s", br.Name)
+		for _, tgt := range PrimaryTargets {
+			r := br.Runs[tgt]
+			fmt.Fprintf(&b, " |%5.0f+%-4.0f%6.0f%8.1f%6.1f",
+				r.FullCovPct, r.PartCovPct, r.UsefulPct, r.PInstIncPct, r.AvgPThreadLen)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), results, nil
+}
+
+// Table3Row is one benchmark's model-validation ratios: measured reduction
+// divided by predicted reduction (1.0 = perfect; <1 = over-estimation).
+type Table3Row struct {
+	Name        string
+	LatencyPred float64 // (Lbase − Lpe) / LADVagg
+	EnergyPred  float64 // (Ebase − Epe) / EADVagg
+	EDPred      float64 // (Pbase − Ppe) / PADVagg (composite at W = 0.5)
+}
+
+// Table3 reproduces the paper's validation table for L-p-threads on the
+// paper's four benchmarks (gcc, parser, vortex, vpr.place).
+func Table3(names []string, cfg Config) ([]Table3Row, string, error) {
+	rows := make([]Table3Row, 0, len(names))
+	for _, name := range names {
+		prep, err := Prepare(name, cfg.MeasureInput, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		run, err := RunTarget(prep, prep, pthsel.TargetL, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		base, res := prep.Baseline, run.Res
+		// Measured composite at W=0.5 (the paper's P metric).
+		pBase := metrics.Composite(0.5, float64(base.Cycles), base.Energy.Total())
+		pPE := metrics.Composite(0.5, float64(res.Cycles), res.Energy.Total())
+		predP := pthselCompositePred(prep, run)
+		rows = append(rows, Table3Row{
+			Name:        name,
+			LatencyPred: metrics.Ratio(float64(base.Cycles-res.Cycles), run.Sel.PredLADV),
+			EnergyPred:  metrics.Ratio(base.Energy.Total()-res.Energy.Total(), run.Sel.PredEADV),
+			EDPred:      metrics.Ratio(pBase-pPE, predP),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: PTHSEL+E model validation (actual/predicted; 1.0 = exact)\n")
+	fmt.Fprintf(&b, "%-24s", "Validation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s", r.Name)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-24s", "Latency prediction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10.2f", r.LatencyPred)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-24s", "Energy prediction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10.2f", r.EnergyPred)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-24s", "ED prediction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10.2f", r.EDPred)
+	}
+	fmt.Fprintln(&b)
+	return rows, b.String(), nil
+}
+
+func pthselCompositePred(prep *Prepared, run *TargetRun) float64 {
+	l0, e0 := prep.Params.L0, prep.Params.E0
+	return metrics.Composite(0.5, l0, e0) - metrics.Composite(0.5, l0-run.Sel.PredLADV, e0-run.Sel.PredEADV)
+}
+
+// Figure4 reproduces the realistic-profiling experiment (§5.3): p-threads
+// selected from Ref-input profiles, measured on the Train input.
+func Figure4(names []string, cfg Config) (string, error) {
+	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: realistic profiling (select on ref, measure on train)\n")
+	fmt.Fprintf(&b, "%-10s", "bench")
+	for _, tgt := range targets {
+		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
+	}
+	fmt.Fprintln(&b)
+	for _, name := range names {
+		profPrep, err := Prepare(name, program.Ref, cfg)
+		if err != nil {
+			return "", err
+		}
+		measPrep, err := Prepare(name, cfg.MeasureInput, cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, tgt := range targets {
+			run, err := RunTarget(profPrep, measPrep, tgt, cfg)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// SweepAxis identifies a Figure 5 sensitivity axis.
+type SweepAxis int
+
+// Figure 5's three sensitivity axes.
+const (
+	SweepIdleFactor SweepAxis = iota // 0%, 5%, 10%
+	SweepMemLatency                  // 100, 200, 300 cycles
+	SweepL2Size                      // 128KB(10), 256KB(12), 512KB(15)
+)
+
+// String names the axis.
+func (a SweepAxis) String() string {
+	switch a {
+	case SweepIdleFactor:
+		return "idle-energy-factor"
+	case SweepMemLatency:
+		return "memory-latency"
+	default:
+		return "L2-size"
+	}
+}
+
+// SweepPoints returns the labels and config mutations of each point on the
+// axis, matching the paper's Figure 5.
+func SweepPoints(a SweepAxis) (labels []string, mutate []func(*Config)) {
+	switch a {
+	case SweepIdleFactor:
+		for _, f := range []float64{0, 0.05, 0.10} {
+			f := f
+			labels = append(labels, fmt.Sprintf("%.0f%%", f*100))
+			mutate = append(mutate, func(c *Config) { c.CPU.Energy.IdleFactor = f })
+		}
+	case SweepMemLatency:
+		for _, m := range []int{100, 200, 300} {
+			m := m
+			labels = append(labels, fmt.Sprintf("%d", m))
+			mutate = append(mutate, func(c *Config) { c.CPU.Hier.MemLatency = m })
+		}
+	default:
+		type l2pt struct {
+			size, lat int
+		}
+		for _, p := range []l2pt{{128 << 10, 10}, {256 << 10, 12}, {512 << 10, 15}} {
+			p := p
+			labels = append(labels, fmt.Sprintf("%dKB(%d)", p.size>>10, p.lat))
+			mutate = append(mutate, func(c *Config) {
+				c.CPU.Hier.L2.SizeBytes = p.size
+				c.CPU.Hier.L2.HitLatency = p.lat
+			})
+		}
+	}
+	return labels, mutate
+}
+
+// Figure5 reproduces one sensitivity sweep for the given benchmarks: every
+// axis point re-runs profiling, selection and measurement under the mutated
+// configuration (PTHSEL+E re-targets to the new parameters, which is the
+// point of the experiment).
+func Figure5(axis SweepAxis, names []string, cfg Config) (string, error) {
+	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
+	labels, mutations := SweepPoints(axis)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: sensitivity to %s\n", axis)
+	fmt.Fprintf(&b, "%-10s %-9s", "bench", "point")
+	for _, tgt := range targets {
+		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
+	}
+	fmt.Fprintln(&b)
+	for _, name := range names {
+		for pi, mutate := range mutations {
+			ptCfg := cfg
+			mutate(&ptCfg)
+			br, err := RunBenchmark(name, targets, ptCfg)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-10s %-9s", name, labels[pi])
+			for _, tgt := range targets {
+				r := br.Runs[tgt]
+				fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String(), nil
+}
+
+// ED2Study reproduces the §5.1 ED² discussion: P2-p-threads behave like
+// L-p-threads; both improve ED² substantially.
+func ED2Study(names []string, cfg Config) (string, error) {
+	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetP2}
+	results, err := RunAll(names, targets, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ED² study: L vs P2 p-threads (%%ED2 save)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s\n", "bench", "L", "P2")
+	var lAll, p2All []float64
+	for _, br := range results {
+		l := br.Runs[pthsel.TargetL].ED2SavePct
+		p2 := br.Runs[pthsel.TargetP2].ED2SavePct
+		lAll = append(lAll, l)
+		p2All = append(p2All, p2)
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f\n", br.Name, l, p2)
+	}
+	fmt.Fprintf(&b, "%-10s %10.1f %10.1f\n", "GMean", metrics.GMeanPct(lAll), metrics.GMeanPct(p2All))
+	return b.String(), nil
+}
+
+// PaperBenchmarks returns the paper's benchmark list in its order.
+func PaperBenchmarks() []string {
+	names := program.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Figure5Benchmarks returns the paper's per-axis benchmark triples.
+func Figure5Benchmarks(axis SweepAxis) []string {
+	switch axis {
+	case SweepIdleFactor:
+		return []string{"gap", "vortex", "vpr.route"}
+	case SweepMemLatency:
+		return []string{"gcc", "twolf", "vortex"}
+	default:
+		return []string{"mcf", "twolf", "vortex"}
+	}
+}
+
+// Table3Benchmarks returns the paper's validation benchmarks.
+func Table3Benchmarks() []string { return []string{"gcc", "parser", "vortex", "vpr.place"} }

@@ -1,0 +1,180 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally with symbolic labels, the way a
+// tiny assembler would. Branch targets may be referenced before they are
+// defined; Build resolves all fixups.
+//
+// All emit methods return the PC of the emitted instruction so workload
+// generators can record the static PCs of instructions they care about
+// (e.g. problem loads).
+type Builder struct {
+	name   string
+	insts  []Inst
+	labels map[string]int
+	fixups []fixup
+	mem    []int64
+	err    error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the address the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a symbolic label at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("builder %q: duplicate label %q", b.name, name)
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends a raw instruction and returns its PC.
+func (b *Builder) Emit(in Inst) int {
+	b.insts = append(b.insts, in)
+	return len(b.insts) - 1
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() int { return b.Emit(Inst{Op: Nop}) }
+
+// Op3 emits a register-register ALU instruction dst = src1 op src2.
+func (b *Builder) Op3(op Op, dst, src1, src2 Reg) int {
+	return b.Emit(Inst{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// OpI emits a register-immediate ALU instruction dst = src1 op imm.
+func (b *Builder) OpI(op Op, dst, src1 Reg, imm int64) int {
+	return b.Emit(Inst{Op: op, Dst: dst, Src1: src1, Imm: imm})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) int { return b.Op3(Add, dst, s1, s2) }
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) int { return b.Op3(Sub, dst, s1, s2) }
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 Reg) int { return b.Op3(Mul, dst, s1, s2) }
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) int { return b.Op3(And, dst, s1, s2) }
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 Reg) int { return b.Op3(Or, dst, s1, s2) }
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) int { return b.Op3(Xor, dst, s1, s2) }
+
+// AddI emits dst = s1 + imm.
+func (b *Builder) AddI(dst, s1 Reg, imm int64) int { return b.OpI(AddI, dst, s1, imm) }
+
+// SubI emits dst = s1 - imm.
+func (b *Builder) SubI(dst, s1 Reg, imm int64) int { return b.OpI(SubI, dst, s1, imm) }
+
+// MulI emits dst = s1 * imm.
+func (b *Builder) MulI(dst, s1 Reg, imm int64) int { return b.OpI(MulI, dst, s1, imm) }
+
+// AndI emits dst = s1 & imm.
+func (b *Builder) AndI(dst, s1 Reg, imm int64) int { return b.OpI(AndI, dst, s1, imm) }
+
+// XorI emits dst = s1 ^ imm.
+func (b *Builder) XorI(dst, s1 Reg, imm int64) int { return b.OpI(XorI, dst, s1, imm) }
+
+// ShlI emits dst = s1 << imm.
+func (b *Builder) ShlI(dst, s1 Reg, imm int64) int { return b.OpI(ShlI, dst, s1, imm) }
+
+// ShrI emits dst = s1 >> imm (logical).
+func (b *Builder) ShrI(dst, s1 Reg, imm int64) int { return b.OpI(ShrI, dst, s1, imm) }
+
+// CmpLT emits dst = (s1 < s2).
+func (b *Builder) CmpLT(dst, s1, s2 Reg) int { return b.Op3(CmpLT, dst, s1, s2) }
+
+// CmpLTI emits dst = (s1 < imm).
+func (b *Builder) CmpLTI(dst, s1 Reg, imm int64) int { return b.OpI(CmpLTI, dst, s1, imm) }
+
+// CmpEQ emits dst = (s1 == s2).
+func (b *Builder) CmpEQ(dst, s1, s2 Reg) int { return b.Op3(CmpEQ, dst, s1, s2) }
+
+// CmpEQI emits dst = (s1 == imm).
+func (b *Builder) CmpEQI(dst, s1 Reg, imm int64) int { return b.OpI(CmpEQI, dst, s1, imm) }
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst Reg, imm int64) int { return b.OpI(MovI, dst, Zero, imm) }
+
+// Mov emits dst = s1 (as an AddI with zero immediate).
+func (b *Builder) Mov(dst, s1 Reg) int { return b.AddI(dst, s1, 0) }
+
+// Load emits dst = M[base+off].
+func (b *Builder) Load(dst, base Reg, off int64) int {
+	return b.Emit(Inst{Op: Load, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits M[base+off] = data.
+func (b *Builder) Store(base Reg, off int64, data Reg) int {
+	return b.Emit(Inst{Op: Store, Src1: base, Src2: data, Imm: off})
+}
+
+// BrZ emits a branch to label taken when cond == 0.
+func (b *Builder) BrZ(cond Reg, label string) int { return b.branch(BrZ, cond, label) }
+
+// BrNZ emits a branch to label taken when cond != 0.
+func (b *Builder) BrNZ(cond Reg, label string) int { return b.branch(BrNZ, cond, label) }
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) int {
+	pc := b.Emit(Inst{Op: Jmp})
+	b.fixups = append(b.fixups, fixup{pc, label})
+	return pc
+}
+
+// Halt emits a halt.
+func (b *Builder) Halt() int { return b.Emit(Inst{Op: Halt}) }
+
+func (b *Builder) branch(op Op, cond Reg, label string) int {
+	pc := b.Emit(Inst{Op: op, Src1: cond})
+	b.fixups = append(b.fixups, fixup{pc, label})
+	return pc
+}
+
+// SetMem sets the initial data image. Word w corresponds to byte address w*8.
+func (b *Builder) SetMem(words []int64) { b.mem = words }
+
+// Build resolves label fixups, validates, and returns the finished Program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("builder %q: undefined label %q", b.name, f.label)
+		}
+		b.insts[f.pc].Target = target
+	}
+	p := &Program{Name: b.name, Insts: b.insts, InitMem: b.mem}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; intended for the static workload
+// generators whose programs are fixed at development time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,128 @@
+package isa
+
+import "testing"
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.MovI(1, 0)
+	b.BrZ(1, "done") // forward reference
+	b.AddI(1, 1, 1)
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 3 {
+		t.Errorf("forward label resolved to %d, want 3", p.Insts[1].Target)
+	}
+}
+
+func TestBuilderBackwardLabel(t *testing.T) {
+	b := NewBuilder("loop")
+	b.MovI(1, 10)
+	b.Label("top")
+	b.SubI(1, 1, 1)
+	b.BrNZ(1, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Target != 1 {
+		t.Errorf("backward label resolved to %d, want 1", p.Insts[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestBuilderPCAndEmitOrder(t *testing.T) {
+	b := NewBuilder("pc")
+	if b.PC() != 0 {
+		t.Error("initial PC must be 0")
+	}
+	pc0 := b.MovI(1, 5)
+	pc1 := b.Load(2, 1, 8)
+	pc2 := b.Store(1, 0, 2)
+	if pc0 != 0 || pc1 != 1 || pc2 != 2 {
+		t.Errorf("emit PCs = %d,%d,%d", pc0, pc1, pc2)
+	}
+	if b.PC() != 3 {
+		t.Errorf("PC after 3 emits = %d", b.PC())
+	}
+}
+
+func TestBuilderEmitHelpers(t *testing.T) {
+	b := NewBuilder("helpers")
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.Mul(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.AddI(1, 2, 7)
+	b.SubI(1, 2, 7)
+	b.MulI(1, 2, 7)
+	b.AndI(1, 2, 7)
+	b.XorI(1, 2, 7)
+	b.ShlI(1, 2, 3)
+	b.ShrI(1, 2, 3)
+	b.CmpLT(1, 2, 3)
+	b.CmpLTI(1, 2, 7)
+	b.CmpEQ(1, 2, 3)
+	b.CmpEQI(1, 2, 7)
+	b.Mov(4, 5)
+	b.Nop()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{Add, Sub, Mul, And, Xor, AddI, SubI, MulI, AndI, XorI,
+		ShlI, ShrI, CmpLT, CmpLTI, CmpEQ, CmpEQI, AddI, Nop, Halt}
+	for i, op := range wantOps {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d op = %s, want %s", i, p.Insts[i].Op, op)
+		}
+	}
+	if mov := p.Insts[16]; mov.Dst != 4 || mov.Src1 != 5 || mov.Imm != 0 {
+		t.Error("Mov must encode as AddI dst, src, 0")
+	}
+}
+
+func TestBuilderSetMem(t *testing.T) {
+	b := NewBuilder("mem")
+	b.Halt()
+	b.SetMem([]int64{1, 2, 3})
+	p := b.MustBuild()
+	if len(p.InitMem) != 3 || p.InitMem[2] != 3 {
+		t.Error("SetMem image not carried into program")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on broken program must panic")
+		}
+	}()
+	b := NewBuilder("broken")
+	b.Jmp("missing")
+	b.MustBuild()
+}

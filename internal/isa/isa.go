@@ -1,0 +1,313 @@
+// Package isa defines the micro-ISA used by the reproduction: a small
+// RISC-like register instruction set rich enough to express the SPEC2000-like
+// synthetic workloads, backward slices, and p-thread bodies the paper's
+// framework operates on.
+//
+// The ISA is deliberately minimal: 64 integer registers (R0 hardwired to
+// zero), three-operand ALU instructions with register and immediate forms,
+// loads and stores with base+displacement addressing, direct conditional
+// branches, direct jumps, and a halt. PCs are instruction indices, not byte
+// addresses. Data memory is byte-addressed with 8-byte words.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 64 architectural integer registers.
+// R0 is hardwired to zero: writes to it are discarded, reads return 0.
+type Reg uint8
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 64
+
+// Conventional register aliases used by the workload builders. They carry no
+// hardware meaning; they only make generated code readable.
+const (
+	Zero Reg = 0 // hardwired zero
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. Register-register ALU ops read Src1 and Src2; immediate
+// forms read Src1 and Imm. Load reads Src1 (base) and Imm (displacement) and
+// writes Dst. Store reads Src1 (base), Imm (displacement) and Src2 (data).
+// BrZ/BrNZ read Src1 and branch to Target. Jmp branches unconditionally.
+const (
+	Nop Op = iota
+
+	// Register-register ALU.
+	Add
+	Sub
+	Mul
+	Div // divide; division by zero yields 0 (workloads never rely on traps)
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical shift right
+	CmpLT
+	CmpEQ
+
+	// Register-immediate ALU.
+	AddI
+	SubI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+	CmpLTI
+	CmpEQI
+	MovI // Dst = Imm
+
+	// Memory.
+	Load  // Dst = M[Src1 + Imm]
+	Store // M[Src1 + Imm] = Src2
+
+	// Control.
+	BrZ  // if Src1 == 0 goto Target
+	BrNZ // if Src1 != 0 goto Target
+	Jmp  // goto Target
+	Halt // stop execution
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	CmpLT: "cmplt", CmpEQ: "cmpeq",
+	AddI: "addi", SubI: "subi", MulI: "muli", AndI: "andi", OrI: "ori",
+	XorI: "xori", ShlI: "shli", ShrI: "shri", CmpLTI: "cmplti",
+	CmpEQI: "cmpeqi", MovI: "movi",
+	Load: "ld", Store: "st",
+	BrZ: "brz", BrNZ: "brnz", Jmp: "jmp", Halt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Inst is a single static instruction.
+type Inst struct {
+	Op     Op
+	Dst    Reg   // destination register (ALU, Load)
+	Src1   Reg   // first source / base / condition register
+	Src2   Reg   // second source / store-data register
+	Imm    int64 // immediate operand / address displacement
+	Target int   // branch or jump target PC (instruction index)
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool { return i.Op == Load }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return i.Op == Store }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.Op == Load || i.Op == Store }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Op == BrZ || i.Op == BrNZ }
+
+// IsJump reports whether the instruction is an unconditional direct jump.
+func (i Inst) IsJump() bool { return i.Op == Jmp }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (i Inst) IsControl() bool { return i.IsBranch() || i.IsJump() || i.Op == Halt }
+
+// IsALU reports whether the instruction executes on an ALU (it computes a
+// value from register/immediate sources, including multiplies and divides).
+func (i Inst) IsALU() bool {
+	switch i.Op {
+	case Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, CmpLT, CmpEQ,
+		AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, CmpLTI, CmpEQI, MovI:
+		return true
+	}
+	return false
+}
+
+// HasDst reports whether the instruction writes a register.
+func (i Inst) HasDst() bool {
+	return (i.IsALU() || i.Op == Load) && i.Dst != Zero
+}
+
+// ReadsSrc1 reports whether Src1 is a live source operand.
+func (i Inst) ReadsSrc1() bool {
+	switch i.Op {
+	case Nop, MovI, Jmp, Halt:
+		return false
+	}
+	return true
+}
+
+// ReadsSrc2 reports whether Src2 is a live source operand.
+func (i Inst) ReadsSrc2() bool {
+	switch i.Op {
+	case Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, CmpLT, CmpEQ, Store:
+		return true
+	}
+	return false
+}
+
+// Sources returns the registers the instruction reads. Unused slots are
+// filled with Zero; callers must consult the ok flags.
+func (i Inst) Sources() (s1, s2 Reg, r1, r2 bool) {
+	if i.ReadsSrc1() {
+		s1, r1 = i.Src1, true
+	}
+	if i.ReadsSrc2() {
+		s2, r2 = i.Src2, true
+	}
+	return
+}
+
+// ExecLatency returns the execution (functional-unit) latency in cycles of
+// the instruction, excluding any memory-hierarchy time for loads/stores.
+func (i Inst) ExecLatency() int {
+	switch i.Op {
+	case Mul, MulI:
+		return 3
+	case Div:
+		return 20
+	default:
+		return 1
+	}
+}
+
+// String renders the instruction in a readable assembly-like syntax.
+func (i Inst) String() string {
+	switch {
+	case i.Op == Nop:
+		return "nop"
+	case i.Op == Halt:
+		return "halt"
+	case i.Op == Jmp:
+		return fmt.Sprintf("jmp %d", i.Target)
+	case i.IsBranch():
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Src1, i.Target)
+	case i.Op == Load:
+		return fmt.Sprintf("ld r%d, %d(r%d)", i.Dst, i.Imm, i.Src1)
+	case i.Op == Store:
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Src2, i.Imm, i.Src1)
+	case i.Op == MovI:
+		return fmt.Sprintf("movi r%d, %d", i.Dst, i.Imm)
+	case i.ReadsSrc2():
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Dst, i.Src1, i.Src2)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Dst, i.Src1, i.Imm)
+	}
+}
+
+// Eval computes the result of an ALU instruction given its source values.
+// It panics if called on a non-ALU instruction.
+func (i Inst) Eval(v1, v2 int64) int64 {
+	switch i.Op {
+	case Add:
+		return v1 + v2
+	case Sub:
+		return v1 - v2
+	case Mul:
+		return v1 * v2
+	case Div:
+		if v2 == 0 {
+			return 0
+		}
+		return v1 / v2
+	case And:
+		return v1 & v2
+	case Or:
+		return v1 | v2
+	case Xor:
+		return v1 ^ v2
+	case Shl:
+		return v1 << (uint64(v2) & 63)
+	case Shr:
+		return int64(uint64(v1) >> (uint64(v2) & 63))
+	case CmpLT:
+		if v1 < v2 {
+			return 1
+		}
+		return 0
+	case CmpEQ:
+		if v1 == v2 {
+			return 1
+		}
+		return 0
+	case AddI:
+		return v1 + i.Imm
+	case SubI:
+		return v1 - i.Imm
+	case MulI:
+		return v1 * i.Imm
+	case AndI:
+		return v1 & i.Imm
+	case OrI:
+		return v1 | i.Imm
+	case XorI:
+		return v1 ^ i.Imm
+	case ShlI:
+		return v1 << (uint64(i.Imm) & 63)
+	case ShrI:
+		return int64(uint64(v1) >> (uint64(i.Imm) & 63))
+	case CmpLTI:
+		if v1 < i.Imm {
+			return 1
+		}
+		return 0
+	case CmpEQI:
+		if v1 == i.Imm {
+			return 1
+		}
+		return 0
+	case MovI:
+		return i.Imm
+	}
+	panic("isa: Eval on non-ALU instruction " + i.Op.String())
+}
+
+// Program is a complete executable: static code plus an initial data image.
+type Program struct {
+	Name  string
+	Insts []Inst
+	// InitMem is the initial data memory image in 8-byte words. Address A
+	// (bytes) maps to word A>>3. The image is prepared by the workload
+	// generator (standing in for a compiler/loader's initialized data
+	// segment) and is copied, never mutated, by interpreters and simulators.
+	InitMem []int64
+	// Entry is the PC of the first instruction executed.
+	Entry int
+}
+
+// MemBytes returns the size of the data segment in bytes.
+func (p *Program) MemBytes() int64 { return int64(len(p.InitMem)) * 8 }
+
+// Validate checks structural well-formedness: opcodes defined, branch
+// targets in range, memory accesses expressible. It does not execute code.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program %q has no instructions", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Insts) {
+		return fmt.Errorf("program %q entry %d out of range", p.Name, p.Entry)
+	}
+	for pc, in := range p.Insts {
+		if !in.Op.Valid() {
+			return fmt.Errorf("program %q pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		if in.IsBranch() || in.IsJump() {
+			if in.Target < 0 || in.Target >= len(p.Insts) {
+				return fmt.Errorf("program %q pc %d: branch target %d out of range", p.Name, pc, in.Target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Add: "add", Load: "ld", Store: "st", BrNZ: "brnz", Halt: "halt",
+		MovI: "movi", CmpLTI: "cmplti",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !Add.Valid() || !Halt.Valid() {
+		t.Error("defined opcodes must be valid")
+	}
+	if Op(250).Valid() || numOps.Valid() {
+		t.Error("out-of-range opcodes must be invalid")
+	}
+}
+
+func TestInstClassifiers(t *testing.T) {
+	ld := Inst{Op: Load, Dst: 1, Src1: 2}
+	st := Inst{Op: Store, Src1: 2, Src2: 3}
+	br := Inst{Op: BrNZ, Src1: 1, Target: 0}
+	jp := Inst{Op: Jmp}
+	add := Inst{Op: Add, Dst: 1, Src1: 2, Src2: 3}
+	mv := Inst{Op: MovI, Dst: 1, Imm: 7}
+
+	if !ld.IsLoad() || ld.IsStore() || !ld.IsMem() || ld.IsALU() || ld.IsBranch() {
+		t.Error("load misclassified")
+	}
+	if !st.IsStore() || st.IsLoad() || !st.IsMem() || st.HasDst() {
+		t.Error("store misclassified")
+	}
+	if !br.IsBranch() || !br.IsControl() || br.IsJump() {
+		t.Error("branch misclassified")
+	}
+	if !jp.IsJump() || !jp.IsControl() || jp.IsBranch() {
+		t.Error("jump misclassified")
+	}
+	if !add.IsALU() || !add.HasDst() || add.IsMem() || add.IsControl() {
+		t.Error("add misclassified")
+	}
+	if !mv.IsALU() || !mv.HasDst() || mv.ReadsSrc1() {
+		t.Error("movi misclassified")
+	}
+}
+
+func TestHasDstZeroRegister(t *testing.T) {
+	toZero := Inst{Op: Add, Dst: Zero, Src1: 1, Src2: 2}
+	if toZero.HasDst() {
+		t.Error("writes to R0 must report no destination")
+	}
+}
+
+func TestSources(t *testing.T) {
+	add := Inst{Op: Add, Src1: 4, Src2: 5}
+	s1, s2, r1, r2 := add.Sources()
+	if !r1 || !r2 || s1 != 4 || s2 != 5 {
+		t.Errorf("add sources = (%d,%v),(%d,%v)", s1, r1, s2, r2)
+	}
+	ld := Inst{Op: Load, Src1: 6}
+	s1, _, r1, r2 = ld.Sources()
+	if !r1 || r2 || s1 != 6 {
+		t.Error("load must read only its base register")
+	}
+	mv := Inst{Op: MovI}
+	_, _, r1, r2 = mv.Sources()
+	if r1 || r2 {
+		t.Error("movi reads no registers")
+	}
+	st := Inst{Op: Store, Src1: 1, Src2: 2}
+	_, s2, r1, r2 = st.Sources()
+	if !r1 || !r2 || s2 != 2 {
+		t.Error("store must read base and data registers")
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	if (Inst{Op: Add}).ExecLatency() != 1 {
+		t.Error("add latency must be 1")
+	}
+	if (Inst{Op: Mul}).ExecLatency() != 3 || (Inst{Op: MulI}).ExecLatency() != 3 {
+		t.Error("mul latency must be 3")
+	}
+	if (Inst{Op: Div}).ExecLatency() != 20 {
+		t.Error("div latency must be 20")
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		v1, v2 int64
+		want   int64
+	}{
+		{Inst{Op: Add}, 3, 4, 7},
+		{Inst{Op: Sub}, 3, 4, -1},
+		{Inst{Op: Mul}, 3, 4, 12},
+		{Inst{Op: Div}, 12, 4, 3},
+		{Inst{Op: Div}, 12, 0, 0},
+		{Inst{Op: And}, 6, 3, 2},
+		{Inst{Op: Or}, 6, 3, 7},
+		{Inst{Op: Xor}, 6, 3, 5},
+		{Inst{Op: Shl}, 1, 4, 16},
+		{Inst{Op: Shr}, 16, 4, 1},
+		{Inst{Op: Shr}, -1, 63, 1},
+		{Inst{Op: CmpLT}, 1, 2, 1},
+		{Inst{Op: CmpLT}, 2, 1, 0},
+		{Inst{Op: CmpEQ}, 5, 5, 1},
+		{Inst{Op: AddI, Imm: 10}, 5, 0, 15},
+		{Inst{Op: SubI, Imm: 10}, 5, 0, -5},
+		{Inst{Op: MulI, Imm: 3}, 5, 0, 15},
+		{Inst{Op: AndI, Imm: 1}, 3, 0, 1},
+		{Inst{Op: OrI, Imm: 8}, 3, 0, 11},
+		{Inst{Op: XorI, Imm: 1}, 3, 0, 2},
+		{Inst{Op: ShlI, Imm: 3}, 2, 0, 16},
+		{Inst{Op: ShrI, Imm: 1}, 16, 0, 8},
+		{Inst{Op: CmpLTI, Imm: 4}, 3, 0, 1},
+		{Inst{Op: CmpEQI, Imm: 4}, 4, 0, 1},
+		{Inst{Op: MovI, Imm: 42}, 0, 0, 42},
+	}
+	for _, c := range cases {
+		if got := c.in.Eval(c.v1, c.v2); got != c.want {
+			t.Errorf("%s.Eval(%d,%d) = %d, want %d", c.in.Op, c.v1, c.v2, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval on Load must panic")
+		}
+	}()
+	_ = Inst{Op: Load}.Eval(0, 0)
+}
+
+// Property: Add/Sub round-trips and shift semantics match Go's for any inputs.
+func TestEvalProperties(t *testing.T) {
+	addSub := func(a, b int64) bool {
+		s := Inst{Op: Add}.Eval(a, b)
+		return Inst{Op: Sub}.Eval(s, b) == a
+	}
+	if err := quick.Check(addSub, nil); err != nil {
+		t.Error(err)
+	}
+	xorInvolution := func(a, b int64) bool {
+		x := Inst{Op: Xor}.Eval(a, b)
+		return Inst{Op: Xor}.Eval(x, b) == a
+	}
+	if err := quick.Check(xorInvolution, nil); err != nil {
+		t.Error(err)
+	}
+	cmpAntisym := func(a, b int64) bool {
+		lt := Inst{Op: CmpLT}.Eval(a, b)
+		gt := Inst{Op: CmpLT}.Eval(b, a)
+		return !(lt == 1 && gt == 1)
+	}
+	if err := quick.Check(cmpAntisym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Nop}, "nop"},
+		{Inst{Op: Halt}, "halt"},
+		{Inst{Op: Jmp, Target: 5}, "jmp 5"},
+		{Inst{Op: BrZ, Src1: 3, Target: 9}, "brz r3, 9"},
+		{Inst{Op: Load, Dst: 1, Src1: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Inst{Op: Store, Src1: 2, Src2: 4, Imm: 16}, "st r4, 16(r2)"},
+		{Inst{Op: MovI, Dst: 7, Imm: 3}, "movi r7, 3"},
+		{Inst{Op: Add, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Inst{Op: AddI, Dst: 1, Src1: 2, Imm: 4}, "addi r1, r2, 4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	ok := &Program{Name: "ok", Insts: []Inst{{Op: Jmp, Target: 1}, {Op: Halt}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	empty := &Program{Name: "empty"}
+	if empty.Validate() == nil {
+		t.Error("empty program accepted")
+	}
+	badEntry := &Program{Name: "bad", Insts: []Inst{{Op: Halt}}, Entry: 3}
+	if badEntry.Validate() == nil {
+		t.Error("bad entry accepted")
+	}
+	badTarget := &Program{Name: "bad", Insts: []Inst{{Op: Jmp, Target: 9}}}
+	if badTarget.Validate() == nil {
+		t.Error("out-of-range target accepted")
+	}
+	badOp := &Program{Name: "bad", Insts: []Inst{{Op: Op(99)}}}
+	if badOp.Validate() == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	p := &Program{InitMem: make([]int64, 10)}
+	if p.MemBytes() != 80 {
+		t.Errorf("MemBytes = %d, want 80", p.MemBytes())
+	}
+}

@@ -1,0 +1,65 @@
+// Package metrics provides the derived measures the paper reports: relative
+// improvements, energy-delay products, and geometric means across
+// benchmarks.
+package metrics
+
+import "math"
+
+// ImprovementPct returns the percent reduction of value relative to base:
+// positive means "improved" (smaller), as in the paper's "%savings" plots.
+func ImprovementPct(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - value) / base
+}
+
+// SpeedupPct returns the percent IPC/performance gain going from base cycles
+// to value cycles (positive = faster), the paper's "%IPC gains".
+func SpeedupPct(baseCycles, newCycles float64) float64 {
+	if newCycles == 0 {
+		return 0
+	}
+	return 100 * (baseCycles/newCycles - 1)
+}
+
+// ED returns the energy-delay product.
+func ED(energy, delay float64) float64 { return energy * delay }
+
+// ED2 returns the energy-delay² product.
+func ED2(energy, delay float64) float64 { return energy * delay * delay }
+
+// Composite returns the geometric composite L^w · E^(1−w) used by the
+// composite advantage (equation C1).
+func Composite(w, latency, energy float64) float64 {
+	if latency <= 0 || energy <= 0 {
+		return 0
+	}
+	return math.Pow(latency, w) * math.Pow(energy, 1-w)
+}
+
+// GMeanPct returns the geometric-mean percent improvement of a set of
+// percent improvements (the paper's GMean rows). Percentages are composed
+// multiplicatively: gmean over ratios (1 + p/100), converted back.
+func GMeanPct(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, p := range pcts {
+		r := 1 + p/100
+		if r <= 0 {
+			r = 1e-6 // a ≥100% regression; clamp to keep the mean defined
+		}
+		logSum += math.Log(r)
+	}
+	return 100 * (math.Exp(logSum/float64(len(pcts))) - 1)
+}
+
+// Ratio returns a/b, or 0 when b is 0 (validation-table safety).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImprovementPct(t *testing.T) {
+	if got := ImprovementPct(100, 90); got != 10 {
+		t.Errorf("ImprovementPct = %v, want 10", got)
+	}
+	if got := ImprovementPct(100, 110); got != -10 {
+		t.Errorf("regression = %v, want -10", got)
+	}
+	if ImprovementPct(0, 5) != 0 {
+		t.Error("zero base must yield 0")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(120, 100); math.Abs(got-20) > 1e-9 {
+		t.Errorf("speedup = %v, want 20", got)
+	}
+	if got := SpeedupPct(100, 125); math.Abs(got+20) > 1e-9 {
+		t.Errorf("slowdown = %v, want -20", got)
+	}
+	if SpeedupPct(100, 0) != 0 {
+		t.Error("zero cycles must yield 0")
+	}
+}
+
+func TestEDProducts(t *testing.T) {
+	if ED(3, 4) != 12 {
+		t.Error("ED wrong")
+	}
+	if ED2(3, 4) != 48 {
+		t.Error("ED2 wrong")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	if got := Composite(1, 7, 9); got != 7 {
+		t.Errorf("W=1 composite = %v, want 7", got)
+	}
+	if got := Composite(0, 7, 9); got != 9 {
+		t.Errorf("W=0 composite = %v, want 9", got)
+	}
+	if got := Composite(0.5, 4, 9); math.Abs(got-6) > 1e-9 {
+		t.Errorf("W=0.5 composite = %v, want 6", got)
+	}
+	if Composite(0.5, 0, 9) != 0 {
+		t.Error("degenerate composite must be 0")
+	}
+}
+
+func TestGMeanPct(t *testing.T) {
+	if got := GMeanPct([]float64{10, 10, 10}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("uniform gmean = %v, want 10", got)
+	}
+	// +100% and -50% compose to zero net.
+	if got := GMeanPct([]float64{100, -50}); math.Abs(got) > 1e-9 {
+		t.Errorf("gmean = %v, want 0", got)
+	}
+	if GMeanPct(nil) != 0 {
+		t.Error("empty gmean must be 0")
+	}
+	// A catastrophic -100% stays defined.
+	if got := GMeanPct([]float64{-100}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Error("gmean must stay finite")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+}
+
+// Property: gmean of identical percentages is that percentage.
+func TestGMeanIdentityProperty(t *testing.T) {
+	check := func(p uint8, n uint8) bool {
+		pct := float64(p%80) + 1
+		count := int(n%10) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = pct
+		}
+		return math.Abs(GMeanPct(xs)-pct) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: speedup and improvement agree in sign.
+func TestSignAgreementProperty(t *testing.T) {
+	check := func(b, v uint16) bool {
+		base, val := float64(b)+1, float64(v)+1
+		s := SpeedupPct(base, val)
+		i := ImprovementPct(base, val)
+		return (s >= 0) == (i >= 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package profile mines the raw statistics PTHSEL consumes from a dynamic
+// trace: per-static-load cache behaviour (via a functional simulation of the
+// data-side memory hierarchy), per-PC execution counts, and the set of
+// "problem" loads — the small number of static loads that generate the bulk
+// of L2 misses and defy the L1/L2 (the paper's targets).
+package profile
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Service-level codes recorded per dynamic instruction.
+const (
+	LvlNone uint8 = iota // not a load
+	LvlL1
+	LvlL2
+	LvlMem
+)
+
+// LoadStats describes one static load's memory behaviour in the profile.
+type LoadStats struct {
+	PC        int32
+	Execs     int64 // dynamic executions
+	L1Misses  int64
+	L2Misses  int64
+	MissDynIx []int64 // dynamic indices of the L2-missing instances
+}
+
+// L1MissRate returns the load's L1 miss rate (MISSRATEL1 in eq. E7).
+func (s *LoadStats) L1MissRate() float64 {
+	if s.Execs == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Execs)
+}
+
+// Profile is the mined per-program statistics.
+type Profile struct {
+	ExecCounts []int64 // per static PC
+	Loads      map[int32]*LoadStats
+	TotalInsts int64
+	TotalL2    int64   // total demand L2 misses (data side)
+	Levels     []uint8 // per dynamic instruction: load service level (Lvl*)
+}
+
+// Collect runs a functional (timing-free) simulation of the data cache
+// hierarchy over the trace, attributing misses to static loads. Stores are
+// simulated for their cache side effects but not recorded.
+func Collect(tr *trace.Trace, hier cache.HierConfig) *Profile {
+	l1 := cache.New(hier.L1D)
+	l2 := cache.New(hier.L2)
+	var pref *cache.StridePrefetcher
+	if hier.StrideEntries > 0 {
+		pref = cache.NewStridePrefetcher(hier.StrideEntries, hier.StrideDegree)
+	}
+	p := &Profile{
+		ExecCounts: make([]int64, len(tr.Prog.Insts)),
+		Loads:      make(map[int32]*LoadStats),
+		TotalInsts: int64(tr.Len()),
+		Levels:     make([]uint8, tr.Len()),
+	}
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		p.ExecCounts[e.PC]++
+		in := tr.Prog.Insts[e.PC]
+		switch {
+		case in.IsLoad():
+			ls := p.Loads[e.PC]
+			if ls == nil {
+				ls = &LoadStats{PC: e.PC}
+				p.Loads[e.PC] = ls
+			}
+			ls.Execs++
+			if pref != nil {
+				if paddr, ok := pref.Train(int64(e.PC), e.Addr); ok && paddr >= 0 && !l2.Probe(paddr) {
+					l2.Fill(paddr, 0, cache.NoPrefetcher)
+				}
+			}
+			p.Levels[i] = LvlL1
+			if r := l1.Lookup(e.Addr); !r.Hit {
+				ls.L1Misses++
+				p.Levels[i] = LvlL2
+				if r2 := l2.Lookup(e.Addr); !r2.Hit {
+					ls.L2Misses++
+					p.TotalL2++
+					p.Levels[i] = LvlMem
+					ls.MissDynIx = append(ls.MissDynIx, int64(i))
+					l2.Fill(e.Addr, 0, cache.NoPrefetcher)
+				}
+				l1.Fill(e.Addr, 0, cache.NoPrefetcher)
+			}
+		case in.IsStore():
+			if r := l1.Lookup(e.Addr); !r.Hit {
+				if r2 := l2.Lookup(e.Addr); !r2.Hit {
+					l2.Fill(e.Addr, 0, cache.NoPrefetcher)
+				}
+				l1.Fill(e.Addr, 0, cache.NoPrefetcher)
+			}
+		}
+	}
+	return p
+}
+
+// ProblemLoads returns the static loads that together account for at least
+// coverage (e.g. 0.9) of all L2 misses, largest first, skipping loads with
+// fewer than minMisses misses.
+func (p *Profile) ProblemLoads(coverage float64, minMisses int64) []*LoadStats {
+	all := make([]*LoadStats, 0, len(p.Loads))
+	for _, ls := range p.Loads {
+		if ls.L2Misses >= minMisses {
+			all = append(all, ls)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].L2Misses != all[j].L2Misses {
+			return all[i].L2Misses > all[j].L2Misses
+		}
+		return all[i].PC < all[j].PC
+	})
+	var out []*LoadStats
+	var acc int64
+	for _, ls := range all {
+		if float64(acc) >= coverage*float64(p.TotalL2) {
+			break
+		}
+		out = append(out, ls)
+		acc += ls.L2Misses
+	}
+	return out
+}

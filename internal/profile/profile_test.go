@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// noPref returns a hierarchy config with the stride prefetcher disabled so
+// the synthetic stride loops below actually miss.
+func noPref() cache.HierConfig {
+	h := cache.DefaultHierConfig()
+	h.StrideEntries = 0
+	return h
+}
+
+// mixedLoop builds a loop with one always-missing load (64B stride over a
+// huge region) and one always-hitting load (a single hot word).
+func mixedLoop(iters int) (*isa.Program, int, int) {
+	b := isa.NewBuilder("mixed")
+	const (
+		rI, rN, rA, rV, rH, rC = isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5), isa.Reg(6)
+	)
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(iters))
+	b.Label("top")
+	b.ShlI(rA, rI, 6)
+	missPC := b.Load(rV, rA, 8)
+	hitPC := b.Load(rH, isa.Zero, 0) // always word 0
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(make([]int64, iters*8+8))
+	return b.MustBuild(), missPC, hitPC
+}
+
+func TestCollectSeparatesLoads(t *testing.T) {
+	p, missPC, hitPC := mixedLoop(300)
+	tr := trace.MustRun(p)
+	prof := Collect(tr, noPref())
+
+	miss := prof.Loads[int32(missPC)]
+	hit := prof.Loads[int32(hitPC)]
+	if miss == nil || hit == nil {
+		t.Fatal("loads missing from profile")
+	}
+	if miss.Execs != 300 || hit.Execs != 300 {
+		t.Errorf("exec counts = %d, %d", miss.Execs, hit.Execs)
+	}
+	if miss.L2Misses < 290 {
+		t.Errorf("stride load misses = %d, want ~300", miss.L2Misses)
+	}
+	if hit.L2Misses > 1 {
+		t.Errorf("hot load misses = %d, want ≤1", hit.L2Misses)
+	}
+	if miss.L1MissRate() < 0.95 {
+		t.Errorf("stride L1 miss rate = %v", miss.L1MissRate())
+	}
+	if hit.L1MissRate() > 0.01 {
+		t.Errorf("hot L1 miss rate = %v", hit.L1MissRate())
+	}
+}
+
+func TestCollectLevels(t *testing.T) {
+	p, missPC, _ := mixedLoop(100)
+	tr := trace.MustRun(p)
+	prof := Collect(tr, noPref())
+	if len(prof.Levels) != tr.Len() {
+		t.Fatal("levels not per dynamic instruction")
+	}
+	var memLevels int
+	for i := range tr.Entries {
+		in := tr.Prog.Insts[tr.Entries[i].PC]
+		if !in.IsLoad() && prof.Levels[i] != LvlNone {
+			t.Fatal("non-load has a service level")
+		}
+		if tr.Entries[i].PC == int32(missPC) && prof.Levels[i] == LvlMem {
+			memLevels++
+		}
+	}
+	if memLevels < 90 {
+		t.Errorf("only %d memory-level records for the stride load", memLevels)
+	}
+}
+
+func TestMissDynIxPointAtMisses(t *testing.T) {
+	p, missPC, _ := mixedLoop(50)
+	tr := trace.MustRun(p)
+	prof := Collect(tr, noPref())
+	ls := prof.Loads[int32(missPC)]
+	if int64(len(ls.MissDynIx)) != ls.L2Misses {
+		t.Fatalf("%d indices for %d misses", len(ls.MissDynIx), ls.L2Misses)
+	}
+	for _, ix := range ls.MissDynIx {
+		if tr.Entries[ix].PC != int32(missPC) {
+			t.Fatal("miss index points at the wrong instruction")
+		}
+	}
+}
+
+func TestProblemLoadsCoverageAndThreshold(t *testing.T) {
+	p, missPC, _ := mixedLoop(300)
+	tr := trace.MustRun(p)
+	prof := Collect(tr, noPref())
+	problems := prof.ProblemLoads(0.9, 10)
+	if len(problems) != 1 || problems[0].PC != int32(missPC) {
+		t.Fatalf("problem loads = %+v", problems)
+	}
+	// A high floor excludes everything.
+	if got := prof.ProblemLoads(0.9, 1_000_000); len(got) != 0 {
+		t.Errorf("threshold ignored: %v", got)
+	}
+}
+
+func TestStridePrefetcherSuppressesStreamingMisses(t *testing.T) {
+	p, missPC, _ := mixedLoop(300)
+	tr := trace.MustRun(p)
+	with := Collect(tr, cache.DefaultHierConfig())
+	without := Collect(tr, noPref())
+	lw := with.Loads[int32(missPC)]
+	lo := without.Loads[int32(missPC)]
+	if lw.L2Misses*4 > lo.L2Misses {
+		t.Errorf("prefetcher left %d of %d streaming misses", lw.L2Misses, lo.L2Misses)
+	}
+}
+
+func TestProblemLoadsDeterministicOrder(t *testing.T) {
+	p, _, _ := mixedLoop(200)
+	tr := trace.MustRun(p)
+	a := Collect(tr, noPref()).ProblemLoads(0.99, 1)
+	b := Collect(tr, noPref()).ProblemLoads(0.99, 1)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic problem set")
+	}
+	for i := range a {
+		if a[i].PC != b[i].PC {
+			t.Fatal("non-deterministic ordering")
+		}
+	}
+}

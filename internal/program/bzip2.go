@@ -1,0 +1,102 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "bzip2",
+		Build:       buildBzip2,
+		Description: "block-sort-like: sequential walk of a >L2 pointer permutation indexing random positions of a data block; two-level slices with very high miss coverage potential but long bodies",
+	})
+}
+
+// buildBzip2 mimics the BWT sorting phase: ptr[i] (sequential, streaming
+// misses) indexes block[ptr[i]] (data-dependent, random misses). Slices for
+// the block load must embed the ptr load, making p-threads long — the
+// source of bzip2's large instruction overhead in the paper.
+//
+// The Ref input uses a block that fits closer to the L2, making the workload
+// less memory-critical than Train — the mismatch the paper's realistic-
+// profiling experiment (§5.3) trips over.
+func buildBzip2(c InputClass) *isa.Program {
+	seed := uint64(0x627a6970)
+	ptrEntries := 1 << 18 // 2MB of pointers
+	blockWords := 1 << 17 // 1MB data block
+	steps := 15000
+	if c == Ref {
+		seed = 0x627a52
+		ptrEntries = 1 << 17
+		blockWords = 1 << 15 // 256KB: mostly L2-resident (less memory-critical)
+		steps = 13000
+	}
+
+	ptrBase := 0
+	blockBase := ptrEntries // words
+	mem := make([]int64, ptrEntries+blockWords)
+	r := newLCG(seed)
+	perm := r.perm(ptrEntries)
+	hotWords := 4 << 10 // 32KB hot prefix of the block
+	if hotWords > blockWords {
+		hotWords = blockWords
+	}
+	for i := 0; i < ptrEntries; i++ {
+		// Three quarters of the pointers land in the hot prefix (sorting
+		// locality); the rest scatter across the whole block and are the
+		// misses p-threads target.
+		if i%8 == 0 {
+			mem[ptrBase+i] = int64(perm[i] % blockWords)
+		} else {
+			mem[ptrBase+i] = int64(perm[i] % hotWords)
+		}
+	}
+	for w := 0; w < blockWords; w++ {
+		mem[blockBase+w] = int64(r.intn(256))
+	}
+
+	const (
+		rI   = isa.Reg(1)
+		rN   = isa.Reg(2)
+		rPB  = isa.Reg(3)
+		rBB  = isa.Reg(4)
+		rT   = isa.Reg(5)
+		rJ   = isa.Reg(6)
+		rT2  = isa.Reg(7)
+		rV   = isa.Reg(8)
+		rC   = isa.Reg(9)
+		rAcc = isa.Reg(10)
+		rRun = isa.Reg(11)
+		rF   = isa.Reg(12)
+		rC2  = isa.Reg(13)
+	)
+
+	b := isa.NewBuilder("bzip2." + c.String())
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rPB, int64(ptrBase*8))
+	b.MovI(rBB, int64(blockBase*8))
+	b.Label("top")
+	b.ShlI(rT, rI, 3)
+	b.Add(rT, rT, rPB)
+	b.Load(rJ, rT, 0) // ptr[i]: streaming problem load
+	b.ShlI(rT2, rJ, 3)
+	b.Add(rT2, rT2, rBB)
+	b.Load(rV, rT2, 0) // block[ptr[i]]: random problem load
+	b.Add(rAcc, rAcc, rV)
+	b.AndI(rC, rJ, 7) // biased bucket branch on the (usually cached) pointer
+	b.BrNZ(rC, "common")
+	b.AddI(rRun, rRun, 1)
+	b.Jmp("join")
+	b.Label("common")
+	b.AddI(rAcc, rAcc, 1)
+	b.Label("join")
+	for k := 0; k < 4; k++ {
+		b.AddI(rF, rF, 1)
+		b.AddI(rRun, rRun, 1)
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

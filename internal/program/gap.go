@@ -1,0 +1,93 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "gap",
+		Build:       buildGAP,
+		Description: "group-theory-table-like: small cached dispatch table selects a slab; a multiplicative index pattern probes randomly within 4MB of slabs; fully arithmetic addresses make extremely efficient p-threads",
+	})
+}
+
+// buildGAP mimics gap's large multiplication/permutation tables: the slab
+// base comes from a tiny always-cached table, and the element index is pure
+// register arithmetic on the loop counter — the cheapest possible slice.
+func buildGAP(c InputClass) *isa.Program {
+	seed := uint64(0x676170)
+	nSlabs := 64
+	slabWords := 1 << 13 // 64KB per slab: 4MB total
+	steps := 12000
+	idxMul := int64(40503)
+	if c == Ref {
+		seed = 0x67617052
+		slabWords = 1 << 12
+		steps = 11000
+		idxMul = 48271
+	}
+
+	tabBase := 0
+	slabBase := nSlabs
+	mem := make([]int64, nSlabs+nSlabs*slabWords)
+	r := newLCG(seed)
+	// Three quarters of the dispatch entries point at three "hot" slabs
+	// (L2-resident working set); the rest scatter across all slabs. Problem
+	// loads are the cold accesses — a realistic miss density of one L2 miss
+	// per few hundred instructions rather than one per iteration.
+	for s := 0; s < nSlabs; s++ {
+		slab := s % 3
+		if s%8 == 0 {
+			slab = r.intn(nSlabs)
+		}
+		mem[tabBase+s] = int64((slabBase + slab*slabWords) * 8) // slab byte address
+	}
+	for w := nSlabs; w < len(mem); w++ {
+		mem[w] = int64(r.intn(1 << 16))
+	}
+
+	const (
+		rI    = isa.Reg(1)
+		rN    = isa.Reg(2)
+		rT    = isa.Reg(3)
+		rSlab = isa.Reg(4)
+		rX    = isa.Reg(5)
+		rA    = isa.Reg(6)
+		rV    = isa.Reg(7)
+		rC    = isa.Reg(8)
+		rAcc  = isa.Reg(9)
+		rOdd  = isa.Reg(10)
+		rC2   = isa.Reg(11)
+		rW2   = isa.Reg(13)
+		rW    = isa.Reg(12)
+	)
+
+	b := isa.NewBuilder("gap." + c.String())
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.Label("top")
+	b.AndI(rT, rI, int64(nSlabs-1))
+	b.ShlI(rT, rT, 3)
+	b.Load(rSlab, rT, 0) // dispatch table: always L1-resident
+	b.MulI(rX, rI, idxMul)
+	b.AndI(rX, rX, int64(slabWords-1))
+	b.ShlI(rX, rX, 3)
+	b.Add(rA, rSlab, rX)
+	b.Load(rV, rA, 0)      // slab element: problem load (random in 4MB)
+	b.CmpLTI(rC, rV, 6000) // ~9% of the value range: a biased, predictable-ish branch
+	b.BrZ(rC, "common")
+	b.AddI(rOdd, rOdd, 1)
+	b.Jmp("join")
+	b.Label("common")
+	b.Add(rAcc, rAcc, rV)
+	b.Label("join")
+	for k := 0; k < 4; k++ {
+		b.AddI(rW, rW, 1)   // bookkeeping (one chain)
+		b.AddI(rW2, rW2, 2) // second independent chain keeps ILP available
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

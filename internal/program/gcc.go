@@ -1,0 +1,83 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "gcc",
+		Build:       buildGCC,
+		Description: "IR-walk-like: short-stride data-dependent walk over 32-byte records with per-record branching; moderate miss rate and a modest memory component, like gcc's 25% memory share in the paper",
+	})
+}
+
+// buildGCC walks an IR-node arena: each 32-byte record holds a type tag, a
+// byte delta to the next record, and a value. The next address comes from
+// the current record (a semi-chase), but deltas are short so the walk has
+// real locality — misses matter but do not dominate, matching gcc's profile.
+func buildGCC(c InputClass) *isa.Program {
+	seed := uint64(0x676363)
+	arenaWords := 1 << 16 // 512KB arena
+	steps := 9000
+	extraWork := 6
+	if c == Ref {
+		// Only data and immediates change across input classes: the static
+		// code must be identical so p-threads selected from one input's
+		// profile install on the other (same binary, different input).
+		seed = 0x67635265
+		steps = 8000
+	}
+	arenaBytes := arenaWords * 8
+
+	mem := make([]int64, arenaWords)
+	r := newLCG(seed)
+	// Records are 4 words (32 bytes): [type, delta, value, pad].
+	for rec := 0; rec < arenaWords/4; rec++ {
+		w := rec * 4
+		mem[w] = int64(r.intn(16))              // type
+		mem[w+1] = int64((1 + r.intn(16)) * 32) // delta: 32..512 bytes
+		mem[w+2] = int64(r.intn(1000))          // value
+	}
+
+	const (
+		rP    = isa.Reg(1)
+		rOff  = isa.Reg(2)
+		rT    = isa.Reg(3)
+		rD    = isa.Reg(4)
+		rV    = isa.Reg(5)
+		rC    = isa.Reg(6)
+		rAcc  = isa.Reg(7)
+		rAcc2 = isa.Reg(8)
+		rI    = isa.Reg(9)
+		rN    = isa.Reg(10)
+		rC2   = isa.Reg(11)
+		rW    = isa.Reg(12)
+	)
+
+	b := isa.NewBuilder("gcc." + c.String())
+	b.MovI(rOff, 0)
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.Label("top")
+	b.Mov(rP, rOff)      // arena starts at byte 0: address = offset
+	b.Load(rT, rP, 0)    // type: problem load (head of record)
+	b.Load(rD, rP, 8)    // delta (same block as type)
+	b.Load(rV, rP, 16)   // value (same block)
+	b.CmpLTI(rC, rT, 13) // types 0..15: ~81% taken, mostly predictable
+	b.BrZ(rC, "rare")
+	b.Add(rAcc, rAcc, rV)
+	b.Jmp("join")
+	b.Label("rare")
+	b.Sub(rAcc2, rAcc2, rV)
+	b.Label("join")
+	for k := 0; k < extraWork; k++ {
+		b.AddI(rW, rW, 3) // per-node processing work
+	}
+	b.Add(rOff, rOff, rD)
+	b.AndI(rOff, rOff, int64(arenaBytes-1))
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

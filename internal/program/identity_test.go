@@ -1,0 +1,24 @@
+package program
+
+import "testing"
+
+// TestStaticCodeIdenticalAcrossInputs checks the SPEC-binary property the
+// realistic-profiling experiment depends on: Train and Ref differ only in
+// data and immediates, never in code structure, so static PCs map 1:1.
+func TestStaticCodeIdenticalAcrossInputs(t *testing.T) {
+	for _, bm := range All() {
+		tr := bm.Build(Train)
+		rf := bm.Build(Ref)
+		if len(tr.Insts) != len(rf.Insts) {
+			t.Errorf("%s: %d train insts vs %d ref insts", bm.Name, len(tr.Insts), len(rf.Insts))
+			continue
+		}
+		for pc := range tr.Insts {
+			a, b := tr.Insts[pc], rf.Insts[pc]
+			if a.Op != b.Op || a.Dst != b.Dst || a.Src1 != b.Src1 || a.Src2 != b.Src2 || a.Target != b.Target {
+				t.Errorf("%s: pc %d structure differs: %s vs %s", bm.Name, pc, a, b)
+				break
+			}
+		}
+	}
+}

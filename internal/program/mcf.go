@@ -1,0 +1,127 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "mcf",
+		Build:       buildMCF,
+		Description: "network-simplex-like: serial pointer chase over node list (unhelpable misses) plus strided arc-array scan with data-dependent branches (helpable via induction unrolling)",
+	})
+}
+
+// buildMCF mimics mcf's two memory behaviours. The pointer chase's next
+// address depends on the previous load, so pre-execution cannot run ahead of
+// it — the flat PTHSEL cost model selects p-threads for it anyway and loses;
+// the criticality-based model recognizes the misses as non-shortenable. The
+// arc scan is a strided walk over a >L2 region behind a dependence-chain of
+// filler work that limits the window's natural MLP — classic pre-execution
+// territory.
+func buildMCF(c InputClass) *isa.Program {
+	seed := uint64(0x6d6366) // "mcf"
+	nNodes := 32768          // 64B records: 2MB chase footprint
+	chaseSteps := 2600
+	scanSteps := 9000
+	arcWords := 1 << 16 // 512KB arc values (power of two)
+	idxWords := 1 << 14 // 128KB arc-index stream (sequential, HW-prefetchable)
+	thresh := int64(15) // ~15% taken: biased cost branch
+	if c == Ref {
+		seed = 0x6d636652
+		nNodes = 28672
+		chaseSteps = 2200
+		scanSteps = 8000
+		thresh = 10
+	}
+
+	const nodeRec = 8 // words per node record (64B: one block per chase step)
+	nodesWords := nNodes * nodeRec
+	arcsBase := nodesWords         // word index of arc values
+	idxBase := arcsBase + arcWords // word index of the arc-index stream
+	mem := make([]int64, nodesWords+arcWords+idxWords)
+	r := newLCG(seed)
+	next := r.cyclePerm(nNodes)
+	for i := 0; i < nNodes; i++ {
+		mem[i*nodeRec] = int64(next[i] * nodeRec * 8) // next node byte address
+		mem[i*nodeRec+1] = int64(r.intn(100))         // cost
+	}
+	for w := 0; w < arcWords; w++ {
+		mem[arcsBase+w] = int64(r.intn(200) - 100)
+	}
+	// The arc-index stream gathers arcs in permuted order: every 8th entry
+	// points anywhere in the 512KB arc region (a problem access), the rest
+	// stay within a hot 32KB prefix.
+	for w := 0; w < idxWords; w++ {
+		if w%8 == 0 {
+			mem[idxBase+w] = int64(r.intn(arcWords))
+		} else {
+			mem[idxBase+w] = int64(r.intn(4096))
+		}
+	}
+
+	const (
+		rNode = isa.Reg(1)
+		rAcc  = isa.Reg(2)
+		rAcc2 = isa.Reg(3)
+		rC    = isa.Reg(4)
+		rCost = isa.Reg(5)
+		rI    = isa.Reg(6)
+		rS    = isa.Reg(7)
+		rJ    = isa.Reg(8)
+		rOff  = isa.Reg(9)
+		rAB   = isa.Reg(10)
+		rAddr = isa.Reg(11)
+		rV    = isa.Reg(12)
+		rF    = isa.Reg(13)
+		rC2   = isa.Reg(14)
+	)
+
+	b := isa.NewBuilder("mcf." + c.String())
+
+	// Phase 1: pointer chase. receipts-style accumulation with a data-
+	// dependent branch on the node cost.
+	b.MovI(rNode, 0)
+	b.MovI(rI, 0)
+	b.MovI(rS, int64(chaseSteps))
+	b.Label("chase")
+	b.Load(rCost, rNode, 8) // node cost: problem load (serial chain)
+	b.Add(rAcc, rAcc, rCost)
+	b.CmpLTI(rC, rCost, thresh)
+	b.BrZ(rC, "chase_skip")
+	b.AddI(rAcc2, rAcc2, 1)
+	b.Label("chase_skip")
+	b.Load(rNode, rNode, 0) // chase: problem load, address feeds itself
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "chase")
+
+	// Phase 2: arc gather. A sequential index stream (covered by the
+	// conventional stride prefetcher) gathers arcs in permuted order; the
+	// gather addresses defy address prediction and are the helpable problem
+	// loads, behind filler work that limits the window's natural MLP.
+	b.MovI(rJ, 0)
+	b.MovI(rAB, int64(arcsBase*8))
+	b.MovI(rOff, int64(idxBase*8))
+	b.MovI(rS, int64(scanSteps))
+	b.Label("scan")
+	b.AndI(rAddr, rJ, int64(idxWords-1))
+	b.ShlI(rAddr, rAddr, 3)
+	b.Add(rAddr, rAddr, rOff)
+	b.Load(rV, rAddr, 0) // arc index: sequential stream
+	b.ShlI(rV, rV, 3)
+	b.Add(rV, rV, rAB)
+	b.Load(rV, rV, 0) // arc cost: problem load (gather, defies prediction)
+	b.Add(rAcc, rAcc, rV)
+	b.CmpLTI(rC, rV, -60) // ~20% taken: negative-arc branch
+	b.BrZ(rC, "scan_join")
+	b.Sub(rAcc2, rAcc2, rV)
+	b.Label("scan_join")
+	for k := 0; k < 10; k++ {
+		b.AddI(rF, rF, 1) // serial filler: limits natural miss overlap
+	}
+	b.AddI(rJ, rJ, 1)
+	b.CmpLT(rC2, rJ, rS)
+	b.BrNZ(rC2, "scan")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

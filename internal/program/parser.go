@@ -1,0 +1,134 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "parser",
+		Build:       buildParser,
+		Description: "dictionary-probe-like: stream of word keys hashed into a >L2 bucket table with a one-deep rehash chain; the probe address is computable from the streamed key, so slices hoist well",
+	})
+}
+
+const parserHashMul = 2654435761
+
+// buildParser mimics the link-grammar dictionary lookup: keys stream from a
+// text region (sequential) and probe a hash table (random, >L2). Roughly a
+// quarter of the probes need a second bucket, creating an unpredictable
+// branch between trigger and target.
+func buildParser(c InputClass) *isa.Program {
+	seed := uint64(0x706172)
+	bucketEntries := 1 << 18 // 2MB table
+	textEntries := 1 << 15   // 256KB key stream
+	steps := 11000
+	secondProbeFrac := 4 // one in four keys needs the rehash probe
+	if c == Ref {
+		seed = 0x70617252
+		bucketEntries = 1 << 17
+		steps = 10000
+		secondProbeFrac = 3
+	}
+	bmask := bucketEntries - 1
+
+	textBase := 0
+	bucketBase := textEntries
+	mem := make([]int64, textEntries+bucketEntries)
+	r := newLCG(seed)
+	hash := func(k int64) int { return int((uint64(k*parserHashMul) >> 16)) & bmask }
+	// Three quarters of the text stream are "frequent words" drawn from a
+	// small dictionary whose buckets live in a hot 32KB prefix of the table
+	// (they hit the L2); the cold quarter probes the whole table and
+	// produces the problem-load misses.
+	hotBuckets := 4 << 10
+	var hotKeys []int64
+	for i := 0; i < textEntries; i++ {
+		wantHot := i%8 != 0
+		if wantHot && len(hotKeys) >= 512 {
+			mem[textBase+i] = hotKeys[r.intn(len(hotKeys))]
+			continue
+		}
+		// Find a fresh key in the wanted region, placeable at its home
+		// bucket or home+1 (no wrap: regenerate when the home bucket is the
+		// last entry).
+		for {
+			k := int64(1 + r.intn(1<<30))
+			h := hash(k)
+			if h >= bmask {
+				continue
+			}
+			if wantHot != (h < hotBuckets) {
+				continue
+			}
+			home := bucketBase + h
+			switch {
+			case mem[home] == 0 || mem[home] == k:
+				mem[home] = k
+			case r.intn(secondProbeFrac) == 0 && (mem[home+1] == 0 || mem[home+1] == k):
+				mem[home+1] = k
+			default:
+				continue
+			}
+			mem[textBase+i] = k
+			if wantHot {
+				hotKeys = append(hotKeys, k)
+			}
+			break
+		}
+	}
+
+	const (
+		rI    = isa.Reg(1)
+		rN    = isa.Reg(2)
+		rTB   = isa.Reg(3)
+		rBB   = isa.Reg(4)
+		rT    = isa.Reg(5)
+		rW    = isa.Reg(6)
+		rH    = isa.Reg(7)
+		rHA   = isa.Reg(8)
+		rE    = isa.Reg(9)
+		rC    = isa.Reg(10)
+		rE2   = isa.Reg(11)
+		rHits = isa.Reg(12)
+		rSec  = isa.Reg(13)
+		rMiss = isa.Reg(14)
+		rC2   = isa.Reg(15)
+		rIdx  = isa.Reg(16)
+	)
+
+	b := isa.NewBuilder("parser." + c.String())
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rTB, int64(textBase*8))
+	b.MovI(rBB, int64(bucketBase*8))
+	b.Label("top")
+	// Key index cycles through the text region.
+	b.AndI(rIdx, rI, int64(textEntries-1))
+	b.ShlI(rT, rIdx, 3)
+	b.Add(rT, rT, rTB)
+	b.Load(rW, rT, 0) // streamed key
+	b.MulI(rH, rW, parserHashMul)
+	b.ShrI(rH, rH, 16)
+	b.AndI(rH, rH, int64(bmask))
+	b.ShlI(rHA, rH, 3)
+	b.Add(rHA, rHA, rBB)
+	b.Load(rE, rHA, 0) // home bucket: problem load
+	b.CmpEQ(rC, rE, rW)
+	b.BrNZ(rC, "hit")
+	b.Load(rE2, rHA, 8) // rehash bucket (same block half the time)
+	b.CmpEQ(rC, rE2, rW)
+	b.BrNZ(rC, "hit2")
+	b.AddI(rMiss, rMiss, 1)
+	b.Jmp("join")
+	b.Label("hit2")
+	b.AddI(rSec, rSec, 1)
+	b.Jmp("join")
+	b.Label("hit")
+	b.AddI(rHits, rHits, 1)
+	b.Label("join")
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

@@ -1,0 +1,133 @@
+// Package program provides the nine synthetic benchmark workloads standing
+// in for the SPEC2000 integer benchmarks the paper evaluates (bzip2, gap,
+// gcc, mcf, parser, twolf, vortex, vpr.place, vpr.route — the subset that
+// suffers from L2 misses).
+//
+// Each workload is written in the micro-ISA and engineered to reproduce the
+// memory-behaviour class of its namesake: a small number of static "problem"
+// loads generating most L2 misses, with backward slices that the selection
+// framework can isolate and hoist. Data structures (permutations, linked
+// lists, hash tables, grids) are prepared in Go as the program's initialized
+// data segment, standing in for a loader; all hot-loop computation happens
+// in ISA code so real slices exist and p-threads execute real work.
+//
+// Workloads are parameterized by an InputClass: Train is the default
+// measurement input; Ref is a different input (different seed, size and
+// branch mix) used for the paper's realistic-profiling experiment (§5.3).
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// InputClass selects a workload input set.
+type InputClass int
+
+// Input classes. Train is the input the paper measures on; Ref is the
+// alternate input used for realistic profiling.
+const (
+	Train InputClass = iota
+	Ref
+)
+
+// String returns "train" or "ref".
+func (c InputClass) String() string {
+	if c == Ref {
+		return "ref"
+	}
+	return "train"
+}
+
+// Benchmark is a named synthetic workload generator.
+type Benchmark struct {
+	Name string
+	// Build constructs the program for the given input class. Builds are
+	// deterministic: the same class always yields the same program.
+	Build func(InputClass) *isa.Program
+	// Description summarizes which SPEC2000 behaviour the workload mimics.
+	Description string
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("program: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// All returns every benchmark in the paper's order.
+func All() []Benchmark {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Benchmark, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName looks up one benchmark.
+func ByName(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("program: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// lcg is a deterministic 64-bit linear congruential generator used by the
+// workload initializers (a tiny stand-in for the inputs' entropy; the module
+// avoids math/rand so the generated images are stable across Go releases).
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 16
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// perm returns a random permutation of [0, n).
+func (l *lcg) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := l.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// cyclePerm returns a permutation of [0,n) forming a single cycle, used for
+// pointer-chase lists that must not close early.
+func (l *lcg) cyclePerm(n int) []int {
+	order := l.perm(n)
+	next := make([]int, n)
+	for i := 0; i < n; i++ {
+		next[order[i]] = order[(i+1)%n]
+	}
+	return next
+}

@@ -1,0 +1,148 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"bzip2", "gap", "gcc", "mcf", "parser", "twolf", "vortex", "vpr.place", "vpr.route"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("have %d benchmarks %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestInputClassString(t *testing.T) {
+	if Train.String() != "train" || Ref.String() != "ref" {
+		t.Error("input class names wrong")
+	}
+}
+
+// TestAllBenchmarksRun executes every benchmark under both input classes and
+// checks the properties the reproduction depends on: the program terminates,
+// is big enough to be interesting, has a working set that misses in the L2,
+// and its misses are concentrated in a handful of static problem loads.
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, bm := range All() {
+		for _, class := range []InputClass{Train, Ref} {
+			bm, class := bm, class
+			t.Run(bm.Name+"/"+class.String(), func(t *testing.T) {
+				t.Parallel()
+				p := bm.Build(class)
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				tr, err := trace.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.Len() < 50_000 {
+					t.Errorf("only %d dynamic instructions", tr.Len())
+				}
+				if tr.Len() > 2_000_000 {
+					t.Errorf("%d dynamic instructions: too large for the experiment budget", tr.Len())
+				}
+				prof := profile.Collect(tr, cache.DefaultHierConfig())
+				if prof.TotalL2 < 1000 {
+					t.Errorf("only %d L2 misses: not an L2-bound workload", prof.TotalL2)
+				}
+				problems := prof.ProblemLoads(0.9, 50)
+				if len(problems) == 0 {
+					t.Fatal("no problem loads found")
+				}
+				if len(problems) > 12 {
+					t.Errorf("%d problem loads: misses not concentrated", len(problems))
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicBuilds checks that building twice yields identical images
+// (selection and measurement must agree on the program).
+func TestDeterministicBuilds(t *testing.T) {
+	for _, bm := range All() {
+		a := bm.Build(Train)
+		b := bm.Build(Train)
+		if len(a.Insts) != len(b.Insts) || len(a.InitMem) != len(b.InitMem) {
+			t.Fatalf("%s: non-deterministic build", bm.Name)
+		}
+		for i := range a.InitMem {
+			if a.InitMem[i] != b.InitMem[i] {
+				t.Fatalf("%s: memory image differs at word %d", bm.Name, i)
+			}
+		}
+	}
+}
+
+// TestTrainRefDiffer checks the two input classes are actually different
+// programs (the realistic-profiling experiment requires it).
+func TestTrainRefDiffer(t *testing.T) {
+	for _, bm := range All() {
+		tr := bm.Build(Train)
+		rf := bm.Build(Ref)
+		same := len(tr.InitMem) == len(rf.InitMem)
+		if same {
+			for i := range tr.InitMem {
+				if tr.InitMem[i] != rf.InitMem[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: train and ref inputs are identical", bm.Name)
+		}
+	}
+}
+
+func TestLCGHelpers(t *testing.T) {
+	r := newLCG(42)
+	seen := map[int]bool{}
+	p := r.perm(100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatal("perm is not a permutation")
+		}
+		seen[v] = true
+	}
+	cyc := r.cyclePerm(50)
+	// Following next pointers must visit all 50 nodes before returning.
+	at, steps := 0, 0
+	for {
+		at = cyc[at]
+		steps++
+		if at == 0 {
+			break
+		}
+		if steps > 50 {
+			t.Fatal("cyclePerm closed early or diverged")
+		}
+	}
+	if steps != 50 {
+		t.Errorf("cycle length %d, want 50", steps)
+	}
+	for i := 0; i < 100; i++ {
+		if n := r.intn(7); n < 0 || n >= 7 {
+			t.Fatalf("intn out of range: %d", n)
+		}
+	}
+}

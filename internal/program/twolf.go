@@ -1,0 +1,105 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "twolf",
+		Build:       buildTwolf,
+		Description: "placement-swap-like: register-resident LCG selects random cell pairs from a >L2 cell array; probe addresses are pure arithmetic, giving compact, highly hoistable slices",
+	})
+}
+
+// LCG constants shared by the twolf/vpr generators and their ISA loops
+// (int64 wrap-around multiplication matches isa.Mul semantics).
+const (
+	lcgMulA = 6364136223846793005
+	lcgAddC = 1442695040888963407
+)
+
+// buildTwolf mimics the annealing inner loop: pick two pseudo-random cells,
+// compare, conditionally accumulate a swap gain. Because the next indices
+// come from a register-only LCG, p-threads can run arbitrarily far ahead at
+// the cost of two ALU instructions per unrolled step — the energy-efficient
+// induction idiom the paper highlights.
+func buildTwolf(c InputClass) *isa.Program {
+	seed := int64(0x74776f6c66) // "twolf"
+	cellWords := 1 << 18        // 2MB cell array
+	steps := 9000
+	if c == Ref {
+		seed = 0x74776f52
+		cellWords = 1 << 17
+		steps = 8000
+	}
+	cmask := int64(cellWords - 1)
+
+	mem := make([]int64, cellWords)
+	r := newLCG(uint64(seed))
+	for w := range mem {
+		mem[w] = int64(r.intn(4096))
+	}
+
+	const (
+		rS    = isa.Reg(1)
+		rI1   = isa.Reg(2)
+		rA1   = isa.Reg(3)
+		rV1   = isa.Reg(4)
+		rI2   = isa.Reg(5)
+		rA2   = isa.Reg(6)
+		rV2   = isa.Reg(7)
+		rC    = isa.Reg(8)
+		rD    = isa.Reg(9)
+		rGain = isa.Reg(10)
+		rSwap = isa.Reg(11)
+		rI    = isa.Reg(12)
+		rN    = isa.Reg(13)
+		rC2   = isa.Reg(14)
+		rW    = isa.Reg(15)
+		rHot  = isa.Reg(16)
+		rT1   = isa.Reg(17)
+		rMask = isa.Reg(18)
+	)
+	hotMask := int64(4095) // 32KB hot subregion
+	coldExtra := cmask &^ hotMask
+
+	b := isa.NewBuilder("twolf." + c.String())
+	b.MovI(rS, seed)
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rHot, hotMask)
+	b.Label("top")
+	// Every 8th swap candidate comes from the cold (full) cell array; the
+	// rest stay in a hot 32KB subregion. The selection is branch-free mask
+	// arithmetic, so the problem load's slice stays purely computable.
+	b.AndI(rT1, rI, 7)
+	b.CmpEQI(rT1, rT1, 0)
+	b.MulI(rT1, rT1, coldExtra)
+	b.Or(rMask, rHot, rT1)
+	b.MulI(rS, rS, lcgMulA)
+	b.AddI(rS, rS, lcgAddC)
+	b.ShrI(rI1, rS, 33)
+	b.And(rI1, rI1, rMask)
+	b.ShlI(rA1, rI1, 3)
+	b.Load(rV1, rA1, 0) // cell 1: problem load (random, >L2)
+	b.MulI(rS, rS, lcgMulA)
+	b.AddI(rS, rS, lcgAddC)
+	b.ShrI(rI2, rS, 33)
+	b.And(rI2, rI2, rMask)
+	b.ShlI(rA2, rI2, 3)
+	b.Load(rV2, rA2, 0) // cell 2: problem load
+	b.Sub(rD, rV2, rV1)
+	b.Add(rGain, rGain, rD)
+	b.CmpLTI(rC, rD, -1400) // ~11% accept rate: annealing acceptance is biased
+	b.BrZ(rC, "noswap")
+	b.AddI(rSwap, rSwap, 1)
+	b.Label("noswap")
+	for k := 0; k < 4; k++ {
+		b.AddI(rW, rW, 1) // bookkeeping work
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

@@ -1,0 +1,101 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "vortex",
+		Build:       buildVortex,
+		Description: "object-database-like: three-level indirection (id stream → object index → object fields) with a type-dependent branch; deep slices spanning three loads",
+	})
+}
+
+// buildVortex mimics an OO-database traversal: a sequential id stream
+// indexes an object index whose entries point at 64-byte object records in
+// a >L2 heap; a quarter of the objects take a second field access on a
+// data-dependent path.
+func buildVortex(c InputClass) *isa.Program {
+	seed := uint64(0x766f7274)
+	idEntries := 1 << 16 // 512KB id stream
+	nObjs := 1 << 15     // index entries
+	heapRecs := 1 << 15  // 64-byte records: 2MB heap
+	steps := 9000
+	if c == Ref {
+		seed = 0x766f5265
+		heapRecs = 1 << 14
+		steps = 8000
+	}
+
+	idBase := 0
+	idxBase := idEntries
+	heapBase := idxBase + nObjs
+	mem := make([]int64, idEntries+nObjs+heapRecs*8)
+	r := newLCG(seed)
+	hotObjs := nObjs / 32
+	for i := 0; i < idEntries; i++ {
+		// Most references hit a hot object subset (database locality); the
+		// cold quarter generates the problem-load misses.
+		if i%8 == 0 {
+			mem[idBase+i] = int64(r.intn(nObjs))
+		} else {
+			mem[idBase+i] = int64(r.intn(hotObjs))
+		}
+	}
+	objOf := r.perm(nObjs) // scatter objects across the heap
+	for o := 0; o < nObjs; o++ {
+		rec := objOf[o] % heapRecs
+		mem[idxBase+o] = int64((heapBase + rec*8) * 8) // object byte address
+	}
+	for rec := 0; rec < heapRecs; rec++ {
+		w := heapBase + rec*8
+		mem[w] = int64(r.intn(256))   // field0: type/value
+		mem[w+1] = int64(r.intn(100)) // field1
+	}
+
+	const (
+		rI    = isa.Reg(1)
+		rN    = isa.Reg(2)
+		rIB   = isa.Reg(3)
+		rXB   = isa.Reg(4)
+		rT    = isa.Reg(5)
+		rOid  = isa.Reg(6)
+		rT2   = isa.Reg(7)
+		rObj  = isa.Reg(8)
+		rV    = isa.Reg(9)
+		rC    = isa.Reg(10)
+		rV2   = isa.Reg(11)
+		rAcc  = isa.Reg(12)
+		rAcc2 = isa.Reg(13)
+		rC2   = isa.Reg(14)
+		rIdx  = isa.Reg(15)
+	)
+
+	b := isa.NewBuilder("vortex." + c.String())
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rIB, int64(idBase*8))
+	b.MovI(rXB, int64(idxBase*8))
+	b.Label("top")
+	b.AndI(rIdx, rI, int64(idEntries-1))
+	b.ShlI(rT, rIdx, 3)
+	b.Add(rT, rT, rIB)
+	b.Load(rOid, rT, 0) // id stream (sequential)
+	b.ShlI(rT2, rOid, 3)
+	b.Add(rT2, rT2, rXB)
+	b.Load(rObj, rT2, 0) // object index: problem load (random)
+	b.Load(rV, rObj, 0)  // object field0: problem load (random, >L2)
+	b.AndI(rC, rV, 3)
+	b.BrNZ(rC, "common")
+	b.Load(rV2, rObj, 8) // rare path: second field (same block)
+	b.Add(rAcc2, rAcc2, rV2)
+	b.Jmp("join")
+	b.Label("common")
+	b.Add(rAcc, rAcc, rV)
+	b.Label("join")
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

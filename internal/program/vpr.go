@@ -1,0 +1,197 @@
+package program
+
+import "repro/internal/isa"
+
+func init() {
+	register(Benchmark{
+		Name:        "vpr.place",
+		Build:       buildVPRPlace,
+		Description: "placement-like: LCG-selected random cell pair plus adjacent fields from a >L2 grid, with a larger per-iteration cost computation than twolf",
+	})
+	register(Benchmark{
+		Name:        "vpr.route",
+		Build:       buildVPRRoute,
+		Description: "routing-wavefront-like: a queue stream fans out to four neighbor loads per expansion, all sharing one slice prefix — the natural composite/merged p-thread case",
+	})
+}
+
+// buildVPRPlace mimics the placer's swap evaluation: two random cells and a
+// neighbouring field of each, with a ~15-instruction cost computation and an
+// unpredictable accept branch.
+func buildVPRPlace(c InputClass) *isa.Program {
+	seed := int64(0x7670722e70)
+	cellWords := 1 << 18 // 2MB
+	steps := 8000
+	if c == Ref {
+		seed = 0x76707250
+		cellWords = 1 << 17
+		steps = 7000
+	}
+	// Mask to an even word so the +8 byte neighbour stays in the same
+	// record pair and in bounds.
+	cmask := int64(cellWords - 2)
+
+	mem := make([]int64, cellWords)
+	r := newLCG(uint64(seed))
+	for w := range mem {
+		mem[w] = int64(r.intn(2048))
+	}
+
+	const (
+		rS    = isa.Reg(1)
+		rI1   = isa.Reg(2)
+		rA1   = isa.Reg(3)
+		rV1   = isa.Reg(4)
+		rV1n  = isa.Reg(5)
+		rI2   = isa.Reg(6)
+		rA2   = isa.Reg(7)
+		rV2   = isa.Reg(8)
+		rV2n  = isa.Reg(9)
+		rD1   = isa.Reg(10)
+		rD2   = isa.Reg(11)
+		rCost = isa.Reg(12)
+		rC    = isa.Reg(13)
+		rAcc  = isa.Reg(14)
+		rRej  = isa.Reg(15)
+		rI    = isa.Reg(16)
+		rN    = isa.Reg(17)
+		rC2   = isa.Reg(18)
+		rW    = isa.Reg(19)
+		rHot  = isa.Reg(20)
+		rT1   = isa.Reg(21)
+		rMask = isa.Reg(22)
+	)
+	hotMask := int64(4094) // 32KB hot subregion, even-preserving
+	coldExtra := cmask &^ hotMask
+
+	b := isa.NewBuilder("vpr.place." + c.String())
+	b.MovI(rS, seed)
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rHot, hotMask)
+	b.Label("top")
+	// Branch-free hot/cold mask: every 8th candidate pair is cold.
+	b.AndI(rT1, rI, 7)
+	b.CmpEQI(rT1, rT1, 0)
+	b.MulI(rT1, rT1, coldExtra)
+	b.Or(rMask, rHot, rT1)
+	b.MulI(rS, rS, lcgMulA)
+	b.AddI(rS, rS, lcgAddC)
+	b.ShrI(rI1, rS, 33)
+	b.And(rI1, rI1, rMask)
+	b.ShlI(rA1, rI1, 3)
+	b.Load(rV1, rA1, 0)  // cell 1: problem load
+	b.Load(rV1n, rA1, 8) // cell 1 neighbour field (same block)
+	b.MulI(rS, rS, lcgMulA)
+	b.AddI(rS, rS, lcgAddC)
+	b.ShrI(rI2, rS, 33)
+	b.And(rI2, rI2, rMask)
+	b.ShlI(rA2, rI2, 3)
+	b.Load(rV2, rA2, 0)  // cell 2: problem load
+	b.Load(rV2n, rA2, 8) // cell 2 neighbour field
+	b.Sub(rD1, rV1, rV2)
+	b.Sub(rD2, rV1n, rV2n)
+	b.Add(rCost, rD1, rD2)
+	b.MulI(rCost, rCost, 3)
+	b.Add(rAcc, rAcc, rCost)
+	b.CmpLTI(rC, rCost, -2800) // biased accept branch (~18%)
+	b.BrZ(rC, "join")
+	b.AddI(rRej, rRej, 1)
+	b.Label("join")
+	for k := 0; k < 5; k++ {
+		b.AddI(rW, rW, 1) // annealing bookkeeping
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}
+
+// buildVPRRoute mimics wavefront expansion: queue[i] supplies the byte
+// offset of an interior grid cell; the loop reads its four neighbours (east,
+// west, south, north) and keeps a running minimum with data-dependent
+// branches. All four problem loads share the queue load in their slices.
+func buildVPRRoute(c InputClass) *isa.Program {
+	seed := uint64(0x7670722e72)
+	gridW := 512 // words per row
+	gridH := 512 // 2MB grid
+	queueEntries := 1 << 15
+	steps := 7000
+	if c == Ref {
+		seed = 0x76707252
+		gridH = 256
+		steps = 6000
+	}
+
+	gridWords := gridW * gridH
+	queueBase := gridWords
+	mem := make([]int64, gridWords+queueEntries)
+	r := newLCG(seed)
+	for w := 0; w < gridWords; w++ {
+		mem[w] = int64(r.intn(1 << 14)) // routing cost
+	}
+	for q := 0; q < queueEntries; q++ {
+		// The wavefront lingers in a hot band of rows (net locality); a
+		// quarter of expansions jump to cold rows and miss.
+		row := 1 + r.intn(gridH-2)
+		if q%8 != 0 {
+			row = 1 + r.intn(44)
+		}
+		col := 1 + r.intn(gridW-2)
+		mem[queueBase+q] = int64((row*gridW + col) * 8) // interior cell byte offset
+	}
+
+	rowBytes := int64(gridW * 8)
+	const (
+		rI   = isa.Reg(1)
+		rN   = isa.Reg(2)
+		rQB  = isa.Reg(3)
+		rT   = isa.Reg(4)
+		rCur = isa.Reg(5)
+		rN1  = isa.Reg(6)
+		rN2  = isa.Reg(7)
+		rN3  = isa.Reg(8)
+		rN4  = isa.Reg(9)
+		rMin = isa.Reg(10)
+		rC   = isa.Reg(11)
+		rAcc = isa.Reg(12)
+		rC2  = isa.Reg(13)
+		rIdx = isa.Reg(14)
+	)
+
+	b := isa.NewBuilder("vpr.route." + c.String())
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(steps))
+	b.MovI(rQB, int64(queueBase*8))
+	b.Label("top")
+	b.AndI(rIdx, rI, int64(queueEntries-1))
+	b.ShlI(rT, rIdx, 3)
+	b.Add(rT, rT, rQB)
+	b.Load(rCur, rT, 0)          // queue pop (sequential)
+	b.Load(rN1, rCur, 8)         // east: problem load
+	b.Load(rN2, rCur, -8)        // west (same block as east most of the time)
+	b.Load(rN3, rCur, rowBytes)  // south: problem load (different row)
+	b.Load(rN4, rCur, -rowBytes) // north: problem load (different row)
+	b.Mov(rMin, rN1)
+	b.CmpLT(rC, rN2, rMin)
+	b.BrZ(rC, "skip2")
+	b.Mov(rMin, rN2)
+	b.Label("skip2")
+	b.CmpLT(rC, rN3, rMin)
+	b.BrZ(rC, "skip3")
+	b.Mov(rMin, rN3)
+	b.Label("skip3")
+	b.CmpLT(rC, rN4, rMin)
+	b.BrZ(rC, "skip4")
+	b.Mov(rMin, rN4)
+	b.Label("skip4")
+	b.Add(rAcc, rAcc, rMin)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rN)
+	b.BrNZ(rC2, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}

@@ -1,0 +1,58 @@
+package pthsel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: compositeADV at W=1 recovers the latency advantage exactly and
+// at W=0 the energy advantage exactly, for any positive baselines and
+// advantages smaller than them.
+func TestCompositeEndpointsProperty(t *testing.T) {
+	check := func(l0u, e0u, lu, eu uint32) bool {
+		l0 := float64(l0u%1_000_000) + 1000
+		e0 := float64(e0u%5_000_000) + 1000
+		ladv := float64(lu) * l0 / (2 * float64(math.MaxUint32))
+		eadv := float64(eu) * e0 / (2 * float64(math.MaxUint32))
+		w1 := compositeADV(1, l0, e0, ladv, eadv)
+		w0 := compositeADV(0, l0, e0, ladv, eadv)
+		return math.Abs(w1-ladv) < 1e-6*l0 && math.Abs(w0-eadv) < 1e-6*e0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compositeADV is monotone in both advantages for any W in (0,1).
+func TestCompositeMonotoneProperty(t *testing.T) {
+	check := func(wu uint8, lu, eu uint16) bool {
+		w := (float64(wu%99) + 1) / 100
+		l0, e0 := 1e6, 4e6
+		ladv := float64(lu % 10000)
+		eadv := float64(eu % 10000)
+		base := compositeADV(w, l0, e0, ladv, eadv)
+		moreL := compositeADV(w, l0, e0, ladv+1000, eadv)
+		moreE := compositeADV(w, l0, e0, ladv, eadv+1000)
+		return moreL >= base-1e-9 && moreE >= base-1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composite advantage of zero advantages is zero and negative
+// advantages compose to a negative composite (for interior W).
+func TestCompositeSignProperty(t *testing.T) {
+	check := func(lu, eu uint16) bool {
+		l0, e0 := 1e6, 4e6
+		loss := compositeADV(0.5, l0, e0, -float64(lu%10000)-1, -float64(eu%10000)-1)
+		return loss < 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	if compositeADV(0.5, 1e6, 4e6, 0, 0) != 0 {
+		t.Error("zero advantages must compose to zero")
+	}
+}

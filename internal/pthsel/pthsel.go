@@ -1,0 +1,275 @@
+// Package pthsel implements the paper's primary contribution: the analytical
+// p-thread selection frameworks.
+//
+// PTHSEL (Roth & Sohi, MICRO-35; the paper's Table 1) evaluates every slice-
+// tree candidate with the aggregate latency advantage
+//
+//	LADVagg(p) = DCptcm(p)·LRED(p) − DCtrig(p)·LOH(p)          (L1–L3)
+//	LOH(p)     = (SIZE(p)/BWSEQproc)·(BWSEQmt/BWSEQproc)       (L4)
+//
+// and selects the positive-advantage set, discounting parents by the
+// coverage of selected children (L7).
+//
+// This package also implements both of the paper's extensions:
+//
+//   - the criticality-based load cost model (§4.1): LRED is passed through a
+//     per-load latency-reduction → execution-time-reduction curve computed by
+//     the critpath package, replacing the flat cycle-for-cycle assumption;
+//
+//   - PTHSEL+E (§4.2, Table 2): the explicit energy model
+//
+//     EADVagg(p) = LADVagg(p)·Eidle/c − DCtrig(p)·EOH(p)         (E1–E3)
+//     EOH(p)     = Ef(p) + Ex(p) + EL2(p)                        (E4–E7)
+//
+//     and the composite advantage (C1)
+//
+//     CADVagg(p) = L0^W·E0^(1−W) − (L0−LADVagg)^W·(E0−EADVagg)^(1−W)
+//
+// which retargets selection at latency (W=1), energy (W=0), ED (W=0.5) or
+// ED² (W=0.67).
+package pthsel
+
+import (
+	"math"
+
+	"repro/internal/critpath"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/slicer"
+)
+
+// Target selects the optimization objective, named as in the paper's
+// evaluation: O-p-threads (original flat-cost PTHSEL), L (latency with the
+// criticality model), E (energy), P (ED), P2 (ED²).
+type Target int
+
+// Selection targets.
+const (
+	TargetO  Target = iota // original PTHSEL: flat miss-cost model, latency objective
+	TargetL                // PTHSEL+E latency: criticality-based cost model
+	TargetE                // PTHSEL+E energy (W = 0)
+	TargetP                // PTHSEL+E ED (W = 0.5)
+	TargetP2               // PTHSEL+E ED² (W = 0.67)
+)
+
+// String names the target as the paper's figures do.
+func (t Target) String() string {
+	switch t {
+	case TargetO:
+		return "O"
+	case TargetL:
+		return "L"
+	case TargetE:
+		return "E"
+	case TargetP:
+		return "P"
+	default:
+		return "P2"
+	}
+}
+
+// W returns the composition weight parameter (C2) of the target.
+func (t Target) W() float64 {
+	switch t {
+	case TargetO, TargetL:
+		return 1
+	case TargetE:
+		return 0
+	case TargetP:
+		return 0.5
+	default:
+		return 0.67
+	}
+}
+
+// Params carries the external parameters of the selection equations.
+type Params struct {
+	BWSEQproc float64 // processor sequencing width (L5)
+	BWSEQmt   float64 // unoptimized main-thread IPC (L6)
+	MissLat   float64 // Lcm: full L2-miss latency (L5)
+
+	// Per-hierarchy-level load-use latencies, for estimating the execution
+	// time of p-thread bodies with embedded loads.
+	LatL1, LatL2, LatMem float64
+
+	Energy energy.Params // supplies Ef/a, Exall/a, Exalu/a, Exload/a, EL2/a, Eidle/c (E8)
+
+	L0 float64 // unoptimized execution time (C2)
+	E0 float64 // unoptimized energy, absolute, including idle (C2)
+
+	// Curves maps problem-load PCs to criticality cost curves. Targets
+	// other than O require an entry per tree; TargetO always uses the flat
+	// curve regardless.
+	Curves map[int32]critpath.Curve
+
+	// MinDCptcm drops candidates covering fewer (scaled) misses: tiny
+	// one-off slices (e.g. triggered at loop-entry code that executes once)
+	// pass the positive-advantage test but are statistical noise.
+	MinDCptcm float64
+}
+
+// Candidate is one evaluated (trigger, body) pair with its model metrics.
+type Candidate struct {
+	Tree *slicer.Tree
+	Node *slicer.Node
+
+	Body    []isa.Inst // optimized body (inductions collapsed)
+	Size    int        // SIZE(p) after optimization
+	Loads   int        // LOAD(p): embedded loads + target
+	ALUs    int        // ALU(p)
+	DCtrig  float64
+	DCptcm  float64 // scaled to full-run misses
+	Dist    float64 // mean trigger→target dynamic distance (instructions)
+	LRED    float64 // tolerated latency per covered miss (cycles)
+	PerMiss float64 // execution-time gain per covered miss (curve(LRED))
+
+	LOHagg  float64 // aggregate latency overhead (L2)
+	LADVagg float64 // aggregate latency advantage (L1), before overlap discount
+	EOH     float64 // per-instance energy overhead (E4)
+	EOHagg  float64 // aggregate energy overhead (E3)
+	EADVagg float64 // aggregate energy advantage (E1)
+
+	selected bool
+	overlap  float64 // misses credited to other selected candidates on the same path
+}
+
+// Objective returns the candidate's advantage under the target, given
+// effective (possibly overlap-discounted) coverage.
+func (c *Candidate) objective(t Target, prm Params, coveredBelow float64) float64 {
+	eff := c.DCptcm - coveredBelow
+	if eff < 0 {
+		eff = 0
+	}
+	ladv := eff*c.PerMiss - c.LOHagg
+	eadv := ladv*prm.Energy.IdlePerCycle() - c.EOHagg
+	switch t {
+	case TargetO, TargetL:
+		return ladv
+	case TargetE:
+		return eadv
+	default:
+		return compositeADV(t.W(), prm.L0, prm.E0, ladv, eadv)
+	}
+}
+
+// compositeADV implements equation C1. Advantages approaching the absolute
+// baselines are clamped (they cannot exceed them physically; the model's
+// aggressiveness occasionally predicts more).
+func compositeADV(w, l0, e0, ladv, eadv float64) float64 {
+	if l0 <= 0 || e0 <= 0 {
+		return 0
+	}
+	lrem := l0 - ladv
+	if lrem < 1 {
+		lrem = 1
+	}
+	erem := e0 - eadv
+	if erem < 1 {
+		erem = 1
+	}
+	return math.Pow(l0, w)*math.Pow(e0, 1-w) - math.Pow(lrem, w)*math.Pow(erem, 1-w)
+}
+
+// evaluate computes the model metrics of one slice-tree node.
+func evaluate(tree *slicer.Tree, node *slicer.Node, prog *isa.Program, prof *profile.Profile, prm Params, t Target) *Candidate {
+	rawBody := node.Body(prog)
+	pcs := pathPCs(node) // static PC of each raw body instruction
+	body := slicer.OptimizeBody(rawBody)
+	c := &Candidate{
+		Tree:   tree,
+		Node:   node,
+		Body:   body,
+		Size:   len(body),
+		DCtrig: float64(node.DCtrig),
+		DCptcm: float64(node.DCptcm) * tree.Scale,
+		Dist:   node.MeanDist(),
+	}
+	for _, in := range body {
+		switch {
+		case in.IsLoad():
+			c.Loads++
+		case in.IsALU():
+			c.ALUs++
+		}
+	}
+
+	// --- Latency model (Table 1). ---
+	// The main thread reaches the target Dist instructions after the
+	// trigger; the p-thread issues its target after sequencing the body at
+	// 1 IPC and waiting for embedded loads (estimated at their main-program
+	// service levels). Optimization never removes loads, so the raw body's
+	// PCs identify them exactly.
+	tMain := c.Dist / prm.BWSEQmt
+	tPth := float64(c.Size)
+	for i, in := range rawBody {
+		if in.IsLoad() && i != len(rawBody)-1 {
+			tPth += embeddedLoadLatency(prof, pcs[i], prm)
+		}
+	}
+	lred := tMain - tPth
+	if lred < 0 {
+		lred = 0
+	}
+	if lred > prm.MissLat {
+		lred = prm.MissLat
+	}
+	c.LRED = lred
+
+	curve := critpath.FlatCurve(prm.MissLat)
+	if t != TargetO {
+		if cv, ok := prm.Curves[tree.TargetPC]; ok {
+			curve = cv
+		}
+	}
+	c.PerMiss = curve.GainAt(lred)
+
+	loh := (float64(c.Size) / prm.BWSEQproc) * (prm.BWSEQmt / prm.BWSEQproc) // L4
+	c.LOHagg = c.DCtrig * loh                                                // L2
+	c.LADVagg = c.DCptcm*c.PerMiss - c.LOHagg                                // L1, L3
+
+	// --- Energy model (Table 2). ---
+	ep := prm.Energy
+	ef := math.Ceil(float64(c.Size)/prm.BWSEQproc) * ep.FetchBlock                               // E5
+	ex := float64(c.Size)*ep.ExecAll + float64(c.ALUs)*ep.ExecALU + float64(c.Loads)*ep.ExecLoad // E6
+	el2 := 0.0                                                                                   // E7
+	for i, in := range rawBody {
+		if !in.IsLoad() {
+			continue
+		}
+		if i == len(rawBody)-1 {
+			el2 += ep.L2Access // the target load always accesses the L2
+		} else if ls, ok := prof.Loads[pcs[i]]; ok {
+			el2 += ls.L1MissRate() * ep.L2Access
+		}
+	}
+	c.EOH = ef + ex + el2
+	c.EOHagg = c.DCtrig * c.EOH                        // E3
+	c.EADVagg = c.LADVagg*ep.IdlePerCycle() - c.EOHagg // E1, E2
+
+	return c
+}
+
+// pathPCs returns the static PC of each raw body instruction, in body
+// (execution) order: the node itself is body[0], the root load is last.
+func pathPCs(node *slicer.Node) []int32 {
+	var pcs []int32
+	for n := node; n != nil; n = n.Parent {
+		pcs = append(pcs, n.PC)
+	}
+	return pcs
+}
+
+// embeddedLoadLatency estimates an embedded p-thread load’s latency from
+// the main program’s service-level statistics for the same static load
+// (eq. E7’s assumption: embedded p-thread loads miss at the rate of the
+// corresponding main-program load).
+func embeddedLoadLatency(prof *profile.Profile, pc int32, prm Params) float64 {
+	ls, ok := prof.Loads[pc]
+	if !ok || ls.Execs == 0 {
+		return prm.LatL1
+	}
+	l1m := ls.L1MissRate()
+	l2m := float64(ls.L2Misses) / float64(ls.Execs)
+	return prm.LatL1 + l1m*(prm.LatL2-prm.LatL1) + l2m*(prm.LatMem-prm.LatL2)
+}

@@ -1,0 +1,294 @@
+package pthsel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/critpath"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/slicer"
+	"repro/internal/trace"
+)
+
+func TestTargetNamesAndWeights(t *testing.T) {
+	cases := []struct {
+		tgt  Target
+		name string
+		w    float64
+	}{
+		{TargetO, "O", 1},
+		{TargetL, "L", 1},
+		{TargetE, "E", 0},
+		{TargetP, "P", 0.5},
+		{TargetP2, "P2", 0.67},
+	}
+	for _, c := range cases {
+		if c.tgt.String() != c.name {
+			t.Errorf("target name = %q, want %q", c.tgt.String(), c.name)
+		}
+		if c.tgt.W() != c.w {
+			t.Errorf("W(%s) = %v, want %v", c.name, c.tgt.W(), c.w)
+		}
+	}
+}
+
+func TestCompositeADVReducesToComponents(t *testing.T) {
+	l0, e0 := 1e6, 5e6
+	ladv, eadv := 1e5, 2e5
+	// W=1: CADV = L0 - (L0-LADV) = LADV exactly.
+	if got := compositeADV(1, l0, e0, ladv, eadv); math.Abs(got-ladv) > 1e-6 {
+		t.Errorf("W=1 composite = %v, want %v", got, ladv)
+	}
+	// W=0: CADV = E0 - (E0-EADV) = EADV exactly.
+	if got := compositeADV(0, l0, e0, ladv, eadv); math.Abs(got-eadv) > 1e-6 {
+		t.Errorf("W=0 composite = %v, want %v", got, eadv)
+	}
+}
+
+func TestCompositeADVMonotone(t *testing.T) {
+	l0, e0 := 1e6, 5e6
+	base := compositeADV(0.5, l0, e0, 1e5, 1e5)
+	if compositeADV(0.5, l0, e0, 2e5, 1e5) <= base {
+		t.Error("composite not monotone in LADV")
+	}
+	if compositeADV(0.5, l0, e0, 1e5, 2e5) <= base {
+		t.Error("composite not monotone in EADV")
+	}
+	if compositeADV(0.5, l0, e0, 0, 0) != 0 {
+		t.Error("zero advantages must compose to zero")
+	}
+	// Degenerate baselines.
+	if compositeADV(0.5, 0, e0, 1, 1) != 0 {
+		t.Error("degenerate L0 must yield 0")
+	}
+}
+
+func TestCompositeADVNegativeEADV(t *testing.T) {
+	// A latency gain with an energy loss: ED advantage must fall between
+	// the pure-latency and pure-energy views and stay finite.
+	l0, e0 := 1e6, 5e6
+	got := compositeADV(0.5, l0, e0, 1e5, -2e5)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatal("composite not finite")
+	}
+	if got >= compositeADV(0.5, l0, e0, 1e5, 0) {
+		t.Error("energy loss must reduce the composite")
+	}
+}
+
+// testWorkload builds a stride-miss loop with filler work — the canonical
+// pre-executable workload — and returns everything selection needs.
+func testWorkload(t *testing.T, iters, filler int) (*trace.Trace, *profile.Profile, []*slicer.Tree, Params) {
+	t.Helper()
+	const (
+		rI, rN, rAddr, rV, rAcc, rC, rF = isa.Reg(1), isa.Reg(2), isa.Reg(3),
+			isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+	)
+	b := isa.NewBuilder("wl")
+	b.MovI(rI, 0)
+	b.MovI(rN, int64(iters))
+	b.Label("top")
+	b.AddI(rI, rI, 1)
+	b.ShlI(rAddr, rI, 6)
+	b.Load(rV, rAddr, 0)
+	b.Add(rAcc, rAcc, rV)
+	for k := 0; k < filler; k++ {
+		b.AddI(rF, rF, 1)
+	}
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(make([]int64, iters*8+16))
+	tr := trace.MustRun(b.MustBuild())
+
+	// Disable the conventional stride prefetcher: this synthetic loop is a
+	// pure stride walk, and the tests are about selection mechanics.
+	hier := cache.DefaultHierConfig()
+	hier.StrideEntries = 0
+	prof := profile.Collect(tr, hier)
+	problems := prof.ProblemLoads(0.9, 50)
+	if len(problems) == 0 {
+		t.Fatal("workload has no problem loads")
+	}
+	trees := slicer.BuildTrees(tr, prof, problems, slicer.DefaultConfig())
+
+	cp := critpath.New(tr, prof, critpath.DefaultConfig(hier))
+	curves := make(map[int32]critpath.Curve)
+	for _, ls := range problems {
+		curves[ls.PC] = cp.CostCurve(ls.PC)
+	}
+	baseline := float64(cp.Baseline())
+	prm := Params{
+		BWSEQproc: 6,
+		BWSEQmt:   float64(tr.Len()) / baseline,
+		MissLat:   float64(hier.MemLatency),
+		LatL1:     float64(hier.L1D.HitLatency),
+		LatL2:     float64(hier.L1D.HitLatency + hier.L2.HitLatency),
+		LatMem:    float64(hier.L1D.HitLatency + hier.L2.HitLatency + hier.MemLatency),
+		Energy:    energy.DefaultParams(),
+		L0:        baseline,
+		E0:        baseline * 30, // rough absolute energy; only ratios matter
+		Curves:    curves,
+	}
+	return tr, prof, trees, prm
+}
+
+func TestSelectLatencyProducesHoistedPThreads(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 4800, 20)
+	sel := Select(tr, prof, trees, prm, TargetL)
+	if len(sel.PThreads) == 0 {
+		t.Fatal("no p-threads selected for an ideal pre-execution workload")
+	}
+	for _, pt := range sel.PThreads {
+		if err := pt.Validate(); err != nil {
+			t.Errorf("selected p-thread invalid: %v", err)
+		}
+	}
+	if sel.PredLADV <= 0 {
+		t.Error("predicted latency advantage must be positive")
+	}
+	// The selected body must contain a collapsed induction — evidence of
+	// hoisting via induction unrolling (i += k with k > 1).
+	found := false
+	for _, pt := range sel.PThreads {
+		for _, in := range pt.Body {
+			if in.Op == isa.AddI && in.Dst == in.Src1 && in.Imm > 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no collapsed induction (i += k) in any selected body")
+	}
+}
+
+func TestSelectTargetsAreOrdered(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 4800, 20)
+	selL := Select(tr, prof, trees, prm, TargetL)
+	selE := Select(tr, prof, trees, prm, TargetE)
+	selP := Select(tr, prof, trees, prm, TargetP)
+
+	// Model-space robustness: L maximizes predicted latency advantage,
+	// E maximizes predicted energy advantage.
+	if selL.PredLADV < selE.PredLADV-1e-6 {
+		t.Errorf("L predicts less latency gain (%v) than E (%v)", selL.PredLADV, selE.PredLADV)
+	}
+	if selE.PredEADV < selL.PredEADV-1e-6 {
+		t.Errorf("E predicts less energy gain (%v) than L (%v)", selE.PredEADV, selL.PredEADV)
+	}
+	// E-p-threads only pay for themselves: every chosen candidate's
+	// discounted energy objective was positive.
+	for _, c := range selE.Chosen {
+		if c.EADVagg <= 0 {
+			t.Errorf("E target selected a candidate with EADVagg = %v", c.EADVagg)
+		}
+	}
+	// ED sits between: its predicted LADV between E's and L's.
+	if selP.PredLADV > selL.PredLADV+1e-6 {
+		t.Error("P predicts more latency gain than L")
+	}
+	_ = selP
+}
+
+func TestSelectOWithFlatModelIsMoreAggressive(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 4800, 20)
+	selO := Select(tr, prof, trees, prm, TargetO)
+	selL := Select(tr, prof, trees, prm, TargetL)
+	if len(selO.PThreads) == 0 {
+		t.Fatal("O selected nothing")
+	}
+	// The flat model over-credits latency tolerance, so O's predicted
+	// advantage is at least L's (same candidates, inflated gains).
+	if selO.PredLADV < selL.PredLADV-1e-6 {
+		t.Errorf("O prediction %v below L prediction %v", selO.PredLADV, selL.PredLADV)
+	}
+	// O's selections are roughly as long/aggressive on average (the flat
+	// model's sweet spot can differ per path by an instruction or two).
+	if selO.AvgPThreadLen() < selL.AvgPThreadLen()-2 {
+		t.Errorf("O avg body %v much shorter than L %v", selO.AvgPThreadLen(), selL.AvgPThreadLen())
+	}
+}
+
+func TestZeroIdleFactorKillsEPThreads(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 4800, 20)
+	prm.Energy.IdleFactor = 0
+	selE := Select(tr, prof, trees, prm, TargetE)
+	// With Eidle/c = 0, EREDagg is zero and every EADVagg is negative: the
+	// paper's observation that no E-p-threads exist at a 0% idle factor.
+	if len(selE.PThreads) != 0 {
+		t.Errorf("E target selected %d p-threads with zero idle energy", len(selE.PThreads))
+	}
+}
+
+func TestSelectionDeterminism(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 3000, 16)
+	a := Select(tr, prof, trees, prm, TargetP)
+	b := Select(tr, prof, trees, prm, TargetP)
+	if len(a.PThreads) != len(b.PThreads) || a.PredLADV != b.PredLADV {
+		t.Fatal("selection not deterministic")
+	}
+	for i := range a.PThreads {
+		if a.PThreads[i].TriggerPC != b.PThreads[i].TriggerPC ||
+			len(a.PThreads[i].Body) != len(b.PThreads[i].Body) {
+			t.Fatal("p-thread sets differ between runs")
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 3000, 16)
+	tree := trees[0]
+	var anyNode *slicer.Node
+	tree.Walk(func(n *slicer.Node) {
+		if n.Depth >= 3 && anyNode == nil {
+			anyNode = n
+		}
+	})
+	if anyNode == nil {
+		t.Fatal("no deep node")
+	}
+	c := evaluate(tree, anyNode, tr.Prog, prof, prm, TargetL)
+	if c.Size <= 0 || c.Size > anyNode.Depth {
+		t.Errorf("size %d vs depth %d", c.Size, anyNode.Depth)
+	}
+	if c.Loads < 1 {
+		t.Error("body must include the target load")
+	}
+	if c.DCtrig <= 0 || c.DCptcm <= 0 {
+		t.Error("dynamic counts missing")
+	}
+	if c.EOH <= 0 {
+		t.Error("energy overhead must be positive")
+	}
+	// E5: fetch energy quantized in processor-width blocks.
+	wantEf := math.Ceil(float64(c.Size)/prm.BWSEQproc) * prm.Energy.FetchBlock
+	ex := float64(c.Size)*prm.Energy.ExecAll + float64(c.ALUs)*prm.Energy.ExecALU + float64(c.Loads)*prm.Energy.ExecLoad
+	if c.EOH < wantEf+ex-1e-9 {
+		t.Errorf("EOH %v below fetch+exec %v", c.EOH, wantEf+ex)
+	}
+}
+
+func TestOverlapDiscounting(t *testing.T) {
+	tr, prof, trees, prm := testWorkload(t, 4800, 20)
+	sel := Select(tr, prof, trees, prm, TargetL)
+	// Total predicted advantage must not exceed the undiscounted sum of
+	// advantages (discounting can only reduce) and must not double-count:
+	// it cannot exceed total misses × max per-miss gain.
+	var rawSum, maxGain float64
+	for _, c := range sel.Chosen {
+		rawSum += c.LADVagg
+		if c.PerMiss > maxGain {
+			maxGain = c.PerMiss
+		}
+	}
+	if sel.PredLADV > rawSum+1e-6 {
+		t.Errorf("discounted total %v exceeds raw sum %v", sel.PredLADV, rawSum)
+	}
+	totalMisses := float64(prof.TotalL2)
+	if sel.PredLADV > totalMisses*maxGain*1.05 {
+		t.Errorf("predicted advantage %v exceeds coverage bound %v", sel.PredLADV, totalMisses*maxGain)
+	}
+}

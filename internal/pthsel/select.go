@@ -1,0 +1,222 @@
+package pthsel
+
+import (
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/slicer"
+	"repro/internal/trace"
+)
+
+// Selection is the output of a selection run: the chosen p-threads ready for
+// installation in the simulator, plus the model's aggregate predictions
+// (used by the paper's validation experiment, Table 3).
+type Selection struct {
+	Target   Target
+	PThreads []*cpu.PThread
+
+	// Aggregate predictions over the selected set, after overlap
+	// discounting: predicted cycles saved, energy saved, and composite
+	// (ED^W) advantage.
+	PredLADV float64
+	PredEADV float64
+	PredCADV float64
+
+	// Chosen is the per-candidate detail, for diagnostics.
+	Chosen []*Candidate
+
+	// CandidatesEvaluated counts all tree nodes examined.
+	CandidatesEvaluated int
+}
+
+// AvgPThreadLen returns the mean selected body length (the paper's "avg pth
+// len" diagnostic).
+func (s *Selection) AvgPThreadLen() float64 {
+	if len(s.Chosen) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, c := range s.Chosen {
+		sum += c.Size
+	}
+	return float64(sum) / float64(len(s.Chosen))
+}
+
+// Select runs the full selection pipeline for one program: evaluate every
+// slice-tree candidate under the target's objective, keep the positive set,
+// apply parent/child overlap discounting (de-selecting candidates whose
+// discounted advantage turns negative, eq. L7), and merge selected p-threads
+// with common triggers (the paper's post-pass).
+func Select(tr *trace.Trace, prof *profile.Profile, trees []*slicer.Tree, prm Params, target Target) *Selection {
+	sel := &Selection{Target: target}
+
+	// Evaluate every candidate.
+	var all []*Candidate
+	for _, tree := range trees {
+		tree.Walk(func(n *slicer.Node) {
+			sel.CandidatesEvaluated++
+			c := evaluate(tree, n, tr.Prog, prof, prm, target)
+			if c.DCptcm >= prm.MinDCptcm && c.objective(target, prm, 0) > 0 {
+				all = append(all, c)
+			}
+		})
+	}
+
+	// Best-first greedy with overlap discounting (the paper's L7): rank by
+	// undiscounted objective, then admit each candidate only if it remains
+	// profitable after crediting misses already covered by selected
+	// candidates on the same tree path. For an ancestor/descendant pair the
+	// shared misses are the deeper node's coverage (its slices pass through
+	// the shallower node). This keeps the sweet-spot candidate of each path
+	// and admits siblings that add coverage (control forks).
+	sort.Slice(all, func(i, j int) bool {
+		oi, oj := all[i].objective(target, prm, 0), all[j].objective(target, prm, 0)
+		if oi != oj {
+			return oi > oj
+		}
+		if all[i].Node.PC != all[j].Node.PC {
+			return all[i].Node.PC < all[j].Node.PC
+		}
+		return all[i].Node.Depth < all[j].Node.Depth
+	})
+	var selected []*Candidate
+	for _, c := range all {
+		overlap := 0.0
+		dupTrigger := false
+		for _, s := range selected {
+			if s.Tree != c.Tree {
+				continue
+			}
+			if s.Node.PC == c.Node.PC {
+				// A same-trigger candidate for the same load is already
+				// selected: this one is the same slice at a different
+				// unroll phase. Admitting it would double the per-spawn
+				// cost without being priced by the per-candidate model.
+				dupTrigger = true
+				break
+			}
+			if isAncestor(s.Node, c.Node) {
+				overlap += c.DCptcm // c's slices pass through s
+			} else if isAncestor(c.Node, s.Node) {
+				overlap += s.DCptcm
+			}
+		}
+		if dupTrigger {
+			continue
+		}
+		if overlap > c.DCptcm {
+			overlap = c.DCptcm
+		}
+		if c.objective(target, prm, overlap) > 0 {
+			c.selected = true
+			c.overlap = overlap
+			selected = append(selected, c)
+		}
+	}
+
+	// Aggregate discounted predictions over the selected set.
+	for _, c := range selected {
+		eff := c.DCptcm - c.overlap
+		if eff < 0 {
+			eff = 0
+		}
+		ladv := eff*c.PerMiss - c.LOHagg
+		eadv := ladv*prm.Energy.IdlePerCycle() - c.EOHagg
+		sel.PredLADV += ladv
+		sel.PredEADV += eadv
+		sel.Chosen = append(sel.Chosen, c)
+	}
+	sel.PredCADV = compositeADV(target.W(), prm.L0, prm.E0, sel.PredLADV, sel.PredEADV)
+
+	sel.PThreads = assemble(sel.Chosen)
+	return sel
+}
+
+// isAncestor reports whether a is a (strict or equal) ancestor of b in the
+// slice tree.
+func isAncestor(a, b *slicer.Node) bool {
+	for cur := b; cur != nil; cur = cur.Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// assemble converts the chosen candidates into simulator p-threads, merging
+// bodies that share a trigger PC when the merge is dataflow-safe.
+func assemble(chosen []*Candidate) []*cpu.PThread {
+	// Deterministic order: by trigger PC, then body size.
+	sorted := append([]*Candidate(nil), chosen...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ti := triggerPC(sorted[i])
+		tj := triggerPC(sorted[j])
+		if ti != tj {
+			return ti < tj
+		}
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].Tree.TargetPC < sorted[j].Tree.TargetPC
+	})
+
+	var out []*cpu.PThread
+	for _, c := range sorted {
+		trig := triggerPC(c)
+		merged := false
+		for _, pt := range out {
+			if pt.TriggerPC != trig {
+				continue
+			}
+			m, ok := slicer.MergeBodies(pt.Body, c.Body)
+			if !ok {
+				continue
+			}
+			// Only merge when the bodies genuinely share work: a merge that
+			// appends a mostly-disjoint suffix doubles the spawn's energy
+			// without the shared-prefix benefit the post-pass assumes.
+			shared := len(pt.Body) + len(c.Body) - len(m)
+			if shared*2 < len(c.Body) {
+				continue
+			}
+			// Merging appends the new body's divergent suffix, so prior
+			// target indices are unchanged. The new target (the new body's
+			// last instruction) lands at the end of the merged body —
+			// unless the new body was entirely contained in the prefix, in
+			// which case it keeps its own index.
+			newTarget := len(m) - 1
+			if len(m) == len(pt.Body) { // fully contained
+				newTarget = len(c.Body) - 1
+			}
+			pt.Body = m
+			dup := false
+			for _, t := range pt.Targets {
+				if t == newTarget {
+					dup = true
+				}
+			}
+			if !dup {
+				pt.Targets = append(pt.Targets, newTarget)
+			}
+			merged = true
+			break
+		}
+		if merged {
+			continue
+		}
+		out = append(out, &cpu.PThread{
+			ID:        int32(len(out)),
+			TriggerPC: trig,
+			Body:      append([]isa.Inst(nil), c.Body...),
+			Targets:   []int{len(c.Body) - 1},
+			TargetPC:  c.Tree.TargetPC,
+		})
+	}
+	return out
+}
+
+// triggerPC returns the candidate's trigger: the static PC of its earliest
+// body instruction (the deepest tree node).
+func triggerPC(c *Candidate) int32 { return c.Node.PC }

@@ -1,0 +1,91 @@
+package slicer
+
+import "repro/internal/isa"
+
+// OptimizeBody collapses arithmetic induction chains (the paper's Figure 1d
+// optimization): a run of identical add-immediate instructions on the same
+// register whose intermediate values no other body instruction consumes is
+// replaced by a single instruction with the summed immediate (i++; i++ →
+// i+=2). This is the "extremely energy efficient idiom for arithmetic
+// inductions" that makes deep induction unrolling cheap.
+//
+// The returned body is a fresh slice; the input is not modified.
+func OptimizeBody(body []isa.Inst) []isa.Inst {
+	out := make([]isa.Inst, 0, len(body))
+	for i := 0; i < len(body); {
+		in := body[i]
+		if !isInduction(in) {
+			out = append(out, in)
+			i++
+			continue
+		}
+		// Extend the run while the next instruction is the same induction
+		// and nothing between consumes the intermediate value.
+		j := i + 1
+		sum := in.Imm
+		for j < len(body) {
+			next := body[j]
+			if !isInduction(next) || next.Op != in.Op || next.Dst != in.Dst || next.Src1 != in.Src1 {
+				break
+			}
+			// Any instruction between the run elements would have ended the
+			// run already (we only extend over adjacent elements), but the
+			// intermediate value must also not be consumed later before the
+			// next write: since the next run element overwrites Dst
+			// immediately, adjacency guarantees safety.
+			sum += next.Imm
+			j++
+		}
+		collapsed := in
+		collapsed.Imm = sum
+		out = append(out, collapsed)
+		i = j
+	}
+	return out
+}
+
+// isInduction reports whether the instruction is a self-referential
+// add/sub-immediate (i = i ± c), the shape of loop induction updates.
+func isInduction(in isa.Inst) bool {
+	return (in.Op == isa.AddI || in.Op == isa.SubI) && in.Dst == in.Src1 && in.Dst != isa.Zero
+}
+
+// MergeBodies merges two p-thread bodies that share a trigger (the paper's
+// Figure 1e post-pass): the longest common prefix is shared and the second
+// body's remainder is appended. The merge is performed only when it is
+// dataflow-safe — every register the appended suffix reads must have the
+// same producer it had in the original body (the shared prefix or the
+// suffix itself), not an instruction of the first body's divergent part.
+// ok=false means the bodies cannot be merged safely.
+func MergeBodies(a, b []isa.Inst) (merged []isa.Inst, ok bool) {
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	// Registers written by a's divergent part.
+	dirty := map[isa.Reg]bool{}
+	for _, in := range a[p:] {
+		if in.HasDst() {
+			dirty[in.Dst] = true
+		}
+	}
+	// b's suffix must not read a register clobbered by a's divergent part
+	// unless the suffix itself rewrites it first.
+	rewritten := map[isa.Reg]bool{}
+	for _, in := range b[p:] {
+		s1, s2, r1, r2 := in.Sources()
+		if r1 && dirty[s1] && !rewritten[s1] {
+			return nil, false
+		}
+		if r2 && dirty[s2] && !rewritten[s2] {
+			return nil, false
+		}
+		if in.HasDst() {
+			rewritten[in.Dst] = true
+		}
+	}
+	merged = make([]isa.Inst, 0, len(a)+len(b)-p)
+	merged = append(merged, a...)
+	merged = append(merged, b[p:]...)
+	return merged, true
+}

@@ -1,0 +1,146 @@
+package slicer
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func addi(dst, src isa.Reg, imm int64) isa.Inst {
+	return isa.Inst{Op: isa.AddI, Dst: dst, Src1: src, Imm: imm}
+}
+
+func TestOptimizeCollapsesInductionRun(t *testing.T) {
+	body := []isa.Inst{
+		addi(1, 1, 1),
+		addi(1, 1, 1),
+		addi(1, 1, 1),
+		{Op: isa.ShlI, Dst: 2, Src1: 1, Imm: 3},
+		{Op: isa.Load, Dst: 3, Src1: 2},
+	}
+	out := OptimizeBody(body)
+	if len(out) != 3 {
+		t.Fatalf("optimized length = %d, want 3: %v", len(out), out)
+	}
+	if out[0].Op != isa.AddI || out[0].Imm != 3 {
+		t.Errorf("collapsed induction = %v, want addi r1, r1, 3", out[0])
+	}
+}
+
+func TestOptimizeLeavesInterruptedRuns(t *testing.T) {
+	body := []isa.Inst{
+		addi(1, 1, 1),
+		{Op: isa.ShlI, Dst: 2, Src1: 1, Imm: 3}, // consumes intermediate i
+		addi(1, 1, 1),
+		{Op: isa.Load, Dst: 3, Src1: 2},
+	}
+	out := OptimizeBody(body)
+	if len(out) != 4 {
+		t.Errorf("interrupted run must not collapse: %v", out)
+	}
+}
+
+func TestOptimizeMixedRegistersAndOps(t *testing.T) {
+	body := []isa.Inst{
+		addi(1, 1, 2),
+		addi(2, 2, 1), // different register: separate run
+		addi(1, 1, 2),
+		{Op: isa.SubI, Dst: 1, Src1: 1, Imm: 1}, // different op: separate
+	}
+	out := OptimizeBody(body)
+	if len(out) != 4 {
+		t.Errorf("distinct runs collapsed incorrectly: %v", out)
+	}
+}
+
+func TestOptimizeSubI(t *testing.T) {
+	body := []isa.Inst{
+		{Op: isa.SubI, Dst: 1, Src1: 1, Imm: 2},
+		{Op: isa.SubI, Dst: 1, Src1: 1, Imm: 2},
+	}
+	out := OptimizeBody(body)
+	if len(out) != 1 || out[0].Imm != 4 {
+		t.Errorf("subi run not collapsed: %v", out)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	body := []isa.Inst{addi(1, 1, 1), addi(1, 1, 1)}
+	OptimizeBody(body)
+	if body[0].Imm != 1 {
+		t.Error("input body mutated")
+	}
+}
+
+func TestOptimizeNonInductionAddI(t *testing.T) {
+	// addi with distinct dst/src is not an induction.
+	body := []isa.Inst{
+		{Op: isa.AddI, Dst: 2, Src1: 1, Imm: 1},
+		{Op: isa.AddI, Dst: 2, Src1: 1, Imm: 1},
+	}
+	if out := OptimizeBody(body); len(out) != 2 {
+		t.Errorf("non-induction addi collapsed: %v", out)
+	}
+}
+
+func TestMergeBodiesSharedPrefix(t *testing.T) {
+	a := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.ShlI, Dst: 2, Src1: 1, Imm: 3},
+		{Op: isa.Load, Dst: 3, Src1: 2, Imm: 0},
+	}
+	b := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.ShlI, Dst: 2, Src1: 1, Imm: 3},
+		{Op: isa.Load, Dst: 4, Src1: 2, Imm: 8},
+	}
+	m, ok := MergeBodies(a, b)
+	if !ok {
+		t.Fatal("safe merge rejected")
+	}
+	if len(m) != 4 {
+		t.Fatalf("merged length = %d, want 4: %v", len(m), m)
+	}
+	if m[3].Imm != 8 {
+		t.Error("second target load lost")
+	}
+}
+
+func TestMergeBodiesRejectsClobber(t *testing.T) {
+	a := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.AddI, Dst: 5, Src1: 1, Imm: 0}, // divergent part writes r5
+		{Op: isa.Load, Dst: 3, Src1: 5},
+	}
+	b := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.Load, Dst: 4, Src1: 5}, // suffix reads r5 expecting pre-a value
+	}
+	if _, ok := MergeBodies(a, b); ok {
+		t.Error("unsafe merge accepted")
+	}
+}
+
+func TestMergeBodiesSuffixRewriteAllowed(t *testing.T) {
+	a := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.AddI, Dst: 5, Src1: 1, Imm: 0},
+		{Op: isa.Load, Dst: 3, Src1: 5},
+	}
+	b := []isa.Inst{
+		addi(1, 1, 2),
+		{Op: isa.AddI, Dst: 5, Src1: 1, Imm: 8}, // suffix rewrites r5 first
+		{Op: isa.Load, Dst: 4, Src1: 5},
+	}
+	if _, ok := MergeBodies(a, b); !ok {
+		t.Error("merge with suffix-rewritten register rejected")
+	}
+}
+
+func TestMergeIdenticalBodies(t *testing.T) {
+	a := []isa.Inst{addi(1, 1, 1), {Op: isa.Load, Dst: 2, Src1: 1}}
+	m, ok := MergeBodies(a, a)
+	if !ok || len(m) != len(a) {
+		t.Errorf("identical merge = %v, %v", m, ok)
+	}
+}

@@ -1,0 +1,241 @@
+// Package slicer extracts linear p-thread candidates from dynamic traces by
+// backward data-dependence slicing and organizes them into slice trees, the
+// structure PTHSEL's search operates on (the paper's Figure 1b).
+//
+// For every L2-missing dynamic instance of a problem load, the slicer walks
+// the register dependence graph backwards (bounded by a slicing window and a
+// maximum body length) and inserts the resulting instruction path into the
+// load's tree: the root is the problem load, each node is a candidate
+// trigger, and the body of a candidate is the path from the node to the
+// root in execution order. Nodes carry the two counts the selection
+// equations need — DCtrig (dynamic executions of the trigger) and DCptcm
+// (misses whose slices pass through the node) — plus the mean trigger-to-
+// target dynamic distance used to estimate latency tolerance.
+package slicer
+
+import (
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Config bounds slice extraction. The defaults match the paper's selection
+// settings: a 2048-instruction slicing window and 64 instructions per
+// linear p-thread.
+type Config struct {
+	Window     int // dynamic slicing window (instructions before the miss)
+	MaxLen     int // maximum body length of a linear p-thread
+	MaxSamples int // cap on sliced miss instances per problem load
+}
+
+// DefaultConfig returns the paper's slicing parameters.
+func DefaultConfig() Config {
+	return Config{Window: 2048, MaxLen: 64, MaxSamples: 4000}
+}
+
+// Node is one slice-tree node: a candidate (trigger, body) pair.
+type Node struct {
+	PC       int32 // trigger static PC
+	Depth    int   // body length (instructions from this node to the root)
+	DCtrig   int64 // dynamic executions of the trigger instruction
+	DCptcm   int64 // misses whose slices pass through this node
+	DistSum  int64 // accumulated trigger→target dynamic distances
+	Parent   *Node
+	Children []*Node
+}
+
+// MeanDist returns the average dynamic instruction distance from trigger to
+// target over the slices through this node.
+func (n *Node) MeanDist() float64 {
+	if n.DCptcm == 0 {
+		return 0
+	}
+	return float64(n.DistSum) / float64(n.DCptcm)
+}
+
+// Body returns the candidate's instructions in execution order (earliest
+// first, the problem load last).
+func (n *Node) Body(prog *isa.Program) []isa.Inst {
+	var pcs []int32
+	for cur := n; cur != nil; cur = cur.Parent {
+		pcs = append(pcs, cur.PC)
+	}
+	body := make([]isa.Inst, len(pcs))
+	for i, pc := range pcs {
+		body[i] = prog.Insts[pc]
+	}
+	return body
+}
+
+// Tree is the slice tree of one problem load.
+type Tree struct {
+	TargetPC int32
+	Load     *profile.LoadStats
+	// Root is the degenerate candidate consisting of the problem load
+	// itself (never selected; its children are the real candidates).
+	Root *Node
+	// Sampled is the number of miss instances actually sliced (DCptcm
+	// counts are scaled back up when sampling truncates).
+	Sampled int64
+	// Scale converts sampled counts to full-run counts.
+	Scale float64
+}
+
+// Walk visits every node of the tree except the root in depth-first order.
+func (t *Tree) Walk(f func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children {
+			f(c)
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// NumNodes returns the candidate count (root excluded).
+func (t *Tree) NumNodes() int {
+	n := 0
+	t.Walk(func(*Node) { n++ })
+	return n
+}
+
+// BuildTrees slices every problem load's misses and returns one tree per
+// load, in the given order.
+func BuildTrees(tr *trace.Trace, prof *profile.Profile, problems []*profile.LoadStats, cfg Config) []*Tree {
+	execCounts := prof.ExecCounts
+	trees := make([]*Tree, 0, len(problems))
+	for _, ls := range problems {
+		t := &Tree{
+			TargetPC: ls.PC,
+			Load:     ls,
+			Root: &Node{
+				PC:     ls.PC,
+				Depth:  1,
+				DCtrig: execCounts[ls.PC],
+			},
+		}
+		misses := ls.MissDynIx
+		stride := 1
+		if cfg.MaxSamples > 0 && len(misses) > cfg.MaxSamples {
+			stride = (len(misses) + cfg.MaxSamples - 1) / cfg.MaxSamples
+		}
+		for k := 0; k < len(misses); k += stride {
+			m := misses[k]
+			path := backwardSlice(tr, m, cfg)
+			insertPath(tr, t.Root, path, m, execCounts)
+			t.Sampled++
+		}
+		if t.Sampled > 0 {
+			t.Scale = float64(len(misses)) / float64(t.Sampled)
+		} else {
+			t.Scale = 1
+		}
+		trees = append(trees, t)
+	}
+	return trees
+}
+
+// backwardSlice returns the dynamic indices of the miss's backward register
+// slice (the miss itself excluded), in descending dynamic order. The pops
+// are strictly descending because producers always precede consumers, so
+// every prefix of the result is dependence-closed: excluded producers all
+// execute before the earliest included instruction and are therefore valid
+// live-ins at spawn time.
+func backwardSlice(tr *trace.Trace, m int64, cfg Config) []int64 {
+	lo := m - int64(cfg.Window)
+	var heap maxHeap
+	push := func(j int64) {
+		if j != trace.NoProducer && j >= lo {
+			heap.push(j)
+		}
+	}
+	e := &tr.Entries[m]
+	push(e.Prod1)
+	push(e.Prod2)
+	var out []int64
+	var last int64 = -1
+	for heap.len() > 0 && len(out) < cfg.MaxLen-1 {
+		j := heap.pop()
+		if j == last {
+			continue // duplicate reachability (common subexpression)
+		}
+		last = j
+		out = append(out, j)
+		je := &tr.Entries[j]
+		push(je.Prod1)
+		push(je.Prod2)
+	}
+	return out
+}
+
+// insertPath inserts the slice into the tree: the path visits slice
+// instructions from latest to earliest below the root.
+func insertPath(tr *trace.Trace, root *Node, slice []int64, m int64, execCounts []int64) {
+	root.DCptcm++
+	cur := root
+	for _, j := range slice {
+		cur = childFor(cur, tr.Entries[j].PC, execCounts)
+		cur.DCptcm++
+		cur.DistSum += m - j
+	}
+}
+
+// childFor finds or creates the child of cur for the static instruction pc.
+func childFor(cur *Node, pc int32, execCounts []int64) *Node {
+	for _, c := range cur.Children {
+		if c.PC == pc {
+			return c
+		}
+	}
+	n := &Node{
+		PC:     pc,
+		Depth:  cur.Depth + 1,
+		DCtrig: execCounts[pc],
+		Parent: cur,
+	}
+	cur.Children = append(cur.Children, n)
+	return n
+}
+
+// maxHeap is a small binary max-heap of int64.
+type maxHeap struct{ a []int64 }
+
+func (h *maxHeap) len() int { return len(h.a) }
+
+func (h *maxHeap) push(v int64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] >= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() int64 {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.a) && h.a[l] > h.a[big] {
+			big = l
+		}
+		if r < len(h.a) && h.a[r] > h.a[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.a[i], h.a[big] = h.a[big], h.a[i]
+		i = big
+	}
+	return top
+}

@@ -1,0 +1,184 @@
+// Package trace provides the functional interpreter for the micro-ISA and
+// the dynamic-trace representation consumed by the timing simulator, the
+// profiler, the critical-path analyzer and the slicer.
+//
+// A dynamic trace records, per retired instruction: the static PC, the
+// dynamic indices of the producers of its source registers (enabling exact
+// backward slicing and exact dataflow timing), the effective address of
+// memory operations, branch direction, and the value written (enabling the
+// timing simulator to seed p-thread contexts with real register values).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NoProducer marks a source operand whose value predates the trace (it was a
+// program live-in, a constant, or R0).
+const NoProducer int64 = -1
+
+// Entry is one dynamic (retired, correct-path) instruction.
+type Entry struct {
+	PC    int32 // static instruction index
+	Prod1 int64 // dynamic index of Src1's producer, or NoProducer
+	Prod2 int64 // dynamic index of Src2's producer, or NoProducer
+	Addr  int64 // effective byte address (Load/Store), else 0
+	Val   int64 // value written to Dst (ALU/Load) or stored (Store)
+	Taken bool  // branch outcome (conditional branches only)
+}
+
+// Trace is a complete dynamic execution of a program.
+type Trace struct {
+	Prog    *isa.Program
+	Entries []Entry
+	// FinalRegs is the architectural register file at halt.
+	FinalRegs [isa.NumRegs]int64
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// Inst returns the static instruction of dynamic entry i.
+func (t *Trace) Inst(i int) isa.Inst { return t.Prog.Insts[t.Entries[i].PC] }
+
+// StaticCounts returns per-PC dynamic execution counts.
+func (t *Trace) StaticCounts() []int64 {
+	counts := make([]int64, len(t.Prog.Insts))
+	for i := range t.Entries {
+		counts[t.Entries[i].PC]++
+	}
+	return counts
+}
+
+// Interpreter runs a Program functionally, producing a Trace.
+type Interpreter struct {
+	// MaxInsts bounds execution; an execution exceeding it is reported as an
+	// error (runaway-loop guard). Zero means the default of 50M.
+	MaxInsts int64
+}
+
+// defaultMaxInsts guards against non-terminating workloads.
+const defaultMaxInsts = 50_000_000
+
+// Run executes p to completion and returns its trace.
+//
+// Register semantics: all registers start at zero; R0 reads as zero and
+// ignores writes. Memory semantics: the data segment is a copy of p.InitMem;
+// accesses must be 8-byte aligned and in-bounds.
+func (it *Interpreter) Run(p *isa.Program) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	max := it.MaxInsts
+	if max <= 0 {
+		max = defaultMaxInsts
+	}
+	mem := make([]int64, len(p.InitMem))
+	copy(mem, p.InitMem)
+
+	var regs [isa.NumRegs]int64
+	var lastWriter [isa.NumRegs]int64
+	for r := range lastWriter {
+		lastWriter[r] = NoProducer
+	}
+
+	tr := &Trace{Prog: p}
+	pc := p.Entry
+	for n := int64(0); ; n++ {
+		if n >= max {
+			return nil, fmt.Errorf("trace: program %q exceeded %d instructions", p.Name, max)
+		}
+		in := p.Insts[pc]
+		e := Entry{PC: int32(pc)}
+		if in.ReadsSrc1() && in.Src1 != isa.Zero {
+			e.Prod1 = lastWriter[in.Src1]
+		} else {
+			e.Prod1 = NoProducer
+		}
+		if in.ReadsSrc2() && in.Src2 != isa.Zero {
+			e.Prod2 = lastWriter[in.Src2]
+		} else {
+			e.Prod2 = NoProducer
+		}
+
+		next := pc + 1
+		switch {
+		case in.IsALU():
+			v := in.Eval(regs[in.Src1], regs[in.Src2])
+			e.Val = v
+			if in.Dst != isa.Zero {
+				regs[in.Dst] = v
+				lastWriter[in.Dst] = int64(len(tr.Entries))
+			}
+		case in.Op == isa.Load:
+			addr := regs[in.Src1] + in.Imm
+			if err := checkAddr(p, addr, len(mem)); err != nil {
+				return nil, fmt.Errorf("pc %d (%s): %w", pc, in, err)
+			}
+			v := mem[addr>>3]
+			e.Addr, e.Val = addr, v
+			if in.Dst != isa.Zero {
+				regs[in.Dst] = v
+				lastWriter[in.Dst] = int64(len(tr.Entries))
+			}
+		case in.Op == isa.Store:
+			addr := regs[in.Src1] + in.Imm
+			if err := checkAddr(p, addr, len(mem)); err != nil {
+				return nil, fmt.Errorf("pc %d (%s): %w", pc, in, err)
+			}
+			mem[addr>>3] = regs[in.Src2]
+			e.Addr, e.Val = addr, regs[in.Src2]
+		case in.Op == isa.BrZ:
+			e.Taken = regs[in.Src1] == 0
+			if e.Taken {
+				next = in.Target
+			}
+		case in.Op == isa.BrNZ:
+			e.Taken = regs[in.Src1] != 0
+			if e.Taken {
+				next = in.Target
+			}
+		case in.Op == isa.Jmp:
+			e.Taken = true
+			next = in.Target
+		case in.Op == isa.Halt:
+			tr.Entries = append(tr.Entries, e)
+			tr.FinalRegs = regs
+			return tr, nil
+		case in.Op == isa.Nop:
+			// nothing
+		default:
+			return nil, fmt.Errorf("trace: pc %d: unexecutable opcode %s", pc, in.Op)
+		}
+		tr.Entries = append(tr.Entries, e)
+		pc = next
+	}
+}
+
+func checkAddr(p *isa.Program, addr int64, memWords int) error {
+	if addr&7 != 0 {
+		return fmt.Errorf("unaligned address %#x", addr)
+	}
+	if addr < 0 || addr>>3 >= int64(memWords) {
+		return fmt.Errorf("address %#x out of bounds (%d words)", addr, memWords)
+	}
+	return nil
+}
+
+// Run is a convenience wrapper using a default Interpreter.
+func Run(p *isa.Program) (*Trace, error) {
+	var it Interpreter
+	return it.Run(p)
+}
+
+// MustRun is Run that panics on error, for tests and examples with known-good
+// programs.
+func MustRun(p *isa.Program) *Trace {
+	t, err := Run(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

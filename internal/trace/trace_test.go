@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// sumLoop builds: for i in 0..n-1 { acc += mem[i*8] }; halt.
+func sumLoop(n int64, mem []int64) *isa.Program {
+	b := isa.NewBuilder("sumloop")
+	const (
+		rI   = isa.Reg(1)
+		rN   = isa.Reg(2)
+		rAcc = isa.Reg(3)
+		rAdr = isa.Reg(4)
+		rV   = isa.Reg(5)
+		rC   = isa.Reg(6)
+	)
+	b.MovI(rI, 0)
+	b.MovI(rN, n)
+	b.MovI(rAcc, 0)
+	b.Label("top")
+	b.ShlI(rAdr, rI, 3)
+	b.Load(rV, rAdr, 0)
+	b.Add(rAcc, rAcc, rV)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}
+
+func TestInterpreterSumLoop(t *testing.T) {
+	mem := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := sumLoop(8, mem)
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FinalRegs[3]; got != 31 {
+		t.Errorf("acc = %d, want 31", got)
+	}
+	// 3 init + 8 iterations * 6 + halt
+	if want := 3 + 8*6 + 1; tr.Len() != want {
+		t.Errorf("trace length = %d, want %d", tr.Len(), want)
+	}
+}
+
+func TestInterpreterBranchOutcomes(t *testing.T) {
+	p := sumLoop(3, []int64{1, 2, 3})
+	tr := MustRun(p)
+	var taken, notTaken int
+	for i := range tr.Entries {
+		if tr.Inst(i).IsBranch() {
+			if tr.Entries[i].Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken != 2 || notTaken != 1 {
+		t.Errorf("taken=%d notTaken=%d, want 2,1", taken, notTaken)
+	}
+}
+
+func TestInterpreterProducers(t *testing.T) {
+	b := isa.NewBuilder("prod")
+	b.MovI(1, 5)    // dyn 0
+	b.MovI(2, 7)    // dyn 1
+	b.Add(3, 1, 2)  // dyn 2: prods 0, 1
+	b.AddI(3, 3, 1) // dyn 3: prod 2
+	b.Halt()
+	tr := MustRun(b.MustBuild())
+	e := tr.Entries[2]
+	if e.Prod1 != 0 || e.Prod2 != 1 {
+		t.Errorf("add producers = %d,%d, want 0,1", e.Prod1, e.Prod2)
+	}
+	if tr.Entries[3].Prod1 != 2 {
+		t.Errorf("addi producer = %d, want 2", tr.Entries[3].Prod1)
+	}
+	if tr.Entries[0].Prod1 != NoProducer {
+		t.Error("movi must have no producer")
+	}
+}
+
+func TestInterpreterZeroRegister(t *testing.T) {
+	b := isa.NewBuilder("zero")
+	b.MovI(0, 99) // write to R0 discarded
+	b.AddI(1, 0, 3)
+	b.Halt()
+	tr := MustRun(b.MustBuild())
+	if tr.FinalRegs[0] != 0 {
+		t.Error("R0 must stay zero")
+	}
+	if tr.FinalRegs[1] != 3 {
+		t.Errorf("r1 = %d, want 3", tr.FinalRegs[1])
+	}
+	if tr.Entries[1].Prod1 != NoProducer {
+		t.Error("reads of R0 must have no producer")
+	}
+}
+
+func TestInterpreterStoreLoad(t *testing.T) {
+	b := isa.NewBuilder("stld")
+	b.MovI(1, 16)   // address
+	b.MovI(2, 1234) // data
+	b.Store(1, 0, 2)
+	b.Load(3, 1, 0)
+	b.Halt()
+	b.SetMem(make([]int64, 8))
+	tr := MustRun(b.MustBuild())
+	if tr.FinalRegs[3] != 1234 {
+		t.Errorf("loaded %d, want 1234", tr.FinalRegs[3])
+	}
+	if tr.Entries[2].Addr != 16 || tr.Entries[3].Addr != 16 {
+		t.Error("store/load addresses not recorded")
+	}
+	if tr.Entries[2].Val != 1234 {
+		t.Error("store value not recorded")
+	}
+}
+
+func TestInterpreterMemoryInitIsolation(t *testing.T) {
+	init := []int64{7}
+	b := isa.NewBuilder("iso")
+	b.MovI(1, 42)
+	b.Store(0, 0, 1)
+	b.Halt()
+	b.SetMem(init)
+	MustRun(b.MustBuild())
+	if init[0] != 7 {
+		t.Error("interpreter mutated the program's InitMem image")
+	}
+}
+
+func TestInterpreterErrors(t *testing.T) {
+	t.Run("unaligned", func(t *testing.T) {
+		b := isa.NewBuilder("una")
+		b.MovI(1, 4)
+		b.Load(2, 1, 0)
+		b.Halt()
+		b.SetMem(make([]int64, 4))
+		if _, err := Run(b.MustBuild()); err == nil {
+			t.Error("unaligned access accepted")
+		}
+	})
+	t.Run("out-of-bounds", func(t *testing.T) {
+		b := isa.NewBuilder("oob")
+		b.MovI(1, 1<<20)
+		b.Load(2, 1, 0)
+		b.Halt()
+		b.SetMem(make([]int64, 4))
+		if _, err := Run(b.MustBuild()); err == nil {
+			t.Error("out-of-bounds access accepted")
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		b := isa.NewBuilder("neg")
+		b.MovI(1, -8)
+		b.Load(2, 1, 0)
+		b.Halt()
+		b.SetMem(make([]int64, 4))
+		if _, err := Run(b.MustBuild()); err == nil {
+			t.Error("negative address accepted")
+		}
+	})
+	t.Run("runaway", func(t *testing.T) {
+		b := isa.NewBuilder("run")
+		b.Label("top")
+		b.Jmp("top")
+		it := Interpreter{MaxInsts: 100}
+		if _, err := it.Run(b.MustBuild()); err == nil {
+			t.Error("runaway loop accepted")
+		}
+	})
+}
+
+func TestStaticCounts(t *testing.T) {
+	p := sumLoop(4, []int64{1, 1, 1, 1})
+	tr := MustRun(p)
+	counts := tr.StaticCounts()
+	// The loop body (PCs 3..8) executes 4 times each.
+	for pc := 3; pc <= 8; pc++ {
+		if counts[pc] != 4 {
+			t.Errorf("pc %d count = %d, want 4", pc, counts[pc])
+		}
+	}
+	if counts[0] != 1 {
+		t.Errorf("entry count = %d, want 1", counts[0])
+	}
+}
+
+// Property: for every entry with a producer, the producer is an earlier
+// dynamic instruction that writes the register the entry reads.
+func TestProducerConsistencyProperty(t *testing.T) {
+	check := func(seed uint32, n uint8) bool {
+		size := int64(n%16) + 1
+		mem := make([]int64, size)
+		s := int64(seed)
+		for i := range mem {
+			s = s*6364136223846793005 + 1442695040888963407
+			mem[i] = (s >> 33) % 100
+		}
+		tr := MustRun(sumLoop(size, mem))
+		for i := range tr.Entries {
+			in := tr.Inst(i)
+			e := tr.Entries[i]
+			if e.Prod1 != NoProducer {
+				if e.Prod1 >= int64(i) {
+					return false
+				}
+				p := tr.Inst(int(e.Prod1))
+				if p.Dst != in.Src1 || !p.HasDst() {
+					return false
+				}
+			}
+			if e.Prod2 != NoProducer {
+				if e.Prod2 >= int64(i) {
+					return false
+				}
+				p := tr.Inst(int(e.Prod2))
+				if p.Dst != in.Src2 || !p.HasDst() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interpreter results are deterministic.
+func TestDeterminismProperty(t *testing.T) {
+	mem := []int64{5, 4, 3, 2, 1}
+	p := sumLoop(5, mem)
+	t1 := MustRun(p)
+	t2 := MustRun(p)
+	if t1.Len() != t2.Len() || t1.FinalRegs != t2.FinalRegs {
+		t.Error("two runs of the same program differ")
+	}
+	for i := range t1.Entries {
+		if t1.Entries[i] != t2.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}

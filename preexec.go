@@ -1,0 +1,173 @@
+// Package preexec is the public API of the reproduction of "Energy-
+// Effectiveness of Pre-Execution and Energy-Aware P-Thread Selection"
+// (Petric & Roth, ISCA 2005).
+//
+// The package wraps the internal substrates — a micro-ISA with a program
+// builder, a functional interpreter, a cycle-level multithreaded out-of-
+// order simulator with DDMT pre-execution, a Wattch-style energy model, a
+// Fields-style critical-path analyzer, a backward slicer, and the
+// PTHSEL/PTHSEL+E selection frameworks — behind a small façade:
+//
+//	prog := preexec.Benchmark("mcf")              // or build your own
+//	study, _ := preexec.Analyze(prog, preexec.DefaultConfig())
+//	sel := study.Select(preexec.TargetP)          // ED-targeted p-threads
+//	res, _ := study.Measure(sel)
+//	fmt.Println(res.SpeedupPct, res.EnergySavePct)
+//
+// The experiment entry points (Figure2, Figure3, Table3, Figure4, Figure5)
+// regenerate the paper's evaluation artifacts.
+package preexec
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+	"repro/internal/trace"
+)
+
+// Re-exported core types. The micro-ISA types are aliased so custom
+// workloads can be written against this package alone.
+type (
+	// Config parameterizes the processor, hierarchy, energy model and
+	// selection framework.
+	Config = experiments.Config
+	// Target selects the optimization objective (latency, energy, ED, ED²).
+	Target = pthsel.Target
+	// Result is one simulation's outcome.
+	Result = cpu.Result
+	// TargetRun couples a selection with its measured run and derived
+	// percentages.
+	TargetRun = experiments.TargetRun
+	// BenchResult is a benchmark evaluated under several targets.
+	BenchResult = experiments.BenchResult
+	// PThread is a static pre-execution thread (DDMT model).
+	PThread = cpu.PThread
+	// Selection is the output of the selection framework.
+	Selection = pthsel.Selection
+	// Program is an executable workload (code + initial data image).
+	Program = isa.Program
+	// Builder assembles custom workload programs.
+	Builder = isa.Builder
+	// Inst is a single micro-ISA instruction.
+	Inst = isa.Inst
+	// Reg identifies an architectural register (R0 is hardwired zero).
+	Reg = isa.Reg
+)
+
+// Selection targets, named as in the paper: O (original flat-cost PTHSEL),
+// L (criticality-based latency), E (energy), P (ED), P2 (ED²).
+const (
+	TargetO  = pthsel.TargetO
+	TargetL  = pthsel.TargetL
+	TargetE  = pthsel.TargetE
+	TargetP  = pthsel.TargetP
+	TargetP2 = pthsel.TargetP2
+)
+
+// DefaultConfig returns the paper's configuration: 6-wide 15-stage core,
+// 128-entry ROB, 80 reservation stations, 8 contexts, 32K/16K/256K caches,
+// 200-cycle memory, 5% idle energy factor, 2048-instruction slicing window
+// and 64-instruction p-threads.
+func DefaultConfig() Config { return experiments.DefaultConfig() }
+
+// NewBuilder starts a custom workload program.
+func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// Benchmarks lists the nine SPEC2000-like synthetic workloads.
+func Benchmarks() []string { return program.Names() }
+
+// Benchmark builds a named synthetic workload on its Train input.
+// It panics on an unknown name; use Benchmarks for the list.
+func Benchmark(name string) *Program {
+	bm, err := program.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return bm.Build(program.Train)
+}
+
+// Study owns everything needed to select and measure p-threads for one
+// program: its trace, profile, slice trees, criticality curves and baseline
+// simulation.
+type Study struct {
+	cfg  Config
+	prep *experiments.Prepared
+}
+
+// Analyze traces, profiles and baselines a custom program under cfg.
+func Analyze(prog *Program, cfg Config) (*Study, error) {
+	prep, err := prepareProgram(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: cfg, prep: prep}, nil
+}
+
+// AnalyzeBenchmark is Analyze for a named built-in workload.
+func AnalyzeBenchmark(name string, cfg Config) (*Study, error) {
+	prep, err := experiments.Prepare(name, cfg.MeasureInput, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: cfg, prep: prep}, nil
+}
+
+// Baseline returns the unoptimized simulation result.
+func (s *Study) Baseline() *Result { return s.prep.Baseline }
+
+// Select runs PTHSEL/PTHSEL+E under the given target.
+func (s *Study) Select(target Target) *Selection {
+	return pthsel.Select(s.prep.Trace, s.prep.Prof, s.prep.Trees, s.prep.Params, target)
+}
+
+// Measure simulates the program with the selection's p-threads installed
+// and derives the paper's metrics against the study's baseline.
+func (s *Study) Measure(sel *Selection) (*TargetRun, error) {
+	res, err := cpu.Run(s.cfg.CPU, s.prep.Trace, sel.PThreads)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Derive(sel, s.prep.Baseline, res), nil
+}
+
+// Run is Select followed by Measure.
+func (s *Study) Run(target Target) (*TargetRun, error) {
+	return s.Measure(s.Select(target))
+}
+
+// prepareProgram adapts experiments.Prepare for an ad-hoc program.
+func prepareProgram(prog *Program, cfg Config) (*experiments.Prepared, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("preexec: %w", err)
+	}
+	return experiments.PrepareTrace(prog.Name, tr, cfg)
+}
+
+// RunBenchmark evaluates one named workload under the given targets with
+// ideal (same-run) profiling, as in the paper's primary study.
+func RunBenchmark(name string, targets []Target, cfg Config) (*BenchResult, error) {
+	return experiments.RunBenchmark(name, targets, cfg)
+}
+
+// Experiment entry points: each returns the rendered table for one of the
+// paper's figures (see EXPERIMENTS.md for paper-vs-measured values).
+var (
+	Figure2  = experiments.Figure2
+	Table3   = experiments.Table3
+	Figure4  = experiments.Figure4
+	Figure5  = experiments.Figure5
+	ED2Study = experiments.ED2Study
+)
+
+// Figure3 runs the primary study and returns its rendered tables.
+func Figure3(names []string, cfg Config) (string, []*BenchResult, error) {
+	return experiments.Figure3(names, cfg)
+}

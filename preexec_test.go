@@ -1,0 +1,84 @@
+package preexec
+
+import "testing"
+
+func TestFacadeStudyFlow(t *testing.T) {
+	study, err := AnalyzeBenchmark("gap", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Baseline().Cycles <= 0 {
+		t.Fatal("no baseline")
+	}
+	sel := study.Select(TargetP)
+	run, err := study.Measure(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SpeedupPct <= 0 {
+		t.Errorf("P-p-threads on gap must speed up, got %+.1f%%", run.SpeedupPct)
+	}
+	run2, err := study.Run(TargetP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.SpeedupPct != run.SpeedupPct {
+		t.Error("Run must equal Select+Measure")
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	b := NewBuilder("tiny")
+	const rI, rN, rA, rV, rC = Reg(1), Reg(2), Reg(3), Reg(4), Reg(5)
+	b.MovI(rI, 0)
+	b.MovI(rN, 6000)
+	b.Label("top")
+	b.MulI(rA, rI, 40503)
+	b.AndI(rA, rA, (1<<18)-1)
+	b.ShlI(rA, rA, 3)
+	b.Load(rV, rA, 0)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(make([]int64, 1<<18))
+	prog := b.MustBuild()
+
+	study, err := Analyze(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := study.Run(TargetL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Sel.PThreads) == 0 {
+		t.Error("no p-threads selected for a random-gather loop")
+	}
+	if run.SpeedupPct <= 0 {
+		t.Errorf("expected speedup, got %+.1f%%", run.SpeedupPct)
+	}
+}
+
+func TestFacadeBenchmarkList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	p := Benchmark("mcf")
+	if p.Name != "mcf.train" {
+		t.Errorf("benchmark name = %q", p.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark must panic")
+		}
+	}()
+	Benchmark("nonesuch")
+}
+
+func TestFacadeAnalyzeInvalidProgram(t *testing.T) {
+	if _, err := Analyze(&Program{Name: "empty"}, DefaultConfig()); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
