@@ -4,6 +4,7 @@
 package preexec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/critpath"
@@ -23,11 +24,11 @@ func BenchmarkAblationStridePrefetcher(b *testing.B) {
 	withoutCfg.CPU.Hier.StrideEntries = 0
 	var withMisses, withoutMisses int64
 	for i := 0; i < b.N; i++ {
-		pw, err := experiments.Prepare("bzip2", program.Train, withCfg)
+		pw, err := experiments.Prepare(context.Background(), "bzip2", program.Train, withCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		po, err := experiments.Prepare("bzip2", program.Train, withoutCfg)
+		po, err := experiments.Prepare(context.Background(), "bzip2", program.Train, withoutCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,14 +46,14 @@ func BenchmarkAblationInteractionCost(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	var flat, crit *experiments.TargetRun
 	for i := 0; i < b.N; i++ {
-		prep, err := experiments.Prepare("twolf", program.Train, cfg)
+		prep, err := experiments.Prepare(context.Background(), "twolf", program.Train, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if flat, err = experiments.RunTarget(prep, prep, pthsel.TargetO, cfg); err != nil {
+		if flat, err = experiments.RunTarget(context.Background(), prep, prep, pthsel.TargetO, cfg); err != nil {
 			b.Fatal(err)
 		}
-		if crit, err = experiments.RunTarget(prep, prep, pthsel.TargetL, cfg); err != nil {
+		if crit, err = experiments.RunTarget(context.Background(), prep, prep, pthsel.TargetL, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func BenchmarkAblationBusEdges(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	var withBus, withoutBus float64
 	for i := 0; i < b.N; i++ {
-		prep, err := experiments.Prepare("vortex", program.Train, cfg)
+		prep, err := experiments.Prepare(context.Background(), "vortex", program.Train, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkAblationMerging(b *testing.B) {
 	var merged int
 	var targets int
 	for i := 0; i < b.N; i++ {
-		prep, err := experiments.Prepare("vpr.route", program.Train, cfg)
+		prep, err := experiments.Prepare(context.Background(), "vpr.route", program.Train, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

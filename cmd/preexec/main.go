@@ -1,6 +1,6 @@
 // Command preexec runs one benchmark end-to-end: baseline simulation,
 // p-thread selection under a chosen target, and the pre-execution run,
-// printing the paper's metrics.
+// printing the paper's metrics. Ctrl-C cancels a run mid-simulation.
 //
 // Usage:
 //
@@ -10,13 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/experiments"
+	preexec "repro"
 	"repro/internal/program"
-	"repro/internal/pthsel"
 )
 
 func main() {
@@ -25,30 +26,45 @@ func main() {
 	idle := flag.Float64("idle", 0.05, "idle energy factor")
 	memlat := flag.Int("memlat", 200, "memory latency in cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "log engine progress events to stderr")
 	flag.Parse()
 
 	if *list {
-		for _, n := range program.Names() {
+		for _, n := range preexec.Benchmarks() {
 			bm, _ := program.ByName(n)
 			fmt.Printf("%-10s %s\n", n, bm.Description)
 		}
 		return
 	}
 
-	tgt, err := parseTarget(*target)
+	tgt, err := preexec.ParseTarget(*target)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.DefaultConfig()
+	cfg := preexec.DefaultConfig()
 	cfg.CPU.Energy.IdleFactor = *idle
 	cfg.CPU.Hier.MemLatency = *memlat
 
-	br, err := experiments.RunBenchmark(*bench, []pthsel.Target{tgt}, cfg)
+	opts := []preexec.Option{preexec.WithConfig(cfg)}
+	if *verbose {
+		opts = append(opts, preexec.WithObserver(func(ev preexec.Event) {
+			fmt.Fprintf(os.Stderr, "preexec: %s %s %s %s\n", ev.Kind, ev.Bench, ev.Input, ev.Target)
+		}))
+	}
+	lab := preexec.New(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	study, err := lab.AnalyzeBenchmark(ctx, *bench)
 	if err != nil {
 		fatal(err)
 	}
-	base := br.Prepared.Baseline
-	run := br.Runs[tgt]
+	run, err := study.Run(ctx, tgt)
+	if err != nil {
+		fatal(err)
+	}
+	base := study.Baseline()
 	fmt.Printf("benchmark      %s (train input)\n", *bench)
 	fmt.Printf("baseline       %d cycles, IPC %.3f, %d L2 misses, energy %.0f\n",
 		base.Cycles, base.IPC(), base.DemandL2Misses, base.Energy.Total())
@@ -63,22 +79,6 @@ func main() {
 		run.PInstIncPct, run.UsefulPct)
 	fmt.Printf("predictions    LADVagg %.0f cycles, EADVagg %.0f energy units\n",
 		run.Sel.PredLADV, run.Sel.PredEADV)
-}
-
-func parseTarget(s string) (pthsel.Target, error) {
-	switch s {
-	case "O":
-		return pthsel.TargetO, nil
-	case "L":
-		return pthsel.TargetL, nil
-	case "E":
-		return pthsel.TargetE, nil
-	case "P":
-		return pthsel.TargetP, nil
-	case "P2":
-		return pthsel.TargetP2, nil
-	}
-	return 0, fmt.Errorf("unknown target %q (want O, L, E, P or P2)", s)
 }
 
 func fatal(err error) {

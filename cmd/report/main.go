@@ -1,60 +1,130 @@
 // Command report regenerates the paper's evaluation artifacts: Figure 2,
 // Figure 3, Table 3, Figure 4, Figure 5 (all three axes) and the ED² study.
 //
+// Every artifact is computed once as a structured report, serialized to
+// JSON, and — in the default text mode — decoded back from that JSON before
+// rendering, so the printed tables provably contain nothing the JSON
+// doesn't. One Lab engine serves all figures: each benchmark is prepared
+// exactly once no matter how many artifacts are requested.
+//
 // Usage:
 //
-//	report              # everything (several minutes)
-//	report -fig 3       # one figure
-//	report -table 3     # the validation table
+//	report                 # everything, rendered (several minutes)
+//	report -fig 3          # one figure
+//	report -table 3        # the validation table
+//	report -json           # machine-readable JSON stream, one object per artifact
+//	report -v              # engine progress on stderr
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/experiments"
+	preexec "repro"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (2, 3, 4 or 5); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (3); 0 = all")
+	asJSON := flag.Bool("json", false, "emit JSON artifacts instead of rendered tables")
+	verbose := flag.Bool("v", false, "log engine progress events to stderr")
 	flag.Parse()
 
-	cfg := experiments.DefaultConfig()
-	names := experiments.PaperBenchmarks()
+	opts := []preexec.Option{}
+	if *verbose {
+		opts = append(opts, preexec.WithObserver(func(ev preexec.Event) {
+			fmt.Fprintf(os.Stderr, "report: %-15s %-10s %-6s %s\n", ev.Kind, ev.Bench, ev.Input, ev.Target)
+		}))
+	}
+	lab := preexec.New(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	names := preexec.PaperBenchmarks()
 	all := *fig == 0 && *table == 0
 
-	emit := func(out string, err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
-	}
-
 	if all || *fig == 2 {
-		emit(experiments.Figure2(names, cfg))
+		rep, err := lab.Figure2(ctx, names)
+		emit("figure2", rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+			var r preexec.Figure2Report
+			return &r, json.Unmarshal(raw, &r)
+		})
 	}
 	if all || *fig == 3 {
-		out, _, err := experiments.Figure3(names, cfg)
-		emit(out, err)
+		rep, err := lab.Figure3(ctx, names)
+		emit("figure3", rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+			var r preexec.Figure3Report
+			return &r, json.Unmarshal(raw, &r)
+		})
 	}
 	if all || *table == 3 {
-		_, out, err := experiments.Table3(experiments.Table3Benchmarks(), cfg)
-		emit(out, err)
+		rep, err := lab.Table3(ctx, preexec.Table3Benchmarks())
+		emit("table3", rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+			var r preexec.Table3Report
+			return &r, json.Unmarshal(raw, &r)
+		})
 	}
 	if all || *fig == 4 {
-		emit(experiments.Figure4(names, cfg))
+		rep, err := lab.Figure4(ctx, names)
+		emit("figure4", rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+			var r preexec.Figure4Report
+			return &r, json.Unmarshal(raw, &r)
+		})
 	}
 	if all || *fig == 5 {
-		for _, axis := range []experiments.SweepAxis{
-			experiments.SweepIdleFactor, experiments.SweepMemLatency, experiments.SweepL2Size,
+		for _, axis := range []preexec.SweepAxis{
+			preexec.SweepIdleFactor, preexec.SweepMemLatency, preexec.SweepL2Size,
 		} {
-			emit(experiments.Figure5(axis, experiments.Figure5Benchmarks(axis), cfg))
+			rep, err := lab.Figure5(ctx, axis, preexec.Figure5Benchmarks(axis))
+			emit("figure5/"+axis.String(), rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+				var r preexec.Figure5Report
+				return &r, json.Unmarshal(raw, &r)
+			})
 		}
 	}
 	if all {
-		emit(experiments.ED2Study(names, cfg))
+		rep, err := lab.ED2Study(ctx, names)
+		emit("ed2", rep, err, *asJSON, func(raw []byte) (preexec.Report, error) {
+			var r preexec.ED2Report
+			return &r, json.Unmarshal(raw, &r)
+		})
 	}
+}
+
+// emit serializes one artifact to JSON. In JSON mode the artifact streams
+// out as {"artifact": name, "report": ...}; in text mode the JSON is
+// decoded back into a fresh report and rendered from the decoded copy.
+func emit(name string, rep preexec.Report, err error, asJSON bool, decode func([]byte) (preexec.Report, error)) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report: marshal:", err)
+		os.Exit(1)
+	}
+	if asJSON {
+		out, err := json.Marshal(struct {
+			Artifact string          `json:"artifact"`
+			Report   json.RawMessage `json:"report"`
+		}{name, raw})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report: marshal:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	decoded, err := decode(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report: decode:", err)
+		os.Exit(1)
+	}
+	fmt.Println(decoded.Render())
 }

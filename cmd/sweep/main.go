@@ -6,47 +6,74 @@
 //	sweep -axis idle                    # paper's idle-factor triple
 //	sweep -axis mem -bench mcf,twolf    # custom benchmark set
 //	sweep -axis l2 -all                 # all nine benchmarks
+//	sweep -axis mem -json               # machine-readable output
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/experiments"
+	preexec "repro"
 )
 
 func main() {
 	axisName := flag.String("axis", "idle", "sweep axis: idle, mem, l2")
 	bench := flag.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the axis)")
 	all := flag.Bool("all", false, "sweep every benchmark")
+	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit the JSON report instead of the rendered table")
 	flag.Parse()
 
-	var axis experiments.SweepAxis
+	var axis preexec.SweepAxis
 	switch *axisName {
 	case "idle":
-		axis = experiments.SweepIdleFactor
+		axis = preexec.SweepIdleFactor
 	case "mem":
-		axis = experiments.SweepMemLatency
+		axis = preexec.SweepMemLatency
 	case "l2":
-		axis = experiments.SweepL2Size
+		axis = preexec.SweepL2Size
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown axis %q (want idle, mem or l2)\n", *axisName)
 		os.Exit(1)
 	}
 
-	names := experiments.Figure5Benchmarks(axis)
+	names := preexec.Figure5Benchmarks(axis)
 	if *all {
-		names = experiments.PaperBenchmarks()
+		names = preexec.PaperBenchmarks()
 	} else if *bench != "" {
 		names = strings.Split(*bench, ",")
 	}
 
-	out, err := experiments.Figure5(axis, names, experiments.DefaultConfig())
+	lab := preexec.New(
+		preexec.WithParallelism(*parallelism),
+		preexec.WithObserver(func(ev preexec.Event) {
+			if ev.Kind == preexec.EventPrepareStart {
+				fmt.Fprintf(os.Stderr, "sweep: preparing %s/%s\n", ev.Bench, ev.Input)
+			}
+		}),
+	)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := lab.Figure5(ctx, axis, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	fmt.Println(out)
+	if *asJSON {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Println(rep.Render())
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -86,8 +87,9 @@ func buildWorkload() *preexec.Program {
 }
 
 func main() {
+	ctx := context.Background()
 	prog := buildWorkload()
-	study, err := preexec.Analyze(prog, preexec.DefaultConfig())
+	study, err := preexec.New().Analyze(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func main() {
 		prog.Name, base.Committed, base.IPC(), base.DemandL2Misses)
 
 	for _, tgt := range []preexec.Target{preexec.TargetL, preexec.TargetE} {
-		run, err := study.Run(tgt)
+		run, err := study.Run(ctx, tgt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,16 +14,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	targets := []preexec.Target{preexec.TargetL, preexec.TargetP2, preexec.TargetP, preexec.TargetE}
 
 	fmt.Println("Retargeting across the composition weight (twolf, 5% idle factor):")
 	fmt.Printf("%-8s %10s %10s %10s %8s\n", "target", "speedup%", "energy%", "ED%", "pinst%")
-	study, err := preexec.AnalyzeBenchmark("twolf", preexec.DefaultConfig())
+	lab := preexec.New()
+	study, err := lab.AnalyzeBenchmark(ctx, "twolf")
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, tgt := range targets {
-		run, err := study.Run(tgt)
+		run, err := study.Run(ctx, tgt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,11 +38,13 @@ func main() {
 	for _, idle := range []float64{0, 0.05, 0.10} {
 		cfg := preexec.DefaultConfig()
 		cfg.CPU.Energy.IdleFactor = idle
-		s, err := preexec.AnalyzeBenchmark("vpr.route", cfg)
+		// One engine per configuration point: the artifact store keys on
+		// the config fingerprint, so these do not alias.
+		s, err := preexec.New(preexec.WithConfig(cfg)).AnalyzeBenchmark(ctx, "vpr.route")
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := s.Run(preexec.TargetE)
+		run, err := s.Run(ctx, preexec.TargetE)
 		if err != nil {
 			log.Fatal(err)
 		}

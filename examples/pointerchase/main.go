@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,8 +18,9 @@ import (
 )
 
 func main() {
-	cfg := preexec.DefaultConfig()
-	study, err := preexec.AnalyzeBenchmark("mcf", cfg)
+	ctx := context.Background()
+	lab := preexec.New()
+	study, err := lab.AnalyzeBenchmark(ctx, "mcf")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func main() {
 		base.IPC(), memShare)
 
 	for _, tgt := range []preexec.Target{preexec.TargetO, preexec.TargetL} {
-		run, err := study.Run(tgt)
+		run, err := study.Run(ctx, tgt)
 		if err != nil {
 			log.Fatal(err)
 		}

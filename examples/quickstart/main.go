@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,9 +11,10 @@ import (
 )
 
 func main() {
-	cfg := preexec.DefaultConfig()
+	ctx := context.Background()
+	lab := preexec.New() // paper-default configuration
 
-	study, err := preexec.AnalyzeBenchmark("gap", cfg)
+	study, err := lab.AnalyzeBenchmark(ctx, "gap")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func main() {
 
 	// Select p-threads that optimize the energy-delay product (the paper's
 	// P-p-threads) and measure them.
-	run, err := study.Run(preexec.TargetP)
+	run, err := study.Run(ctx, preexec.TargetP)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -125,12 +126,30 @@ func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator,
 
 // Run simulates to completion and returns the result.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckMask throttles context polling to every 4096 simulated cycles:
+// cheap enough to be invisible in profiles, frequent enough that a cancelled
+// long run returns within microseconds of wall-clock time.
+const ctxCheckMask = 1<<12 - 1
+
+// RunContext simulates to completion, aborting with ctx.Err() if ctx is
+// cancelled mid-simulation.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
 	}
 	lastCommit := int64(0)
 	for !s.done() {
+		if s.now&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if s.now >= maxCycles {
 			return nil, fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
 		}
@@ -622,9 +641,15 @@ func (s *Simulator) finalize() {
 
 // Run is a convenience that builds and runs a simulator in one call.
 func Run(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Result, error) {
+	return RunContext(context.Background(), cfg, tr, pthreads)
+}
+
+// RunContext is Run with cancellation: the simulation aborts with ctx.Err()
+// as soon as ctx is done, even deep inside a long run.
+func RunContext(ctx context.Context, cfg Config, tr *trace.Trace, pthreads []*PThread) (*Result, error) {
 	s, err := NewSimulator(cfg, tr, pthreads)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }

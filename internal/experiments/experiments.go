@@ -7,8 +7,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/critpath"
@@ -58,8 +58,9 @@ type Prepared struct {
 	Params   pthsel.Params
 }
 
-// Prepare builds, traces, profiles and baselines one benchmark.
-func Prepare(name string, input program.InputClass, cfg Config) (*Prepared, error) {
+// Prepare builds, traces, profiles and baselines one benchmark. The context
+// is honored throughout, including mid-simulation in the baseline run.
+func Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
 	bm, err := program.ByName(name)
 	if err != nil {
 		return nil, err
@@ -69,7 +70,7 @@ func Prepare(name string, input program.InputClass, cfg Config) (*Prepared, erro
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	p, err := PrepareTrace(name, tr, cfg)
+	p, err := PrepareTrace(ctx, name, tr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +80,10 @@ func Prepare(name string, input program.InputClass, cfg Config) (*Prepared, erro
 
 // PrepareTrace profiles and baselines an already-traced program (used for
 // custom workloads supplied through the public façade).
-func PrepareTrace(name string, tr *trace.Trace, cfg Config) (*Prepared, error) {
+func PrepareTrace(ctx context.Context, name string, tr *trace.Trace, cfg Config) (*Prepared, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	prof := profile.Collect(tr, cfg.CPU.Hier)
 	problems := prof.ProblemLoads(cfg.ProblemCoverage, cfg.MinMisses)
 	trees := slicer.BuildTrees(tr, prof, problems, cfg.Slicer)
@@ -87,10 +91,13 @@ func PrepareTrace(name string, tr *trace.Trace, cfg Config) (*Prepared, error) {
 	cp := critpath.New(tr, prof, critpathConfig(cfg))
 	curves := make(map[int32]critpath.Curve, len(problems))
 	for _, ls := range problems {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		curves[ls.PC] = cp.CostCurve(ls.PC)
 	}
 
-	base, err := cpu.Run(cfg.CPU, tr, nil)
+	base, err := cpu.RunContext(ctx, cfg.CPU, tr, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", name, err)
 	}
@@ -147,10 +154,13 @@ type TargetRun struct {
 
 // RunTarget selects p-threads on sel's profile and measures them on meas
 // (sel == meas for ideal profiling; they differ for the realistic-profiling
-// experiment).
-func RunTarget(sel, meas *Prepared, target pthsel.Target, cfg Config) (*TargetRun, error) {
+// experiment). Cancellation is honored mid-simulation.
+func RunTarget(ctx context.Context, sel, meas *Prepared, target pthsel.Target, cfg Config) (*TargetRun, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	selection := pthsel.Select(sel.Trace, sel.Prof, sel.Trees, sel.Params, target)
-	res, err := cpu.Run(cfg.CPU, meas.Trace, selection.PThreads)
+	res, err := cpu.RunContext(ctx, cfg.CPU, meas.Trace, selection.PThreads)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", meas.Name, target, err)
 	}
@@ -186,14 +196,19 @@ type BenchResult struct {
 
 // RunBenchmark prepares one benchmark and evaluates the given targets with
 // ideal (same-run) profiling, as in the paper's primary study.
-func RunBenchmark(name string, targets []pthsel.Target, cfg Config) (*BenchResult, error) {
-	prep, err := Prepare(name, cfg.MeasureInput, cfg)
+func RunBenchmark(ctx context.Context, name string, targets []pthsel.Target, cfg Config) (*BenchResult, error) {
+	prep, err := Prepare(ctx, name, cfg.MeasureInput, cfg)
 	if err != nil {
 		return nil, err
 	}
-	br := &BenchResult{Name: name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
+	return measureTargets(ctx, prep, targets, cfg)
+}
+
+// measureTargets runs every target on an already-prepared benchmark.
+func measureTargets(ctx context.Context, prep *Prepared, targets []pthsel.Target, cfg Config) (*BenchResult, error) {
+	br := &BenchResult{Name: prep.Name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
 	for _, tgt := range targets {
-		run, err := RunTarget(prep, prep, tgt, cfg)
+		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -202,24 +217,10 @@ func RunBenchmark(name string, targets []pthsel.Target, cfg Config) (*BenchResul
 	return br, nil
 }
 
-// RunAll evaluates the given benchmarks × targets in parallel (each
-// benchmark independently; determinism is per-benchmark).
-func RunAll(names []string, targets []pthsel.Target, cfg Config) ([]*BenchResult, error) {
-	results := make([]*BenchResult, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			results[i], errs[i] = RunBenchmark(name, targets, cfg)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+// RunAll evaluates the given benchmarks × targets on a bounded worker pool
+// (each benchmark independently; determinism is per-benchmark). All
+// per-benchmark errors are collected and joined; results for benchmarks
+// that succeeded are returned alongside the joined error.
+func RunAll(ctx context.Context, names []string, targets []pthsel.Target, cfg Config) ([]*BenchResult, error) {
+	return NewRunner(cfg, 0, nil).benchResults(ctx, names, targets, cfg)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestPrepareProducesEverything(t *testing.T) {
 	cfg := DefaultConfig()
-	prep, err := Prepare("gap", program.Train, cfg)
+	prep, err := Prepare(context.Background(), "gap", program.Train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestPrepareProducesEverything(t *testing.T) {
 }
 
 func TestPrepareUnknownBenchmark(t *testing.T) {
-	if _, err := Prepare("nonesuch", program.Train, DefaultConfig()); err == nil {
+	if _, err := Prepare(context.Background(), "nonesuch", program.Train, DefaultConfig()); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -46,7 +47,7 @@ func TestPrepareUnknownBenchmark(t *testing.T) {
 //   - energy-blind latency targeting costs energy relative to E.
 func TestPaperShape(t *testing.T) {
 	cfg := DefaultConfig()
-	results, err := RunAll([]string{"twolf", "vortex", "vpr.route"}, PrimaryTargets, cfg)
+	results, err := RunAll(context.Background(), []string{"twolf", "vortex", "vpr.route"}, PrimaryTargets, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,15 +74,15 @@ func TestPaperShape(t *testing.T) {
 
 func TestRunTargetRealisticProfiling(t *testing.T) {
 	cfg := DefaultConfig()
-	profPrep, err := Prepare("gap", program.Ref, cfg)
+	profPrep, err := Prepare(context.Background(), "gap", program.Ref, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	measPrep, err := Prepare("gap", program.Train, cfg)
+	measPrep, err := Prepare(context.Background(), "gap", program.Train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := RunTarget(profPrep, measPrep, pthsel.TargetL, cfg)
+	run, err := RunTarget(context.Background(), profPrep, measPrep, pthsel.TargetL, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,12 @@ func TestRunTargetRealisticProfiling(t *testing.T) {
 }
 
 func TestTable3RatiosFinite(t *testing.T) {
-	rows, rendered, err := Table3([]string{"gap", "vortex"}, DefaultConfig())
+	rep, err := NewRunner(DefaultConfig(), 0, nil).Table3(context.Background(), []string{"gap", "vortex"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range rows {
+	rendered := rep.Render()
+	for _, r := range rep.Rows {
 		for name, v := range map[string]float64{
 			"latency": r.LatencyPred, "energy": r.EnergyPred, "ED": r.EDPred,
 		} {
@@ -168,7 +170,7 @@ func TestZeroIdleFactorEndToEnd(t *testing.T) {
 	// execution untouched (the paper's §5.4 observation).
 	cfg := DefaultConfig()
 	cfg.CPU.Energy.IdleFactor = 0
-	br, err := RunBenchmark("vortex", []pthsel.Target{pthsel.TargetE}, cfg)
+	br, err := RunBenchmark(context.Background(), "vortex", []pthsel.Target{pthsel.TargetE}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestMemoryLatencyScalesGains(t *testing.T) {
 	run := func(memlat int) float64 {
 		cfg := DefaultConfig()
 		cfg.CPU.Hier.MemLatency = memlat
-		br, err := RunBenchmark("gap", []pthsel.Target{pthsel.TargetL}, cfg)
+		br, err := RunBenchmark(context.Background(), "gap", []pthsel.Target{pthsel.TargetL}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +201,7 @@ func TestMemoryLatencyScalesGains(t *testing.T) {
 
 func TestDeriveMetrics(t *testing.T) {
 	cfg := DefaultConfig()
-	br, err := RunBenchmark("twolf", []pthsel.Target{pthsel.TargetL}, cfg)
+	br, err := RunBenchmark(context.Background(), "twolf", []pthsel.Target{pthsel.TargetL}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

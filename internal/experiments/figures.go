@@ -1,11 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 
-	"repro/internal/cpu"
 	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/pthsel"
@@ -18,160 +17,82 @@ var PrimaryTargets = []pthsel.Target{pthsel.TargetO, pthsel.TargetL, pthsel.Targ
 // Figure2 reproduces the paper's Figure 2: execution-time (critical-path
 // category) and energy breakdowns for unoptimized execution (N) and
 // PTHSEL-driven pre-execution (O), normalized to N = 100.
-func Figure2(names []string, cfg Config) (string, error) {
-	results, err := RunAll(names, []pthsel.Target{pthsel.TargetO}, cfg)
+func (r *Runner) Figure2(ctx context.Context, names []string) (*Figure2Report, error) {
+	results, err := r.benchResults(ctx, names, []pthsel.Target{pthsel.TargetO}, r.cfg)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 2 (left): execution-time breakdown, %% of unoptimized cycles\n")
-	fmt.Fprintf(&b, "%-10s %-3s %7s %7s %7s %7s %7s %8s\n", "bench", "run", "mem", "L2", "exec", "commit", "fetch", "total")
+	rep := &Figure2Report{}
 	for _, br := range results {
 		base := br.Prepared.Baseline
-		printTime := func(tag string, r *cpu.Result) {
-			n := float64(base.Cycles) / 100
-			fmt.Fprintf(&b, "%-10s %-3s %7.1f %7.1f %7.1f %7.1f %7.1f %8.1f\n",
-				br.Name, tag,
-				float64(r.TimeBreakdown[cpu.CatMem])/n,
-				float64(r.TimeBreakdown[cpu.CatL2])/n,
-				float64(r.TimeBreakdown[cpu.CatExec])/n,
-				float64(r.TimeBreakdown[cpu.CatCommit])/n,
-				float64(r.TimeBreakdown[cpu.CatFetch])/n,
-				float64(r.Cycles)/n)
-		}
-		printTime("N", base)
-		printTime("O", br.Runs[pthsel.TargetO].Res)
+		opt := br.Runs[pthsel.TargetO].Res
+		rep.Rows = append(rep.Rows,
+			Figure2Row{Bench: br.Name, Run: "N", Time: timePct(base, base), Energy: energyPct(base, base)},
+			Figure2Row{Bench: br.Name, Run: "O", Time: timePct(base, opt), Energy: energyPct(base, opt)})
 	}
-	fmt.Fprintf(&b, "\nFigure 2 (right): energy breakdown, %% of unoptimized energy\n")
-	fmt.Fprintf(&b, "%-10s %-3s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s %8s\n",
-		"bench", "run", "imem", "dmem", "l2", "OoO", "rob+bp", "idle", "imemP", "dmemP", "l2P", "OoOP", "total")
-	for _, br := range results {
-		base := br.Prepared.Baseline
-		printE := func(tag string, r *cpu.Result) {
-			n := base.Energy.Total() / 100
-			e := r.Energy
-			fmt.Fprintf(&b, "%-10s %-3s %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %8.1f\n",
-				br.Name, tag,
-				e.ImemMain/n, e.DmemMain/n, e.L2Main/n, e.OoOMain/n, e.ROBBpred/n, e.Idle/n,
-				e.ImemPth/n, e.DmemPth/n, e.L2Pth/n, e.OoOPth/n, e.Total()/n)
-		}
-		printE("N", base)
-		printE("O", br.Runs[pthsel.TargetO].Res)
-	}
-	return b.String(), nil
+	return rep, nil
 }
 
-// Figure3 reproduces the paper's Figure 3: improvements, diagnostics, and
-// both breakdowns for all four primary targets across all benchmarks.
-func Figure3(names []string, cfg Config) (string, []*BenchResult, error) {
-	results, err := RunAll(names, PrimaryTargets, cfg)
+// Figure3 reproduces the paper's Figure 3: improvements and diagnostics for
+// all four primary targets across all benchmarks.
+func (r *Runner) Figure3(ctx context.Context, names []string) (*Figure3Report, error) {
+	results, err := r.benchResults(ctx, names, PrimaryTargets, r.cfg)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 3 (top): %%IPC gain / %%energy save / %%ED save\n")
-	fmt.Fprintf(&b, "%-10s", "bench")
-	for _, tgt := range PrimaryTargets {
-		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
-	}
-	fmt.Fprintln(&b)
-	gm := map[pthsel.Target][3][]float64{}
+	rep := &Figure3Report{Targets: targetNames(PrimaryTargets)}
+	acc := map[pthsel.Target][3][]float64{}
 	for _, br := range results {
-		fmt.Fprintf(&b, "%-10s", br.Name)
+		bench := BenchRuns{Name: br.Name}
 		for _, tgt := range PrimaryTargets {
-			r := br.Runs[tgt]
-			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
-			acc := gm[tgt]
-			acc[0] = append(acc[0], r.SpeedupPct)
-			acc[1] = append(acc[1], r.EnergySavePct)
-			acc[2] = append(acc[2], r.EDSavePct)
-			gm[tgt] = acc
+			run := br.Runs[tgt]
+			bench.Runs = append(bench.Runs, runReport(run))
+			a := acc[tgt]
+			a[0] = append(a[0], run.SpeedupPct)
+			a[1] = append(a[1], run.EnergySavePct)
+			a[2] = append(a[2], run.EDSavePct)
+			acc[tgt] = a
 		}
-		fmt.Fprintln(&b)
+		rep.Benchmarks = append(rep.Benchmarks, bench)
 	}
-	fmt.Fprintf(&b, "%-10s", "GMean")
 	for _, tgt := range PrimaryTargets {
-		acc := gm[tgt]
-		fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f",
-			metrics.GMeanPct(acc[0]), metrics.GMeanPct(acc[1]), metrics.GMeanPct(acc[2]))
+		a := acc[tgt]
+		rep.GMeans = append(rep.GMeans, GMeanRow{
+			Target:        tgt.String(),
+			SpeedupPct:    metrics.GMeanPct(a[0]),
+			EnergySavePct: metrics.GMeanPct(a[1]),
+			EDSavePct:     metrics.GMeanPct(a[2]),
+		})
 	}
-	fmt.Fprintln(&b)
-
-	fmt.Fprintf(&b, "\nFigure 3 (diagnostics): full+part coverage %% / %%useful spawns / %%p-inst increase / avg length\n")
-	fmt.Fprintf(&b, "%-10s", "bench")
-	for _, tgt := range PrimaryTargets {
-		fmt.Fprintf(&b, " |%28s", tgt.String()+" (cov/useful/pinst/len)")
-	}
-	fmt.Fprintln(&b)
-	for _, br := range results {
-		fmt.Fprintf(&b, "%-10s", br.Name)
-		for _, tgt := range PrimaryTargets {
-			r := br.Runs[tgt]
-			fmt.Fprintf(&b, " |%5.0f+%-4.0f%6.0f%8.1f%6.1f",
-				r.FullCovPct, r.PartCovPct, r.UsefulPct, r.PInstIncPct, r.AvgPThreadLen)
-		}
-		fmt.Fprintln(&b)
-	}
-	return b.String(), results, nil
-}
-
-// Table3Row is one benchmark's model-validation ratios: measured reduction
-// divided by predicted reduction (1.0 = perfect; <1 = over-estimation).
-type Table3Row struct {
-	Name        string
-	LatencyPred float64 // (Lbase − Lpe) / LADVagg
-	EnergyPred  float64 // (Ebase − Epe) / EADVagg
-	EDPred      float64 // (Pbase − Ppe) / PADVagg (composite at W = 0.5)
+	return rep, nil
 }
 
 // Table3 reproduces the paper's validation table for L-p-threads on the
 // paper's four benchmarks (gcc, parser, vortex, vpr.place).
-func Table3(names []string, cfg Config) ([]Table3Row, string, error) {
-	rows := make([]Table3Row, 0, len(names))
+func (r *Runner) Table3(ctx context.Context, names []string) (*Table3Report, error) {
+	rep := &Table3Report{Rows: make([]Table3Row, 0, len(names))}
 	for _, name := range names {
-		prep, err := Prepare(name, cfg.MeasureInput, cfg)
+		prep, err := r.Prepare(ctx, name, r.cfg.MeasureInput, r.cfg)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		run, err := RunTarget(prep, prep, pthsel.TargetL, cfg)
+		run, err := RunTarget(ctx, prep, prep, pthsel.TargetL, r.cfg)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		base, res := prep.Baseline, run.Res
 		// Measured composite at W=0.5 (the paper's P metric).
 		pBase := metrics.Composite(0.5, float64(base.Cycles), base.Energy.Total())
 		pPE := metrics.Composite(0.5, float64(res.Cycles), res.Energy.Total())
 		predP := pthselCompositePred(prep, run)
-		rows = append(rows, Table3Row{
+		rep.Rows = append(rep.Rows, Table3Row{
 			Name:        name,
 			LatencyPred: metrics.Ratio(float64(base.Cycles-res.Cycles), run.Sel.PredLADV),
 			EnergyPred:  metrics.Ratio(base.Energy.Total()-res.Energy.Total(), run.Sel.PredEADV),
 			EDPred:      metrics.Ratio(pBase-pPE, predP),
 		})
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 3: PTHSEL+E model validation (actual/predicted; 1.0 = exact)\n")
-	fmt.Fprintf(&b, "%-24s", "Validation")
-	for _, r := range rows {
-		fmt.Fprintf(&b, " %10s", r.Name)
-	}
-	fmt.Fprintln(&b)
-	fmt.Fprintf(&b, "%-24s", "Latency prediction")
-	for _, r := range rows {
-		fmt.Fprintf(&b, " %10.2f", r.LatencyPred)
-	}
-	fmt.Fprintln(&b)
-	fmt.Fprintf(&b, "%-24s", "Energy prediction")
-	for _, r := range rows {
-		fmt.Fprintf(&b, " %10.2f", r.EnergyPred)
-	}
-	fmt.Fprintln(&b)
-	fmt.Fprintf(&b, "%-24s", "ED prediction")
-	for _, r := range rows {
-		fmt.Fprintf(&b, " %10.2f", r.EDPred)
-	}
-	fmt.Fprintln(&b)
-	return rows, b.String(), nil
+	return rep, nil
 }
 
 func pthselCompositePred(prep *Prepared, run *TargetRun) float64 {
@@ -179,37 +100,35 @@ func pthselCompositePred(prep *Prepared, run *TargetRun) float64 {
 	return metrics.Composite(0.5, l0, e0) - metrics.Composite(0.5, l0-run.Sel.PredLADV, e0-run.Sel.PredEADV)
 }
 
+// Figure4Targets are the targets of the realistic-profiling experiment.
+var Figure4Targets = []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
+
 // Figure4 reproduces the realistic-profiling experiment (§5.3): p-threads
-// selected from Ref-input profiles, measured on the Train input.
-func Figure4(names []string, cfg Config) (string, error) {
-	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 4: realistic profiling (select on ref, measure on train)\n")
-	fmt.Fprintf(&b, "%-10s", "bench")
-	for _, tgt := range targets {
-		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
-	}
-	fmt.Fprintln(&b)
+// selected from Ref-input profiles, measured on the Train input. Both
+// preparations go through the artifact store, so the Train preparation is
+// shared with every other figure.
+func (r *Runner) Figure4(ctx context.Context, names []string) (*Figure4Report, error) {
+	rep := &Figure4Report{Targets: targetNames(Figure4Targets)}
 	for _, name := range names {
-		profPrep, err := Prepare(name, program.Ref, cfg)
+		profPrep, err := r.Prepare(ctx, name, program.Ref, r.cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		measPrep, err := Prepare(name, cfg.MeasureInput, cfg)
+		measPrep, err := r.Prepare(ctx, name, r.cfg.MeasureInput, r.cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		fmt.Fprintf(&b, "%-10s", name)
-		for _, tgt := range targets {
-			run, err := RunTarget(profPrep, measPrep, tgt, cfg)
+		bench := BenchRuns{Name: name}
+		for _, tgt := range Figure4Targets {
+			run, err := RunTarget(ctx, profPrep, measPrep, tgt, r.cfg)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+			bench.Runs = append(bench.Runs, runReport(run))
 		}
-		fmt.Fprintln(&b)
+		rep.Benchmarks = append(rep.Benchmarks, bench)
 	}
-	return b.String(), nil
+	return rep, nil
 }
 
 // SweepAxis identifies a Figure 5 sensitivity axis.
@@ -269,57 +188,54 @@ func SweepPoints(a SweepAxis) (labels []string, mutate []func(*Config)) {
 // Figure5 reproduces one sensitivity sweep for the given benchmarks: every
 // axis point re-runs profiling, selection and measurement under the mutated
 // configuration (PTHSEL+E re-targets to the new parameters, which is the
-// point of the experiment).
-func Figure5(axis SweepAxis, names []string, cfg Config) (string, error) {
-	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.TargetP}
+// point of the experiment). Each mutated configuration gets its own
+// artifact-store entries via the config fingerprint, so repeating a sweep
+// on one engine is free while distinct points never alias.
+func (r *Runner) Figure5(ctx context.Context, axis SweepAxis, names []string) (*Figure5Report, error) {
 	labels, mutations := SweepPoints(axis)
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 5: sensitivity to %s\n", axis)
-	fmt.Fprintf(&b, "%-10s %-9s", "bench", "point")
-	for _, tgt := range targets {
-		fmt.Fprintf(&b, " |%22s", tgt.String()+" (ipc/energy/ED)")
-	}
-	fmt.Fprintln(&b)
+	rep := &Figure5Report{Axis: axis.String(), Targets: targetNames(Figure4Targets)}
 	for _, name := range names {
 		for pi, mutate := range mutations {
-			ptCfg := cfg
+			ptCfg := r.cfg
 			mutate(&ptCfg)
-			br, err := RunBenchmark(name, targets, ptCfg)
+			prep, err := r.Prepare(ctx, name, ptCfg.MeasureInput, ptCfg)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			fmt.Fprintf(&b, "%-10s %-9s", name, labels[pi])
-			for _, tgt := range targets {
-				r := br.Runs[tgt]
-				fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
+			point := Figure5Point{Bench: name, Point: labels[pi]}
+			for _, tgt := range Figure4Targets {
+				run, err := RunTarget(ctx, prep, prep, tgt, ptCfg)
+				if err != nil {
+					return nil, err
+				}
+				point.Runs = append(point.Runs, runReport(run))
 			}
-			fmt.Fprintln(&b)
+			rep.Points = append(rep.Points, point)
 		}
 	}
-	return b.String(), nil
+	return rep, nil
 }
 
 // ED2Study reproduces the §5.1 ED² discussion: P2-p-threads behave like
 // L-p-threads; both improve ED² substantially.
-func ED2Study(names []string, cfg Config) (string, error) {
+func (r *Runner) ED2Study(ctx context.Context, names []string) (*ED2Report, error) {
 	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetP2}
-	results, err := RunAll(names, targets, cfg)
+	results, err := r.benchResults(ctx, names, targets, r.cfg)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "ED² study: L vs P2 p-threads (%%ED2 save)\n")
-	fmt.Fprintf(&b, "%-10s %10s %10s\n", "bench", "L", "P2")
+	rep := &ED2Report{}
 	var lAll, p2All []float64
 	for _, br := range results {
 		l := br.Runs[pthsel.TargetL].ED2SavePct
 		p2 := br.Runs[pthsel.TargetP2].ED2SavePct
 		lAll = append(lAll, l)
 		p2All = append(p2All, p2)
-		fmt.Fprintf(&b, "%-10s %10.1f %10.1f\n", br.Name, l, p2)
+		rep.Rows = append(rep.Rows, ED2Row{Bench: br.Name, LSavePct: l, P2SavePct: p2})
 	}
-	fmt.Fprintf(&b, "%-10s %10.1f %10.1f\n", "GMean", metrics.GMeanPct(lAll), metrics.GMeanPct(p2All))
-	return b.String(), nil
+	rep.GMeanL = metrics.GMeanPct(lAll)
+	rep.GMeanP2 = metrics.GMeanPct(p2All)
+	return rep, nil
 }
 
 // PaperBenchmarks returns the paper's benchmark list in its order.

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/program"
+	"repro/internal/pthsel"
+)
+
+// EventKind classifies an observer notification.
+type EventKind string
+
+// Observer event kinds, in lifecycle order.
+const (
+	EventPrepareStart  EventKind = "prepare-start"  // a cold preparation began
+	EventPrepareDone   EventKind = "prepare-done"   // a cold preparation finished
+	EventPrepareCached EventKind = "prepare-cached" // the artifact store satisfied a preparation
+	EventRunStart      EventKind = "run-start"      // one (benchmark, target) measurement began
+	EventRunDone       EventKind = "run-done"       // one (benchmark, target) measurement finished
+	EventBenchDone     EventKind = "bench-done"     // one campaign benchmark finished (Done/Total track progress)
+)
+
+// Event is one progress notification delivered to a Runner's observer.
+// Fields beyond Kind and Bench are populated where meaningful: Input for
+// preparation events, Target for run events, Done/Total for campaign
+// progress, Err when the step failed.
+type Event struct {
+	Kind   EventKind
+	Bench  string
+	Input  string
+	Target string
+	Done   int
+	Total  int
+	Err    error
+}
+
+// prepKey identifies one artifact-store entry: a benchmark prepared on one
+// input under one exact configuration.
+type prepKey struct {
+	name        string
+	input       program.InputClass
+	fingerprint string
+}
+
+// prepEntry is a single-flight store slot: the first requester computes,
+// everyone else waits on done.
+type prepEntry struct {
+	done chan struct{}
+	prep *Prepared
+	err  error
+}
+
+// Runner is the experiment engine behind the public Lab façade. It owns a
+// memoizing artifact store keyed by (benchmark, input, config fingerprint),
+// so every figure, table, sweep and campaign sharing one Runner shares one
+// preparation per benchmark, and a bounded worker pool for multi-benchmark
+// fan-out.
+type Runner struct {
+	cfg         Config
+	parallelism int
+	observe     func(Event)
+
+	obsMu sync.Mutex // serializes observer callbacks
+
+	mu    sync.Mutex
+	store map[prepKey]*prepEntry
+
+	prepares atomic.Int64 // cold preparations actually executed
+}
+
+// NewRunner creates an engine over cfg. parallelism bounds concurrent
+// benchmark evaluations (<= 0 means GOMAXPROCS); observe, if non-nil,
+// receives progress events (serialized, from worker goroutines).
+func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		cfg:         cfg,
+		parallelism: parallelism,
+		observe:     observe,
+		store:       map[prepKey]*prepEntry{},
+	}
+}
+
+// Config returns the engine's base configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Prepares reports how many cold preparations the engine has executed —
+// the probe behind the O(benchmarks) preparation guarantee.
+func (r *Runner) Prepares() int64 { return r.prepares.Load() }
+
+func (r *Runner) emit(ev Event) {
+	if r.observe == nil {
+		return
+	}
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	r.observe(ev)
+}
+
+// fingerprint hashes a configuration into the artifact-store key, so sweeps
+// that mutate the config (Figure 5) get distinct entries while repeated
+// figures over the same config share one.
+func fingerprint(cfg Config) string {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a tree of plain values; Marshal cannot fail on it.
+		panic(fmt.Sprintf("experiments: config fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Prepare returns the (benchmark, input, cfg) preparation, computing it at
+// most once per engine. Concurrent requests for the same key share a single
+// in-flight computation. Failed computations are cached (a benchmark that
+// cannot prepare will not prepare on retry) except when the failure was a
+// context cancellation, which is the waiting caller's problem, not the
+// artifact's.
+func (r *Runner) Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
+	key := prepKey{name: name, input: input, fingerprint: fingerprint(cfg)}
+	for {
+		r.mu.Lock()
+		if e, ok := r.store[key]; ok {
+			r.mu.Unlock()
+			// A true store hit is an entry that was already complete when we
+			// found it; waiting for a concurrent in-flight preparation shares
+			// its result but is not a cache hit (the prepare-start/done events
+			// of the computing caller already describe that work).
+			hit := false
+			select {
+			case <-e.done:
+				hit = true
+			default:
+			}
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err == nil {
+				if hit {
+					r.emit(Event{Kind: EventPrepareCached, Bench: name, Input: input.String()})
+				}
+				return e.prep, nil
+			}
+			if !isContextErr(e.err) {
+				return nil, e.err
+			}
+			// The computing caller was cancelled; retire the poisoned entry
+			// (unless someone already replaced it) and retry under our ctx.
+			r.mu.Lock()
+			if r.store[key] == e {
+				delete(r.store, key)
+			}
+			r.mu.Unlock()
+			continue
+		}
+		e := &prepEntry{done: make(chan struct{})}
+		r.store[key] = e
+		r.mu.Unlock()
+
+		r.prepares.Add(1)
+		r.emit(Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
+		e.prep, e.err = Prepare(ctx, name, input, cfg)
+		close(e.done)
+		if isContextErr(e.err) {
+			r.mu.Lock()
+			if r.store[key] == e {
+				delete(r.store, key)
+			}
+			r.mu.Unlock()
+		}
+		r.emit(Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: e.err})
+		return e.prep, e.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// forEach runs fn(0..n-1) on the bounded pool and waits for completion. It
+// stops launching new work once ctx is cancelled; already-running work is
+// interrupted by its own ctx checks.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(i int)) {
+	sem := make(chan struct{}, r.parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runBench evaluates one benchmark under every target, preparing through
+// the artifact store.
+func (r *Runner) runBench(ctx context.Context, name string, targets []pthsel.Target, cfg Config) (*BenchResult, error) {
+	prep, err := r.Prepare(ctx, name, cfg.MeasureInput, cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := &BenchResult{Name: name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
+	for _, tgt := range targets {
+		r.emit(Event{Kind: EventRunStart, Bench: name, Target: tgt.String()})
+		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
+		r.emit(Event{Kind: EventRunDone, Bench: name, Target: tgt.String(), Err: err})
+		if err != nil {
+			return nil, err
+		}
+		br.Runs[tgt] = run
+	}
+	return br, nil
+}
+
+// benchResults evaluates names × targets on the pool. The returned slice is
+// parallel to names with nil holes for failed benchmarks; the error is the
+// join of every per-benchmark failure.
+func (r *Runner) benchResults(ctx context.Context, names []string, targets []pthsel.Target, cfg Config) ([]*BenchResult, error) {
+	results := make([]*BenchResult, len(names))
+	errs := make([]error, len(names))
+	r.forEach(ctx, len(names), func(i int) {
+		br, err := r.runBench(ctx, names[i], targets, cfg)
+		results[i] = br
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", names[i], err)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, errors.Join(errs...)
+}
+
+// Campaign evaluates names × targets on the pool and reports per-benchmark
+// outcomes instead of failing the whole batch on the first error: every
+// benchmark that succeeded carries its baseline and runs, every one that
+// failed carries its error string. The returned error is non-nil only when
+// the context was cancelled; per-benchmark failures are reported through
+// the CampaignReport (see its Err method).
+func (r *Runner) Campaign(ctx context.Context, names []string, targets []pthsel.Target) (*CampaignReport, error) {
+	entries := make([]CampaignBench, len(names))
+	for i, name := range names {
+		entries[i] = CampaignBench{Name: name}
+	}
+	errs := make([]error, len(names))
+	var done atomic.Int64
+	r.forEach(ctx, len(names), func(i int) {
+		name := names[i]
+		br, err := r.runBench(ctx, name, targets, r.cfg)
+		if err != nil {
+			entries[i].Error = err.Error()
+			errs[i] = fmt.Errorf("%s: %w", name, err)
+		} else {
+			entries[i].Baseline = baselineReport(br.Prepared.Baseline)
+			for _, tgt := range targets {
+				entries[i].Runs = append(entries[i].Runs, runReport(br.Runs[tgt]))
+			}
+		}
+		r.emit(Event{Kind: EventBenchDone, Bench: name, Err: err,
+			Done: int(done.Add(1)), Total: len(names)})
+	})
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Benchmarks that never ran (cancelled before launch or mid-flight)
+		// are failures too: without this, partial-report consumers would
+		// see entries with neither results nor an error.
+		for i := range entries {
+			if entries[i].Error == "" && entries[i].Baseline == nil {
+				entries[i].Error = "not run: " + ctxErr.Error()
+				if errs[i] == nil {
+					errs[i] = fmt.Errorf("%s: not run: %w", entries[i].Name, ctxErr)
+				}
+			}
+		}
+	}
+	rep := &CampaignReport{
+		Targets:    targetNames(targets),
+		Benchmarks: entries,
+		errs:       errs,
+	}
+	return rep, ctx.Err()
+}
+
+func targetNames(targets []pthsel.Target) []string {
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.String()
+	}
+	return names
+}

@@ -6,19 +6,60 @@
 // builder, a functional interpreter, a cycle-level multithreaded out-of-
 // order simulator with DDMT pre-execution, a Wattch-style energy model, a
 // Fields-style critical-path analyzer, a backward slicer, and the
-// PTHSEL/PTHSEL+E selection frameworks — behind a small façade:
+// PTHSEL/PTHSEL+E selection frameworks — behind a Lab engine:
 //
-//	prog := preexec.Benchmark("mcf")              // or build your own
-//	study, _ := preexec.Analyze(prog, preexec.DefaultConfig())
-//	sel := study.Select(preexec.TargetP)          // ED-targeted p-threads
-//	res, _ := study.Measure(sel)
-//	fmt.Println(res.SpeedupPct, res.EnergySavePct)
+//	lab := preexec.New()                            // functional options below
+//	study, _ := lab.AnalyzeBenchmark(ctx, "mcf")
+//	run, _ := study.Run(ctx, preexec.TargetP)       // ED-targeted p-threads
+//	fmt.Println(run.SpeedupPct, run.EnergySavePct)
 //
-// The experiment entry points (Figure2, Figure3, Table3, Figure4, Figure5)
-// regenerate the paper's evaluation artifacts.
+// A Lab owns a memoizing artifact store keyed by (benchmark, input, config
+// fingerprint): every expensive preparation — trace, profile, slice trees,
+// criticality curves, baseline simulation — happens at most once per engine,
+// so regenerating several figures over the same benchmark suite performs
+// O(benchmarks) preparations instead of O(figures × benchmarks). Engines
+// are configured with functional options:
+//
+//	lab := preexec.New(
+//	        preexec.WithConfig(cfg),        // processor/selection configuration
+//	        preexec.WithParallelism(4),     // bounded campaign worker pool
+//	        preexec.WithObserver(func(ev preexec.Event) { log.Println(ev.Kind, ev.Bench) }),
+//	)
+//
+// Every entry point takes a context.Context that is honored mid-simulation:
+// cancelling the context aborts even a multi-billion-cycle run promptly.
+//
+// The experiment entry points (Figure2, Figure3, Table3, Figure4, Figure5,
+// ED2Study, RunCampaign) regenerate the paper's evaluation artifacts as
+// structured, JSON-marshalable Report values; call Render on a report for
+// the human-readable table (see EXPERIMENTS.md for paper-vs-measured
+// values and the report schema).
+//
+// # Migration from the pre-Lab API
+//
+// The package previously exposed free functions that re-prepared each
+// benchmark per call and returned pre-rendered strings. The mapping:
+//
+//	Benchmark(name) (panics)          -> lab.Benchmark(name) (returns error)
+//	Analyze(prog, cfg)                -> lab.Analyze(ctx, prog)
+//	AnalyzeBenchmark(name, cfg)       -> lab.AnalyzeBenchmark(ctx, name)
+//	study.Select(target)              -> study.Select(ctx, target)
+//	study.Measure(sel)                -> study.Measure(ctx, sel)
+//	study.Run(target)                 -> study.Run(ctx, target)
+//	RunBenchmark(name, targets, cfg)  -> lab.RunCampaign(ctx, []string{name}, targets)
+//	Figure2(names, cfg) (string)      -> lab.Figure2(ctx, names) (*Figure2Report)
+//	Figure3(names, cfg) (string, ...) -> lab.Figure3(ctx, names) (*Figure3Report)
+//	Table3(names, cfg)                -> lab.Table3(ctx, names) (*Table3Report)
+//	Figure4(names, cfg)               -> lab.Figure4(ctx, names) (*Figure4Report)
+//	Figure5(axis, names, cfg)         -> lab.Figure5(ctx, axis, names) (*Figure5Report)
+//	ED2Study(names, cfg)              -> lab.ED2Study(ctx, names) (*ED2Report)
+//
+// The configuration moves from per-call arguments to the engine
+// (WithConfig); the rendered string of any figure is now report.Render().
 package preexec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -56,6 +97,35 @@ type (
 	Inst = isa.Inst
 	// Reg identifies an architectural register (R0 is hardwired zero).
 	Reg = isa.Reg
+
+	// Event is a progress notification delivered to a Lab's observer.
+	Event = experiments.Event
+	// EventKind classifies an Event.
+	EventKind = experiments.EventKind
+	// SweepAxis identifies a Figure 5 sensitivity axis.
+	SweepAxis = experiments.SweepAxis
+
+	// Report is a structured, JSON-marshalable experiment artifact with a
+	// Render method producing the human-readable table.
+	Report = experiments.Report
+	// Figure2Report holds Figure 2's time and energy breakdowns.
+	Figure2Report = experiments.Figure2Report
+	// Figure3Report holds Figure 3's improvements and diagnostics.
+	Figure3Report = experiments.Figure3Report
+	// Table3Report holds Table 3's model-validation ratios.
+	Table3Report = experiments.Table3Report
+	// Figure4Report holds the realistic-profiling results.
+	Figure4Report = experiments.Figure4Report
+	// Figure5Report holds one sensitivity sweep.
+	Figure5Report = experiments.Figure5Report
+	// ED2Report holds the ED² study.
+	ED2Report = experiments.ED2Report
+	// CampaignReport holds a campaign's partial results and per-run errors.
+	CampaignReport = experiments.CampaignReport
+	// RunReport is the JSON-stable summary of one measured run.
+	RunReport = experiments.RunReport
+	// BaselineReport summarizes one unoptimized run.
+	BaselineReport = experiments.BaselineReport
 )
 
 // Selection targets, named as in the paper: O (original flat-cost PTHSEL),
@@ -66,6 +136,23 @@ const (
 	TargetE  = pthsel.TargetE
 	TargetP  = pthsel.TargetP
 	TargetP2 = pthsel.TargetP2
+)
+
+// Figure 5's sensitivity axes.
+const (
+	SweepIdleFactor = experiments.SweepIdleFactor
+	SweepMemLatency = experiments.SweepMemLatency
+	SweepL2Size     = experiments.SweepL2Size
+)
+
+// Observer event kinds.
+const (
+	EventPrepareStart  = experiments.EventPrepareStart
+	EventPrepareDone   = experiments.EventPrepareDone
+	EventPrepareCached = experiments.EventPrepareCached
+	EventRunStart      = experiments.EventRunStart
+	EventRunDone       = experiments.EventRunDone
+	EventBenchDone     = experiments.EventBenchDone
 )
 
 // DefaultConfig returns the paper's configuration: 6-wide 15-stage core,
@@ -80,14 +167,71 @@ func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
 // Benchmarks lists the nine SPEC2000-like synthetic workloads.
 func Benchmarks() []string { return program.Names() }
 
-// Benchmark builds a named synthetic workload on its Train input.
-// It panics on an unknown name; use Benchmarks for the list.
-func Benchmark(name string) *Program {
+// PaperBenchmarks returns the paper's benchmark list in its order.
+func PaperBenchmarks() []string { return experiments.PaperBenchmarks() }
+
+// ParseTarget parses a selection-target name (O, L, E, P, P2) as used in
+// the paper's figures and this package's CLIs.
+func ParseTarget(s string) (Target, error) {
+	for _, t := range []Target{TargetO, TargetL, TargetE, TargetP, TargetP2} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown target %q (want O, L, E, P or P2)", s)
+}
+
+// Option configures a Lab.
+type Option func(*Lab)
+
+// WithConfig sets the engine's configuration (default: DefaultConfig).
+func WithConfig(cfg Config) Option { return func(l *Lab) { l.cfg = cfg } }
+
+// WithParallelism bounds the worker pool used by figures and campaigns
+// (default and <= 0: GOMAXPROCS).
+func WithParallelism(n int) Option { return func(l *Lab) { l.parallelism = n } }
+
+// WithObserver registers a progress callback. Events are delivered
+// serialized (never concurrently) but from worker goroutines.
+func WithObserver(fn func(Event)) Option { return func(l *Lab) { l.observe = fn } }
+
+// Lab is the experiment engine: it owns the artifact store (one preparation
+// per benchmark × input × configuration, shared by every figure, sweep,
+// study and campaign run through it) and the bounded worker pool. A Lab is
+// safe for concurrent use.
+type Lab struct {
+	cfg         Config
+	parallelism int
+	observe     func(Event)
+	run         *experiments.Runner
+}
+
+// New creates a Lab engine.
+func New(opts ...Option) *Lab {
+	l := &Lab{cfg: experiments.DefaultConfig()}
+	for _, opt := range opts {
+		opt(l)
+	}
+	l.run = experiments.NewRunner(l.cfg, l.parallelism, l.observe)
+	return l
+}
+
+// Config returns the engine's configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Prepares reports how many cold preparations the engine has executed; the
+// artifact store keeps it at one per (benchmark, input, configuration)
+// regardless of how many figures run.
+func (l *Lab) Prepares() int64 { return l.run.Prepares() }
+
+// Benchmark builds a named synthetic workload on its Train input. Unknown
+// names return an error; use Benchmarks for the list.
+func (l *Lab) Benchmark(name string) (*Program, error) {
 	bm, err := program.ByName(name)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return bm.Build(program.Train)
+	return bm.Build(program.Train), nil
 }
 
 // Study owns everything needed to select and measure p-threads for one
@@ -98,49 +242,8 @@ type Study struct {
 	prep *experiments.Prepared
 }
 
-// Analyze traces, profiles and baselines a custom program under cfg.
-func Analyze(prog *Program, cfg Config) (*Study, error) {
-	prep, err := prepareProgram(prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Study{cfg: cfg, prep: prep}, nil
-}
-
-// AnalyzeBenchmark is Analyze for a named built-in workload.
-func AnalyzeBenchmark(name string, cfg Config) (*Study, error) {
-	prep, err := experiments.Prepare(name, cfg.MeasureInput, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Study{cfg: cfg, prep: prep}, nil
-}
-
-// Baseline returns the unoptimized simulation result.
-func (s *Study) Baseline() *Result { return s.prep.Baseline }
-
-// Select runs PTHSEL/PTHSEL+E under the given target.
-func (s *Study) Select(target Target) *Selection {
-	return pthsel.Select(s.prep.Trace, s.prep.Prof, s.prep.Trees, s.prep.Params, target)
-}
-
-// Measure simulates the program with the selection's p-threads installed
-// and derives the paper's metrics against the study's baseline.
-func (s *Study) Measure(sel *Selection) (*TargetRun, error) {
-	res, err := cpu.Run(s.cfg.CPU, s.prep.Trace, sel.PThreads)
-	if err != nil {
-		return nil, err
-	}
-	return experiments.Derive(sel, s.prep.Baseline, res), nil
-}
-
-// Run is Select followed by Measure.
-func (s *Study) Run(target Target) (*TargetRun, error) {
-	return s.Measure(s.Select(target))
-}
-
-// prepareProgram adapts experiments.Prepare for an ad-hoc program.
-func prepareProgram(prog *Program, cfg Config) (*experiments.Prepared, error) {
+// Analyze traces, profiles and baselines a custom program.
+func (l *Lab) Analyze(ctx context.Context, prog *Program) (*Study, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,26 +251,97 @@ func prepareProgram(prog *Program, cfg Config) (*experiments.Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("preexec: %w", err)
 	}
-	return experiments.PrepareTrace(prog.Name, tr, cfg)
+	prep, err := experiments.PrepareTrace(ctx, prog.Name, tr, l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: l.cfg, prep: prep}, nil
 }
 
-// RunBenchmark evaluates one named workload under the given targets with
-// ideal (same-run) profiling, as in the paper's primary study.
-func RunBenchmark(name string, targets []Target, cfg Config) (*BenchResult, error) {
-	return experiments.RunBenchmark(name, targets, cfg)
+// AnalyzeBenchmark is Analyze for a named built-in workload. The
+// preparation goes through the artifact store, so repeated studies and
+// figures over the same benchmark share one.
+func (l *Lab) AnalyzeBenchmark(ctx context.Context, name string) (*Study, error) {
+	prep, err := l.run.Prepare(ctx, name, l.cfg.MeasureInput, l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: l.cfg, prep: prep}, nil
 }
 
-// Experiment entry points: each returns the rendered table for one of the
-// paper's figures (see EXPERIMENTS.md for paper-vs-measured values).
-var (
-	Figure2  = experiments.Figure2
-	Table3   = experiments.Table3
-	Figure4  = experiments.Figure4
-	Figure5  = experiments.Figure5
-	ED2Study = experiments.ED2Study
-)
+// Baseline returns the unoptimized simulation result.
+func (s *Study) Baseline() *Result { return s.prep.Baseline }
 
-// Figure3 runs the primary study and returns its rendered tables.
-func Figure3(names []string, cfg Config) (string, []*BenchResult, error) {
-	return experiments.Figure3(names, cfg)
+// Select runs PTHSEL/PTHSEL+E under the given target.
+func (s *Study) Select(ctx context.Context, target Target) (*Selection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pthsel.Select(s.prep.Trace, s.prep.Prof, s.prep.Trees, s.prep.Params, target), nil
 }
+
+// Measure simulates the program with the selection's p-threads installed
+// and derives the paper's metrics against the study's baseline. The context
+// is honored mid-simulation.
+func (s *Study) Measure(ctx context.Context, sel *Selection) (*TargetRun, error) {
+	res, err := cpu.RunContext(ctx, s.cfg.CPU, s.prep.Trace, sel.PThreads)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Derive(sel, s.prep.Baseline, res), nil
+}
+
+// Run is Select followed by Measure.
+func (s *Study) Run(ctx context.Context, target Target) (*TargetRun, error) {
+	sel, err := s.Select(ctx, target)
+	if err != nil {
+		return nil, err
+	}
+	return s.Measure(ctx, sel)
+}
+
+// RunCampaign evaluates benchmarks × targets on the bounded worker pool
+// with partial-result reporting: one failing benchmark does not discard the
+// others. The returned error is non-nil only for context cancellation;
+// per-benchmark failures are carried inside the report (see
+// CampaignReport.Err).
+func (l *Lab) RunCampaign(ctx context.Context, names []string, targets []Target) (*CampaignReport, error) {
+	return l.run.Campaign(ctx, names, targets)
+}
+
+// Figure2 reproduces the paper's Figure 2 breakdowns for the given
+// benchmarks.
+func (l *Lab) Figure2(ctx context.Context, names []string) (*Figure2Report, error) {
+	return l.run.Figure2(ctx, names)
+}
+
+// Figure3 reproduces the paper's primary study (Figure 3).
+func (l *Lab) Figure3(ctx context.Context, names []string) (*Figure3Report, error) {
+	return l.run.Figure3(ctx, names)
+}
+
+// Table3 reproduces the paper's model-validation table.
+func (l *Lab) Table3(ctx context.Context, names []string) (*Table3Report, error) {
+	return l.run.Table3(ctx, names)
+}
+
+// Figure4 reproduces the realistic-profiling experiment (§5.3).
+func (l *Lab) Figure4(ctx context.Context, names []string) (*Figure4Report, error) {
+	return l.run.Figure4(ctx, names)
+}
+
+// Figure5 reproduces one sensitivity sweep (Figure 5).
+func (l *Lab) Figure5(ctx context.Context, axis SweepAxis, names []string) (*Figure5Report, error) {
+	return l.run.Figure5(ctx, axis, names)
+}
+
+// ED2Study reproduces the §5.1 ED² discussion.
+func (l *Lab) ED2Study(ctx context.Context, names []string) (*ED2Report, error) {
+	return l.run.ED2Study(ctx, names)
+}
+
+// Figure5Benchmarks returns the paper's per-axis benchmark triples.
+func Figure5Benchmarks(axis SweepAxis) []string { return experiments.Figure5Benchmarks(axis) }
+
+// Table3Benchmarks returns the paper's validation benchmarks.
+func Table3Benchmarks() []string { return experiments.Table3Benchmarks() }

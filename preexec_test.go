@@ -1,24 +1,32 @@
 package preexec
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestFacadeStudyFlow(t *testing.T) {
-	study, err := AnalyzeBenchmark("gap", DefaultConfig())
+	ctx := context.Background()
+	lab := New()
+	study, err := lab.AnalyzeBenchmark(ctx, "gap")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if study.Baseline().Cycles <= 0 {
 		t.Fatal("no baseline")
 	}
-	sel := study.Select(TargetP)
-	run, err := study.Measure(sel)
+	sel, err := study.Select(ctx, TargetP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := study.Measure(ctx, sel)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if run.SpeedupPct <= 0 {
 		t.Errorf("P-p-threads on gap must speed up, got %+.1f%%", run.SpeedupPct)
 	}
-	run2, err := study.Run(TargetP)
+	run2, err := study.Run(ctx, TargetP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,6 +36,7 @@ func TestFacadeStudyFlow(t *testing.T) {
 }
 
 func TestFacadeCustomProgram(t *testing.T) {
+	ctx := context.Background()
 	b := NewBuilder("tiny")
 	const rI, rN, rA, rV, rC = Reg(1), Reg(2), Reg(3), Reg(4), Reg(5)
 	b.MovI(rI, 0)
@@ -44,11 +53,11 @@ func TestFacadeCustomProgram(t *testing.T) {
 	b.SetMem(make([]int64, 1<<18))
 	prog := b.MustBuild()
 
-	study, err := Analyze(prog, DefaultConfig())
+	study, err := New().Analyze(ctx, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := study.Run(TargetL)
+	run, err := study.Run(ctx, TargetL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,24 +70,37 @@ func TestFacadeCustomProgram(t *testing.T) {
 }
 
 func TestFacadeBenchmarkList(t *testing.T) {
+	lab := New()
 	names := Benchmarks()
 	if len(names) != 9 {
 		t.Fatalf("benchmarks = %v", names)
 	}
-	p := Benchmark("mcf")
+	p, err := lab.Benchmark("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Name != "mcf.train" {
 		t.Errorf("benchmark name = %q", p.Name)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown benchmark must panic")
-		}
-	}()
-	Benchmark("nonesuch")
+	if _, err := lab.Benchmark("nonesuch"); err == nil {
+		t.Error("unknown benchmark must return an error")
+	}
 }
 
 func TestFacadeAnalyzeInvalidProgram(t *testing.T) {
-	if _, err := Analyze(&Program{Name: "empty"}, DefaultConfig()); err == nil {
+	if _, err := New().Analyze(context.Background(), &Program{Name: "empty"}); err == nil {
 		t.Error("invalid program accepted")
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	for _, want := range []Target{TargetO, TargetL, TargetE, TargetP, TargetP2} {
+		got, err := ParseTarget(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParseTarget(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := ParseTarget("Q"); err == nil {
+		t.Error("unknown target accepted")
 	}
 }
