@@ -13,12 +13,15 @@ package preexec
 
 import (
 	"context"
+	"sync"
 	"testing"
 
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/pthsel"
+	"repro/internal/trace"
 )
 
 // fig3Gmeans runs the primary study for one target once per iteration on a
@@ -198,6 +201,109 @@ func BenchmarkED2Target(b *testing.B) {
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		if _, err := New().ED2Study(ctx, PaperBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hotLoopWorkload is one prepared (trace, p-threads) pair for the hot-loop
+// benchmark; preparation and selection run once per process, outside any
+// timed region.
+type hotLoopWorkload struct {
+	trace    *trace.Trace
+	pthreads []*cpu.PThread
+}
+
+var hotLoop struct {
+	once      sync.Once
+	cfg       experiments.Config
+	workloads []hotLoopWorkload
+	err       error
+}
+
+func hotLoopWorkloads(b *testing.B) []hotLoopWorkload {
+	b.Helper()
+	hotLoop.once.Do(func() {
+		ctx := context.Background()
+		hotLoop.cfg = experiments.DefaultConfig()
+		for _, name := range program.Names() {
+			prep, err := experiments.Prepare(ctx, name, program.Train, hotLoop.cfg)
+			if err != nil {
+				hotLoop.err = err
+				return
+			}
+			sel := pthsel.Select(prep.Trace, prep.Prof, prep.Trees, prep.Params, pthsel.TargetL)
+			hotLoop.workloads = append(hotLoop.workloads, hotLoopWorkload{
+				trace:    prep.Trace,
+				pthreads: sel.PThreads,
+			})
+		}
+	})
+	if hotLoop.err != nil {
+		b.Fatal(hotLoop.err)
+	}
+	return hotLoop.workloads
+}
+
+// simHotLoop times the cycle simulator's hot loop alone — no preparation,
+// no selection — across the full benchmark suite with L-p-threads
+// installed, under the given engine, reporting simulated cycles per
+// wall-clock second.
+func simHotLoop(b *testing.B, engine string) {
+	ctx := context.Background()
+	workloads := hotLoopWorkloads(b)
+	simCfg := hotLoop.cfg.CPU
+	simCfg.Engine = engine
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		for _, wl := range workloads {
+			res, err := cpu.RunContext(ctx, simCfg, wl.trace, wl.pthreads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkSimHotLoop compares the event-driven wakeup scheduler against
+// the reference per-cycle scan engine on the same prepared workloads (every
+// paper benchmark, L-target p-threads installed). The event/scan
+// sim-cycles/s ratio is the tentpole speedup that cmd/benchgate gates in CI
+// (required: >= 1.5x).
+func BenchmarkSimHotLoop(b *testing.B) {
+	b.Run("event", func(b *testing.B) { simHotLoop(b, cpu.EngineEvent) })
+	b.Run("scan", func(b *testing.B) { simHotLoop(b, cpu.EngineScan) })
+}
+
+// BenchmarkFigureSuite regenerates the paper's full figure suite (Figures
+// 2-5, Table 3 and the ED² study) through one shared Lab engine per
+// iteration — the end-to-end number a full reproduction pays, dominated by
+// simulation throughput. cmd/benchgate records it in BENCH_sim.json.
+func BenchmarkFigureSuite(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		lab := New()
+		if _, err := lab.Figure2(ctx, PaperBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lab.Figure3(ctx, PaperBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lab.Table3(ctx, Table3Benchmarks()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lab.Figure4(ctx, PaperBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
+		for _, axis := range []SweepAxis{SweepIdleFactor, SweepMemLatency, SweepL2Size} {
+			if _, err := lab.Figure5(ctx, axis, Figure5Benchmarks(axis)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := lab.ED2Study(ctx, PaperBenchmarks()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,169 @@
+// Command benchgate runs the simulator benchmark suite, writes the measured
+// numbers to BENCH_sim.json (the CI artifact), and gates the build against a
+// committed baseline:
+//
+//   - the event-engine hot-loop throughput (sim-cycles/s) must not regress
+//     more than -tolerance (default 15%) below the baseline file, and
+//   - the event/scan engine speedup must stay at or above the baseline's
+//     MinSpeedup (the tentpole's machine-independent >= 1.5x requirement).
+//
+// Usage:
+//
+//	go run ./cmd/benchgate                 # measure + gate against testdata/bench_baseline.json
+//	go run ./cmd/benchgate -update         # refresh the baseline from this machine
+//	go run ./cmd/benchgate -skip-suite     # hot loop only (quick local check)
+//
+// The refresh procedure is documented in EXPERIMENTS.md: -update records
+// this machine's measured throughput verbatim; when refreshing the committed
+// baseline for heterogeneous CI runners, scale EventCyclesPerSec down (the
+// repo commits ~50% of a reference run) so the 15% gate trips on real
+// regressions rather than on runner lottery.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Report is the BENCH_sim.json artifact schema.
+type Report struct {
+	EventCyclesPerSec float64 // BenchmarkSimHotLoop/event sim-cycles/s
+	ScanCyclesPerSec  float64 // BenchmarkSimHotLoop/scan sim-cycles/s
+	Speedup           float64 // event / scan
+	FigureSuiteSec    float64 // BenchmarkFigureSuite seconds per full suite (0 when skipped)
+}
+
+// Baseline is the committed gate (testdata/bench_baseline.json).
+type Baseline struct {
+	// EventCyclesPerSec is the throughput floor reference; the gate fails
+	// when the measured value drops more than the tolerance below it.
+	EventCyclesPerSec float64
+	// MinSpeedup is the required event/scan ratio (machine-independent).
+	MinSpeedup float64
+	Note       string `json:",omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "testdata/bench_baseline.json", "committed baseline file")
+	outPath := flag.String("out", "BENCH_sim.json", "where to write the measured report")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional throughput regression")
+	benchtime := flag.String("benchtime", "5x", "go test -benchtime for the hot loop")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	skipSuite := flag.Bool("skip-suite", false, "skip the full-figure-suite benchmark")
+	flag.Parse()
+
+	rep := Report{}
+	hot, err := runBench("BenchmarkSimHotLoop", *benchtime)
+	if err != nil {
+		fatal("hot loop benchmark: %v", err)
+	}
+	rep.EventCyclesPerSec = hot["BenchmarkSimHotLoop/event"].metric
+	rep.ScanCyclesPerSec = hot["BenchmarkSimHotLoop/scan"].metric
+	if rep.EventCyclesPerSec <= 0 || rep.ScanCyclesPerSec <= 0 {
+		fatal("missing sim-cycles/s metrics in benchmark output")
+	}
+	rep.Speedup = rep.EventCyclesPerSec / rep.ScanCyclesPerSec
+
+	if !*skipSuite {
+		suite, err := runBench("BenchmarkFigureSuite", "1x")
+		if err != nil {
+			fatal("figure suite benchmark: %v", err)
+		}
+		rep.FigureSuiteSec = suite["BenchmarkFigureSuite"].nsPerOp / 1e9
+	}
+
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		fatal("write %s: %v", *outPath, err)
+	}
+	fmt.Printf("benchgate: event %.0f sim-cycles/s, scan %.0f sim-cycles/s, speedup %.2fx\n",
+		rep.EventCyclesPerSec, rep.ScanCyclesPerSec, rep.Speedup)
+
+	if *update {
+		b := Baseline{
+			EventCyclesPerSec: rep.EventCyclesPerSec,
+			MinSpeedup:        1.5,
+			Note:              "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
+		}
+		braw, _ := json.MarshalIndent(b, "", "  ")
+		braw = append(braw, '\n')
+		if err := os.WriteFile(*baselinePath, braw, 0o644); err != nil {
+			fatal("write %s: %v", *baselinePath, err)
+		}
+		fmt.Printf("benchgate: baseline refreshed at %s\n", *baselinePath)
+		return
+	}
+
+	braw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v (run with -update to create one)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(braw, &base); err != nil {
+		fatal("parse baseline: %v", err)
+	}
+	floor := base.EventCyclesPerSec * (1 - *tolerance)
+	if rep.EventCyclesPerSec < floor {
+		fatal("throughput regression: event engine %.0f sim-cycles/s < floor %.0f (baseline %.0f - %.0f%%)",
+			rep.EventCyclesPerSec, floor, base.EventCyclesPerSec, *tolerance*100)
+	}
+	if base.MinSpeedup > 0 && rep.Speedup < base.MinSpeedup {
+		fatal("speedup regression: event/scan %.2fx < required %.2fx", rep.Speedup, base.MinSpeedup)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx)\n", floor, base.MinSpeedup)
+}
+
+type benchLine struct {
+	nsPerOp float64
+	metric  float64 // the benchmark's custom sim-cycles/s metric, if reported
+}
+
+// runBench executes one `go test -bench` selection and parses its result
+// lines into name -> {ns/op, sim-cycles/s}.
+func runBench(pattern, benchtime string) (map[string]benchLine, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^"+pattern+"$",
+		"-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, out)
+	}
+	res := map[string]benchLine{}
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// "BenchmarkName/sub-8  N  123 ns/op  456 sim-cycles/s ..."
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		var bl benchLine
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bl.nsPerOp = v
+			case "sim-cycles/s":
+				bl.metric = v
+			}
+		}
+		res[name] = bl
+	}
+	return res, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

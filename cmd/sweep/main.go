@@ -48,6 +48,17 @@ func main() {
 	} else if *bench != "" {
 		names = strings.Split(*bench, ",")
 	}
+	valid := make(map[string]bool)
+	for _, n := range preexec.Benchmarks() {
+		valid[n] = true
+	}
+	for _, n := range names {
+		if !valid[n] {
+			fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q (valid: %s)\n",
+				n, strings.Join(preexec.Benchmarks(), ", "))
+			os.Exit(1)
+		}
+	}
 
 	lab := preexec.New(
 		preexec.WithParallelism(*parallelism),

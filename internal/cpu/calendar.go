@@ -1,0 +1,100 @@
+package cpu
+
+import "math"
+
+// Calendar-queue payload marking a p-thread body completion. Main-thread
+// completions carry the dynamic instruction index (>= 0) so the wakeup walk
+// can find the waiting consumers; p-thread completions only need to exist as
+// points in time (the in-order per-context scan picks up the work).
+const pctxMarker int32 = -1
+
+const (
+	calBits  = 10
+	calSlots = 1 << calBits // wheel horizon in cycles
+	calMask  = calSlots - 1
+)
+
+type calEvent struct {
+	at int64
+	d  int32
+}
+
+// calendar is a calendar/bucket queue of future completion events. Events
+// within the wheel horizon land in the bucket at&calMask; the simulator
+// visits every cycle that holds an event (cycle skipping never jumps past
+// the earliest pending event), so each bucket holds at most one distinct
+// time when popped. Events beyond the horizon wait in a small time-sorted
+// overflow list and migrate into the wheel as the clock approaches.
+type calendar struct {
+	wheel   [calSlots][]calEvent
+	far     []calEvent // sorted by at, ascending
+	pending int
+}
+
+// push schedules an event; at must be in the future.
+func (c *calendar) push(at int64, now int64, d int32) {
+	c.pending++
+	if at-now < calSlots {
+		s := at & calMask
+		c.wheel[s] = append(c.wheel[s], calEvent{at: at, d: d})
+		return
+	}
+	i := len(c.far)
+	c.far = append(c.far, calEvent{})
+	for i > 0 && c.far[i-1].at > at {
+		c.far[i] = c.far[i-1]
+		i--
+	}
+	c.far[i] = calEvent{at: at, d: d}
+}
+
+// pop collects every event due at now into dst and returns it. Events due
+// later stay queued.
+func (c *calendar) pop(now int64, dst []int32) []int32 {
+	for len(c.far) > 0 && c.far[0].at-now < calSlots {
+		ev := c.far[0]
+		c.far = c.far[:copy(c.far, c.far[1:])]
+		s := ev.at & calMask
+		c.wheel[s] = append(c.wheel[s], ev)
+	}
+	s := now & calMask
+	bucket := c.wheel[s]
+	if len(bucket) == 0 {
+		return dst
+	}
+	keep := bucket[:0]
+	for _, ev := range bucket {
+		if ev.at <= now {
+			dst = append(dst, ev.d)
+			c.pending--
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	c.wheel[s] = keep
+	return dst
+}
+
+// nextAt returns the earliest pending event time strictly after now, or
+// math.MaxInt64 when the calendar is empty.
+func (c *calendar) nextAt(now int64) int64 {
+	if c.pending == 0 {
+		return math.MaxInt64
+	}
+	best := int64(math.MaxInt64)
+	if len(c.far) > 0 {
+		best = c.far[0].at
+	}
+	for off := int64(1); off < calSlots; off++ {
+		t := now + off
+		if t >= best {
+			break
+		}
+		for _, ev := range c.wheel[t&calMask] {
+			if ev.at == t {
+				return t
+			}
+		}
+	}
+	return best
+}

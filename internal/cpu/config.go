@@ -52,7 +52,24 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds it (deadlock guard). Zero means
 	// a generous default.
 	MaxCycles int64
+
+	// Engine selects the simulation engine. The default (EngineEvent) is the
+	// event-driven wakeup scheduler: completing producers wake their waiting
+	// consumers, a ready queue feeds issue directly, and a calendar queue of
+	// future completion events lets quiescent cycles be skipped in bulk.
+	// EngineScan is the reference implementation that rescans the whole
+	// reservation-station window every cycle; it exists to pin the event
+	// engine bit-for-bit (see TestEnginesAgree) and as the benchmark
+	// comparison point for BenchmarkSimHotLoop. Both engines produce
+	// identical Results on every workload.
+	Engine string
 }
+
+// Simulation engines.
+const (
+	EngineEvent = ""     // event-driven wakeup scheduler (default)
+	EngineScan  = "scan" // reference per-cycle window rescan
+)
 
 // DefaultConfig returns the paper's processor configuration.
 func DefaultConfig() Config {

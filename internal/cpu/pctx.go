@@ -22,6 +22,9 @@ type depRef struct {
 // memory image — the values a real DDMT context would compute through its
 // checkpointed map table — while issue timing replays the same dataflow
 // against producer completion times.
+//
+// Every slice is preallocated once (see grow) to the largest installed body,
+// so spawning a p-thread instance performs no allocation.
 type pctx struct {
 	active  bool
 	pt      *PThread
@@ -43,14 +46,29 @@ type pctx struct {
 	blockReadyAt int64
 	completeAt   []int64
 
-	targetSet map[int]bool
+	targetMask []bool // per body index: is a prefetch target load
 }
 
 // limit returns the effective body length: an aborted body squashes at the
 // faulting instruction.
 func (c *pctx) limit() int { return c.abortAt }
 
-func (c *pctx) isTarget(j int) bool { return c.targetSet[j] }
+func (c *pctx) isTarget(j int) bool { return c.targetMask[j] }
+
+// grow preallocates the context's working arrays for bodies up to n
+// instructions. Called once per context at simulator construction; init then
+// reslices without allocating.
+func (c *pctx) grow(n int) {
+	if cap(c.vals) >= n {
+		return
+	}
+	c.vals = make([]int64, n)
+	c.addrs = make([]int64, n)
+	c.dep1 = make([]depRef, n)
+	c.dep2 = make([]depRef, n)
+	c.completeAt = make([]int64, n)
+	c.targetMask = make([]bool, n)
+}
 
 // init prepares the context for a new instance of pt, executing the body
 // functionally to obtain values, addresses and dependence references.
@@ -67,29 +85,21 @@ func (c *pctx) init(pt *PThread, spawnID int32, s *Simulator) {
 	c.nextBlockAt = s.now
 	c.blockReadyAt = s.now
 	c.abortAt = n
-	if cap(c.vals) < n {
-		c.vals = make([]int64, n)
-		c.addrs = make([]int64, n)
-		c.dep1 = make([]depRef, n)
-		c.dep2 = make([]depRef, n)
-		c.completeAt = make([]int64, n)
-	} else {
-		c.vals = c.vals[:n]
-		c.addrs = c.addrs[:n]
-		c.dep1 = c.dep1[:n]
-		c.dep2 = c.dep2[:n]
-		c.completeAt = c.completeAt[:n]
-		for i := range c.completeAt {
-			c.completeAt[i] = 0
-		}
+	c.grow(n) // no-op in steady state: NewSimulator sized the pools
+	c.vals = c.vals[:n]
+	c.addrs = c.addrs[:n]
+	c.dep1 = c.dep1[:n]
+	c.dep2 = c.dep2[:n]
+	c.completeAt = c.completeAt[:n]
+	for i := range c.completeAt {
+		c.completeAt[i] = 0
 	}
-	if c.targetSet == nil {
-		c.targetSet = make(map[int]bool)
-	} else {
-		clear(c.targetSet)
+	c.targetMask = c.targetMask[:n]
+	for i := range c.targetMask {
+		c.targetMask[i] = false
 	}
 	for _, t := range pt.Targets {
-		c.targetSet[t] = true
+		c.targetMask[t] = true
 	}
 
 	// Functional pre-execution with dependence tracking.

@@ -51,6 +51,18 @@ func (p *PThread) Validate() error {
 	return nil
 }
 
+// MaxBodyLen returns the longest body among the given p-threads (0 for
+// none); the simulator sizes every context's preallocated pools to it.
+func MaxBodyLen(pthreads []*PThread) int {
+	max := 0
+	for _, pt := range pthreads {
+		if len(pt.Body) > max {
+			max = len(pt.Body)
+		}
+	}
+	return max
+}
+
 // LiveIns returns the architectural registers the body reads before writing,
 // i.e. the values copied from the main thread at spawn.
 func (p *PThread) LiveIns() []isa.Reg {

@@ -52,6 +52,12 @@ type PThreadStats struct {
 }
 
 // Result reports one simulation run.
+//
+// Results are byte-stable: the same configuration and trace produce a
+// Result whose JSON encoding is identical across runs, processes and
+// engines (PerPThread is emitted in ascending ID order for this reason).
+// Wall-clock measurements deliberately live outside Result — see
+// experiments.TargetRun.SimSeconds — so this contract survives.
 type Result struct {
 	Cycles    int64
 	Committed int64 // main-thread instructions committed

@@ -3,6 +3,7 @@ package cpu
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -36,6 +37,12 @@ type fetchEnt struct {
 // Simulator runs one program execution (a dynamic trace) through the timing
 // model, optionally with a set of selected p-threads installed in the
 // trigger table. Create one per run; it is single-use.
+//
+// Two engines share the pipeline stages: the default event-driven engine
+// (wakeup lists, a ready queue and a calendar queue of completion events,
+// with bulk skipping of quiescent cycles) and the reference scan engine
+// that rescans the window every cycle. They produce bit-identical Results;
+// see Config.Engine.
 type Simulator struct {
 	cfg  Config
 	tr   *trace.Trace
@@ -71,10 +78,14 @@ type Simulator struct {
 	// Pre-execution.
 	triggers    map[int32][]*PThread
 	ctxs        []pctx
+	liveCtxs    int // count of active contexts (fast-path gate for the pctx scans)
 	rrCtx       int // round-robin fetch arbitration pointer
 	spawnUseful []bool
 	spawnStatic []int32
 	perPThread  map[int32]*PThreadStats
+
+	// Event engine state; nil under the reference scan engine.
+	ev *evState
 
 	// Statistics.
 	res          Result
@@ -90,6 +101,9 @@ type Simulator struct {
 // NewSimulator prepares a run of tr on the configured processor with the
 // given p-threads installed (nil for an unoptimized baseline run).
 func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator, error) {
+	if cfg.Engine != EngineEvent && cfg.Engine != EngineScan {
+		return nil, fmt.Errorf("cpu: unknown engine %q (want %q or %q)", cfg.Engine, EngineEvent, EngineScan)
+	}
 	n := tr.Len()
 	s := &Simulator{
 		cfg:             cfg,
@@ -108,6 +122,8 @@ func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator,
 		inflightSt:      make(map[int64]int),
 		triggers:        make(map[int32][]*PThread),
 		ctxs:            make([]pctx, cfg.Contexts-1),
+		spawnUseful:     make([]bool, 0, 1024),
+		spawnStatic:     make([]int32, 0, 1024),
 		perPThread:      make(map[int32]*PThreadStats),
 	}
 	copy(s.mem, tr.Prog.InitMem)
@@ -120,6 +136,15 @@ func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator,
 		}
 		s.triggers[pt.TriggerPC] = append(s.triggers[pt.TriggerPC], pt)
 		s.perPThread[pt.ID] = &PThreadStats{ID: pt.ID}
+	}
+	// Preallocate every p-thread context's working arrays to the largest
+	// installed body once, so spawn never allocates.
+	maxBody := MaxBodyLen(pthreads)
+	for c := range s.ctxs {
+		s.ctxs[c].grow(maxBody)
+	}
+	if cfg.Engine == EngineEvent {
+		s.ev = newEvState(n, cfg.ROBSize)
 	}
 	return s, nil
 }
@@ -137,41 +162,24 @@ const ctxCheckMask = 1<<12 - 1
 // RunContext simulates to completion, aborting with ctx.Err() if ctx is
 // cancelled mid-simulation.
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = defaultMaxCycles
+	if s.ev == nil {
+		return s.runScan(ctx)
 	}
-	lastCommit := int64(0)
-	for !s.done() {
-		if s.now&ctxCheckMask == 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
-			}
-		}
-		if s.now >= maxCycles {
-			return nil, fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
-		}
-		if s.now-lastCommit > 1_000_000 {
-			return nil, fmt.Errorf("cpu: no commit in 1M cycles at cycle %d (deadlock): %s", s.now, s.debugState())
-		}
-		committed := s.commitStage()
-		if committed > 0 {
-			lastCommit = s.now
-		}
-		s.attributeCycle(committed)
-		s.issueStage()
-		s.dispatchStage()
-		s.fetchStage()
-		s.now++
-	}
-	s.finalize()
-	return &s.res, nil
+	return s.runEvent(ctx)
 }
+
+// noCommitLimit aborts a run with no forward progress (deadlock guard).
+const noCommitLimit = 1_000_000
 
 func (s *Simulator) done() bool {
 	return s.fetchIdx >= s.n && s.fqLen == 0 && s.robLen == 0
+}
+
+func (s *Simulator) maxCycles() int64 {
+	if s.cfg.MaxCycles > 0 {
+		return s.cfg.MaxCycles
+	}
+	return defaultMaxCycles
 }
 
 func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.tr.Entries[d].PC] }
@@ -211,8 +219,10 @@ func (s *Simulator) commitStage() int {
 	return committed
 }
 
-// attributeCycle classifies this cycle for the CPI-stack breakdown.
-func (s *Simulator) attributeCycle(committed int) {
+// attributeCycle classifies this cycle for the CPI-stack breakdown and
+// returns the category (the event engine attributes whole quiescent spans
+// to the same category in one step).
+func (s *Simulator) attributeCycle(committed int) StallCategory {
 	var cat StallCategory
 	switch {
 	case committed > 0:
@@ -235,6 +245,7 @@ func (s *Simulator) attributeCycle(committed int) {
 		}
 	}
 	s.res.TimeBreakdown[cat]++
+	return cat
 }
 
 // ----------------------------------------------------------------- issue --
@@ -246,95 +257,91 @@ func (s *Simulator) ready(prod int64) bool {
 	return s.state[prod]&fIssued != 0 && s.completeAt[prod] <= s.now
 }
 
-func (s *Simulator) issueStage() {
-	issueBudget := s.cfg.IssueWidth
-	loadBudget := s.cfg.LoadPorts
-	storeBudget := s.cfg.StorePorts
-
-	// Main thread: scan ROB oldest-first.
-	for i := 0; i < s.robLen && issueBudget > 0; i++ {
-		d := s.rob[(s.robHead+i)%s.cfg.ROBSize]
-		st := s.state[d]
-		if st&fIssued != 0 {
-			if st&fRSFreed == 0 && s.completeAt[d] <= s.now {
-				s.rsUsed--
-				s.state[d] |= fRSFreed
-			}
-			continue
+// issueMain issues one ready main-thread instruction, charging the load or
+// store port budgets. It returns false (without consuming anything) when the
+// required port budget is exhausted or the MSHR file rejected the access;
+// the caller keeps the instruction in the ready set and retries next cycle.
+// mshrFull reports the rejection case.
+func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, mshrFull bool) {
+	e := &s.tr.Entries[d]
+	in := s.inst(d)
+	switch {
+	case in.IsLoad():
+		if *loadBudget == 0 {
+			return false, false
 		}
-		e := &s.tr.Entries[d]
-		if !s.ready(e.Prod1) || !s.ready(e.Prod2) {
-			continue
-		}
-		in := s.inst(d)
-		switch {
-		case in.IsLoad():
-			if loadBudget == 0 {
-				continue
+		if s.inflightSt[e.Addr] > 0 {
+			// Store-to-load forwarding through the LSQ.
+			s.completeAt[d] = s.now + int64(s.cfg.Hier.L1D.HitLatency)
+			s.level[d] = lvlL1
+			s.state[d] |= fFwd
+			s.memMainAcc++
+		} else {
+			info, ok := s.hier.Load(e.Addr, s.now, false, int64(e.PC))
+			if !ok {
+				return false, true // MSHR full; retry next cycle
 			}
-			if s.inflightSt[e.Addr] > 0 {
-				// Store-to-load forwarding through the LSQ.
-				s.completeAt[d] = s.now + int64(s.cfg.Hier.L1D.HitLatency)
+			s.memMainAcc++
+			s.completeAt[d] = info.DoneAt
+			switch info.Level {
+			case cache.LvlMem:
+				s.level[d] = lvlMem
+			case cache.LvlL2:
+				s.level[d] = lvlL2
+			default:
 				s.level[d] = lvlL1
-				s.state[d] |= fFwd
-				s.memMainAcc++
-			} else {
-				info, ok := s.hier.Load(e.Addr, s.now, false, int64(e.PC))
-				if !ok {
-					continue // MSHR full; retry next cycle
-				}
-				s.memMainAcc++
-				s.completeAt[d] = info.DoneAt
-				switch info.Level {
-				case cache.LvlMem:
-					s.level[d] = lvlMem
-				case cache.LvlL2:
-					s.level[d] = lvlL2
-				default:
-					s.level[d] = lvlL1
-				}
-				if info.PrefHit != cache.NoPrefetcher {
-					s.creditPrefetch(info.PrefHit, info.PrefInFlit)
-				}
 			}
-			loadBudget--
-		case in.IsStore():
-			if storeBudget == 0 {
-				continue
-			}
-			s.completeAt[d] = s.now + 1 // address generation
-			storeBudget--
-		default:
-			lat := int64(in.ExecLatency())
-			s.completeAt[d] = s.now + lat
-			if in.IsALU() {
-				s.aluMain++
+			if info.PrefHit != cache.NoPrefetcher {
+				s.creditPrefetch(info.PrefHit, info.PrefInFlit)
 			}
 		}
-		s.state[d] |= fIssued
-		issueBudget--
+		*loadBudget--
+	case in.IsStore():
+		if *storeBudget == 0 {
+			return false, false
+		}
+		s.completeAt[d] = s.now + 1 // address generation
+		*storeBudget--
+	default:
+		lat := int64(in.ExecLatency())
+		s.completeAt[d] = s.now + lat
+		if in.IsALU() {
+			s.aluMain++
+		}
 	}
+	s.state[d] |= fIssued
+	return true, false
+}
 
-	// P-threads: in-order issue per context with leftover bandwidth.
+// issuePctx runs the in-order p-thread issue pass with the bandwidth left
+// over from the main thread, returning whether anything issued or freed and
+// whether an MSHR rejection forces a cycle-by-cycle retry.
+func (s *Simulator) issuePctx(issueBudget, loadBudget *int) (active, mshrFull bool) {
+	if s.liveCtxs == 0 {
+		return false, false
+	}
 	for c := range s.ctxs {
 		ctx := &s.ctxs[c]
 		if !ctx.active {
 			continue
 		}
-		s.freePctxRS(ctx)
+		if s.freePctxRS(ctx) {
+			active = true
+		}
 	ctxIssue:
-		for issueBudget > 0 && ctx.issued < ctx.dispatched && ctx.issued < ctx.limit() {
+		for *issueBudget > 0 && ctx.issued < ctx.dispatched && ctx.issued < ctx.limit() {
 			j := ctx.issued
 			if !s.pdepReady(ctx, ctx.dep1[j]) || !s.pdepReady(ctx, ctx.dep2[j]) {
 				break
 			}
 			in := ctx.pt.Body[j]
 			if in.IsLoad() {
-				if loadBudget == 0 {
+				if *loadBudget == 0 {
 					break ctxIssue
 				}
 				if ctx.isTarget(j) {
 					if _, ok := s.hier.PrefetchL2(ctx.addrs[j], s.now, ctx.spawnID); !ok {
+						mshrFull = true
 						break ctxIssue // MSHR full; retry next cycle
 					}
 					// The p-thread is finished with a target load once the
@@ -343,26 +350,31 @@ func (s *Simulator) issueStage() {
 				} else {
 					info, ok := s.hier.Load(ctx.addrs[j], s.now, true, -1)
 					if !ok {
+						mshrFull = true
 						break ctxIssue
 					}
 					ctx.completeAt[j] = info.DoneAt
 				}
 				s.memPthAcc++
-				loadBudget--
+				*loadBudget--
 			} else {
 				ctx.completeAt[j] = s.now + int64(in.ExecLatency())
 				if in.IsALU() {
 					s.aluPth++
 				}
 			}
+			if s.ev != nil {
+				s.ev.cal.push(ctx.completeAt[j], s.now, pctxMarker)
+			}
 			ctx.issued++
-			issueBudget--
+			*issueBudget--
+			active = true
 			s.res.PInstsExec++
 			s.perPThread[ctx.pt.ID].InstsExecuted++
 		}
 		s.maybeRelease(ctx)
 	}
-	_ = storeBudget
+	return active, mshrFull
 }
 
 func (s *Simulator) pdepReady(ctx *pctx, d depRef) bool {
@@ -376,7 +388,8 @@ func (s *Simulator) pdepReady(ctx *pctx, d depRef) bool {
 	}
 }
 
-func (s *Simulator) freePctxRS(ctx *pctx) {
+func (s *Simulator) freePctxRS(ctx *pctx) bool {
+	freed := false
 	for j := ctx.freed; j < ctx.issued; j++ {
 		if ctx.completeAt[j] > s.now {
 			break
@@ -386,7 +399,9 @@ func (s *Simulator) freePctxRS(ctx *pctx) {
 			s.physUsed--
 		}
 		ctx.freed++
+		freed = true
 	}
+	return freed
 }
 
 func (s *Simulator) maybeRelease(ctx *pctx) {
@@ -396,6 +411,7 @@ func (s *Simulator) maybeRelease(ctx *pctx) {
 	// skips them), so nothing further needs freeing.
 	if ctx.issued == ctx.limit() && ctx.freed == ctx.issued {
 		ctx.active = false
+		s.liveCtxs--
 	}
 }
 
@@ -417,7 +433,8 @@ func (s *Simulator) creditPrefetch(spawnID int32, partial bool) {
 
 // -------------------------------------------------------------- dispatch --
 
-func (s *Simulator) dispatchStage() {
+func (s *Simulator) dispatchStage() bool {
+	active := false
 	budget := s.cfg.DispatchWidth
 	for budget > 0 && s.fqLen > 0 {
 		fe := s.fetchQ[s.fqHead]
@@ -459,10 +476,24 @@ func (s *Simulator) dispatchStage() {
 		if in.IsBranch() {
 			s.branchesMain++
 		}
+		if s.ev != nil {
+			// Subscribe to incomplete producers; an instruction with none
+			// enters the ready queue directly (it has the largest dynamic
+			// index in flight, so appending keeps the queue sorted).
+			w1 := s.watch(e.Prod1, d)
+			w2 := s.watch(e.Prod2, d)
+			if !w1 && !w2 {
+				s.ev.readyQ = append(s.ev.readyQ, d)
+			}
+		}
 		budget--
+		active = true
 	}
 
 	// P-thread dispatch with leftover rename bandwidth.
+	if s.liveCtxs == 0 {
+		return active
+	}
 	for c := range s.ctxs {
 		ctx := &s.ctxs[c]
 		if !ctx.active || budget == 0 {
@@ -473,6 +504,7 @@ func (s *Simulator) dispatchStage() {
 			if j >= ctx.limit() {
 				// Aborted tail: consume without occupying resources.
 				ctx.dispatched++
+				active = true
 				continue
 			}
 			if s.rsUsed >= s.cfg.RSSize {
@@ -489,8 +521,10 @@ func (s *Simulator) dispatchStage() {
 			ctx.dispatched++
 			s.instsPth++
 			budget--
+			active = true
 		}
 	}
+	return active
 }
 
 // spawn starts a p-thread instance on a free context, if any.
@@ -512,34 +546,37 @@ func (s *Simulator) spawn(pt *PThread) {
 	s.spawnUseful = append(s.spawnUseful, false)
 	s.spawnStatic = append(s.spawnStatic, pt.ID)
 	ctx.init(pt, spawnID, s)
+	s.liveCtxs++
 	s.res.Spawns++
 	stat.Spawns++
 }
 
 // ----------------------------------------------------------------- fetch --
 
-func (s *Simulator) fetchStage() {
+func (s *Simulator) fetchStage() bool {
 	// Single i-cache port: an eligible p-thread block fetch displaces the
 	// main thread this cycle (DDMT gives latency-critical p-threads fetch
 	// priority; this contention is the overhead LOH models).
 	if s.pthFetch() {
-		return
+		return true
 	}
 	if s.fetchIdx >= s.n {
-		return
+		return false
 	}
 	// A mispredicted branch blocks fetch until it resolves.
+	resolved := false
 	if s.stalledOnBranch >= 0 {
 		d := s.stalledOnBranch
 		if s.state[d]&fIssued != 0 && s.completeAt[d] <= s.now {
 			s.fetchResumeAt = s.completeAt[d] + int64(s.cfg.RedirectPen)
 			s.stalledOnBranch = -1
+			resolved = true
 		} else {
-			return
+			return false
 		}
 	}
 	if s.now < s.fetchResumeAt || s.fqLen >= s.cfg.FetchQCap {
-		return
+		return resolved
 	}
 	// I-cache access for the block containing the next PC. Instruction
 	// addresses live in their own space at 8 bytes per instruction.
@@ -547,7 +584,7 @@ func (s *Simulator) fetchStage() {
 	done := s.hier.FetchBlock(iaddr, s.now, false)
 	if done > s.now+int64(s.cfg.Hier.L1I.HitLatency) {
 		s.fetchResumeAt = done // i-cache miss: stall until fill
-		return
+		return true
 	}
 	width := s.cfg.FetchWidth
 	if space := s.cfg.FetchQCap - s.fqLen; space < width {
@@ -580,13 +617,14 @@ func (s *Simulator) fetchStage() {
 			break
 		}
 	}
+	return true
 }
 
 // pthFetch performs at most one p-thread block fetch, returning whether the
 // i-cache port was consumed.
 func (s *Simulator) pthFetch() bool {
 	nctx := len(s.ctxs)
-	if nctx == 0 {
+	if nctx == 0 || s.liveCtxs == 0 {
 		return false
 	}
 	for off := 0; off < nctx; off++ {
@@ -637,6 +675,11 @@ func (s *Simulator) finalize() {
 	for _, st := range s.perPThread {
 		s.res.PerPThread = append(s.res.PerPThread, *st)
 	}
+	// Map iteration order is random; Result must be byte-stable (the JSON
+	// reports and the determinism guarantee depend on it).
+	sort.Slice(s.res.PerPThread, func(i, j int) bool {
+		return s.res.PerPThread[i].ID < s.res.PerPThread[j].ID
+	})
 }
 
 // Run is a convenience that builds and runs a simulator in one call.

@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+)
+
+// runScan is the reference engine: the pre-refactor per-cycle loop that
+// rescans the whole reservation-station window every cycle. It is retained
+// as the bit-exact behavioural specification of the event-driven engine
+// (TestEnginesAgree) and as the comparison point for BenchmarkSimHotLoop.
+func (s *Simulator) runScan(ctx context.Context) (*Result, error) {
+	maxCycles := s.maxCycles()
+	lastCommit := int64(0)
+	for !s.done() {
+		if s.now&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		if s.now >= maxCycles {
+			return nil, fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
+		}
+		if s.now-lastCommit > noCommitLimit {
+			return nil, fmt.Errorf("cpu: no commit in 1M cycles at cycle %d (deadlock): %s", s.now, s.debugState())
+		}
+		committed := s.commitStage()
+		if committed > 0 {
+			lastCommit = s.now
+		}
+		s.attributeCycle(committed)
+		s.issueStageScan()
+		s.dispatchStage()
+		s.fetchStage()
+		s.now++
+	}
+	s.finalize()
+	return &s.res, nil
+}
+
+// issueStageScan walks the ROB oldest-first every cycle, freeing completed
+// reservation stations and issuing whatever is ready, then gives p-threads
+// the leftover bandwidth.
+func (s *Simulator) issueStageScan() {
+	issueBudget := s.cfg.IssueWidth
+	loadBudget := s.cfg.LoadPorts
+	storeBudget := s.cfg.StorePorts
+
+	for i := 0; i < s.robLen && issueBudget > 0; i++ {
+		d := s.rob[(s.robHead+i)%s.cfg.ROBSize]
+		st := s.state[d]
+		if st&fIssued != 0 {
+			if st&fRSFreed == 0 && s.completeAt[d] <= s.now {
+				s.rsUsed--
+				s.state[d] |= fRSFreed
+			}
+			continue
+		}
+		e := &s.tr.Entries[d]
+		if !s.ready(e.Prod1) || !s.ready(e.Prod2) {
+			continue
+		}
+		if issued, _ := s.issueMain(d, &loadBudget, &storeBudget); issued {
+			issueBudget--
+		}
+	}
+	s.issuePctx(&issueBudget, &loadBudget)
+}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/critpath"
@@ -141,6 +142,12 @@ type TargetRun struct {
 	Sel    *pthsel.Selection
 	Res    *cpu.Result
 
+	// SimSeconds is the wall-clock time the timing simulation took; with
+	// Res.Cycles it yields the run's simulator throughput (a substrate
+	// health metric, deliberately kept out of Res so Results stay
+	// deterministic).
+	SimSeconds float64
+
 	SpeedupPct    float64 // %IPC gain
 	EnergySavePct float64
 	EDSavePct     float64
@@ -152,6 +159,15 @@ type TargetRun struct {
 	AvgPThreadLen float64
 }
 
+// SimCyclesPerSec returns the run's simulator throughput in simulated
+// cycles per wall-clock second (0 when unmeasured).
+func (t *TargetRun) SimCyclesPerSec() float64 {
+	if t.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(t.Res.Cycles) / t.SimSeconds
+}
+
 // RunTarget selects p-threads on sel's profile and measures them on meas
 // (sel == meas for ideal profiling; they differ for the realistic-profiling
 // experiment). Cancellation is honored mid-simulation.
@@ -160,11 +176,14 @@ func RunTarget(ctx context.Context, sel, meas *Prepared, target pthsel.Target, c
 		return nil, err
 	}
 	selection := pthsel.Select(sel.Trace, sel.Prof, sel.Trees, sel.Params, target)
+	start := time.Now()
 	res, err := cpu.RunContext(ctx, cfg.CPU, meas.Trace, selection.PThreads)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", meas.Name, target, err)
 	}
-	return Derive(selection, meas.Baseline, res), nil
+	run := Derive(selection, meas.Baseline, res)
+	run.SimSeconds = time.Since(start).Seconds()
+	return run, nil
 }
 
 // Derive computes the paper's reported percentages for one measured run

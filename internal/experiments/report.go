@@ -51,23 +51,30 @@ type RunReport struct {
 	PInstIncPct   float64
 	UsefulPct     float64
 	AvgPThreadLen float64
+
+	// SimCyclesPerSec is the measured simulator throughput of this run
+	// (simulated cycles per wall-clock second). It is a substrate health
+	// metric, not a paper artifact: it varies run to run, so determinism
+	// checks must ignore it (omitempty lets them zero it out).
+	SimCyclesPerSec float64 `json:",omitempty"`
 }
 
 func runReport(r *TargetRun) RunReport {
 	return RunReport{
-		Target:        r.Target.String(),
-		PThreads:      len(r.Sel.PThreads),
-		Cycles:        r.Res.Cycles,
-		EnergyTotal:   r.Res.Energy.Total(),
-		SpeedupPct:    r.SpeedupPct,
-		EnergySavePct: r.EnergySavePct,
-		EDSavePct:     r.EDSavePct,
-		ED2SavePct:    r.ED2SavePct,
-		FullCovPct:    r.FullCovPct,
-		PartCovPct:    r.PartCovPct,
-		PInstIncPct:   r.PInstIncPct,
-		UsefulPct:     r.UsefulPct,
-		AvgPThreadLen: r.AvgPThreadLen,
+		Target:          r.Target.String(),
+		PThreads:        len(r.Sel.PThreads),
+		Cycles:          r.Res.Cycles,
+		EnergyTotal:     r.Res.Energy.Total(),
+		SimCyclesPerSec: r.SimCyclesPerSec(),
+		SpeedupPct:      r.SpeedupPct,
+		EnergySavePct:   r.EnergySavePct,
+		EDSavePct:       r.EDSavePct,
+		ED2SavePct:      r.ED2SavePct,
+		FullCovPct:      r.FullCovPct,
+		PartCovPct:      r.PartCovPct,
+		PInstIncPct:     r.PInstIncPct,
+		UsefulPct:       r.UsefulPct,
+		AvgPThreadLen:   r.AvgPThreadLen,
 	}
 }
 

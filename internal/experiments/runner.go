@@ -40,6 +40,11 @@ type Event struct {
 	Done   int
 	Total  int
 	Err    error
+
+	// SimCyclesPerSec carries the run's measured simulator throughput on
+	// EventRunDone (0 otherwise), so observers can stream substrate health
+	// alongside progress.
+	SimCyclesPerSec float64
 }
 
 // prepKey identifies one artifact-store entry: a benchmark prepared on one
@@ -221,7 +226,11 @@ func (r *Runner) runBench(ctx context.Context, name string, targets []pthsel.Tar
 	for _, tgt := range targets {
 		r.emit(Event{Kind: EventRunStart, Bench: name, Target: tgt.String()})
 		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
-		r.emit(Event{Kind: EventRunDone, Bench: name, Target: tgt.String(), Err: err})
+		ev := Event{Kind: EventRunDone, Bench: name, Target: tgt.String(), Err: err}
+		if err == nil {
+			ev.SimCyclesPerSec = run.SimCyclesPerSec()
+		}
+		r.emit(ev)
 		if err != nil {
 			return nil, err
 		}
