@@ -248,17 +248,37 @@ func hotLoopWorkloads(b *testing.B) []hotLoopWorkload {
 // simHotLoop times the cycle simulator's hot loop alone — no preparation,
 // no selection — across the full benchmark suite with L-p-threads
 // installed, under the given engine, reporting simulated cycles per
-// wall-clock second.
+// wall-clock second. One simulator per workload is built and warmed outside
+// the timed region, then reused through Reset every iteration, exactly like
+// the Lab's per-worker reuse: with every pool fully grown, the timed loop
+// performs zero allocations (ReportAllocs must read 0 allocs/op; benchgate
+// gates this).
 func simHotLoop(b *testing.B, engine string) {
 	ctx := context.Background()
 	workloads := hotLoopWorkloads(b)
 	simCfg := hotLoop.cfg.CPU
 	simCfg.Engine = engine
+	sims := make([]*cpu.Simulator, len(workloads))
+	for i, wl := range workloads {
+		s, err := cpu.NewSimulator(simCfg, wl.trace, wl.pthreads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunContext(ctx); err != nil {
+			b.Fatal(err) // warm-up run grows every internal pool
+		}
+		sims[i] = s
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		for _, wl := range workloads {
-			res, err := cpu.RunContext(ctx, simCfg, wl.trace, wl.pthreads)
+		for j, wl := range workloads {
+			s := sims[j]
+			if err := s.Reset(simCfg, wl.trace, wl.pthreads); err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.RunContext(ctx)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -272,7 +292,8 @@ func simHotLoop(b *testing.B, engine string) {
 // the reference per-cycle scan engine on the same prepared workloads (every
 // paper benchmark, L-target p-threads installed). The event/scan
 // sim-cycles/s ratio is the tentpole speedup that cmd/benchgate gates in CI
-// (required: >= 1.5x).
+// (required: >= 1.5x), and the event engine's steady-state allocation rate
+// is gated at 0 allocs/op.
 func BenchmarkSimHotLoop(b *testing.B) {
 	b.Run("event", func(b *testing.B) { simHotLoop(b, cpu.EngineEvent) })
 	b.Run("scan", func(b *testing.B) { simHotLoop(b, cpu.EngineScan) })

@@ -3,9 +3,14 @@
 // committed baseline:
 //
 //   - the event-engine hot-loop throughput (sim-cycles/s) must not regress
-//     more than -tolerance (default 15%) below the baseline file, and
+//     more than -tolerance (default 15%) below the baseline file,
 //   - the event/scan engine speedup must stay at or above the baseline's
-//     MinSpeedup (the tentpole's machine-independent >= 1.5x requirement).
+//     MinSpeedup (the PR 2 tentpole's machine-independent >= 1.5x
+//     requirement), and
+//   - the event engine's steady-state allocation rate must not exceed the
+//     baseline's MaxEventAllocsPerOp / MaxEventBytesPerOp (0 since the
+//     zero-allocation run-reuse tentpole: one Reset+run over the full suite
+//     allocates nothing).
 //
 // Usage:
 //
@@ -14,7 +19,8 @@
 //	go run ./cmd/benchgate -skip-suite     # hot loop only (quick local check)
 //
 // The refresh procedure is documented in EXPERIMENTS.md: -update records
-// this machine's measured throughput verbatim; when refreshing the committed
+// this machine's measured throughput verbatim (and the measured allocation
+// columns, which are machine-independent); when refreshing the committed
 // baseline for heterogeneous CI runners, scale EventCyclesPerSec down (the
 // repo commits ~50% of a reference run) so the 15% gate trips on real
 // regressions rather than on runner lottery.
@@ -35,6 +41,8 @@ type Report struct {
 	EventCyclesPerSec float64 // BenchmarkSimHotLoop/event sim-cycles/s
 	ScanCyclesPerSec  float64 // BenchmarkSimHotLoop/scan sim-cycles/s
 	Speedup           float64 // event / scan
+	EventAllocsPerOp  float64 // steady-state allocations per full-suite op (event engine)
+	EventBytesPerOp   float64 // steady-state bytes allocated per full-suite op
 	FigureSuiteSec    float64 // BenchmarkFigureSuite seconds per full suite (0 when skipped)
 }
 
@@ -45,7 +53,12 @@ type Baseline struct {
 	EventCyclesPerSec float64
 	// MinSpeedup is the required event/scan ratio (machine-independent).
 	MinSpeedup float64
-	Note       string `json:",omitempty"`
+	// MaxEventAllocsPerOp and MaxEventBytesPerOp cap the event engine's
+	// steady-state allocation rate (machine-independent; 0 = the hot loop
+	// must be allocation-free under simulator reuse).
+	MaxEventAllocsPerOp float64
+	MaxEventBytesPerOp  float64
+	Note                string `json:",omitempty"`
 }
 
 func main() {
@@ -62,12 +75,15 @@ func main() {
 	if err != nil {
 		fatal("hot loop benchmark: %v", err)
 	}
-	rep.EventCyclesPerSec = hot["BenchmarkSimHotLoop/event"].metric
+	event := hot["BenchmarkSimHotLoop/event"]
+	rep.EventCyclesPerSec = event.metric
 	rep.ScanCyclesPerSec = hot["BenchmarkSimHotLoop/scan"].metric
 	if rep.EventCyclesPerSec <= 0 || rep.ScanCyclesPerSec <= 0 {
 		fatal("missing sim-cycles/s metrics in benchmark output")
 	}
 	rep.Speedup = rep.EventCyclesPerSec / rep.ScanCyclesPerSec
+	rep.EventAllocsPerOp = event.allocsPerOp
+	rep.EventBytesPerOp = event.bytesPerOp
 
 	if !*skipSuite {
 		suite, err := runBench("BenchmarkFigureSuite", "1x")
@@ -82,14 +98,16 @@ func main() {
 	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
 		fatal("write %s: %v", *outPath, err)
 	}
-	fmt.Printf("benchgate: event %.0f sim-cycles/s, scan %.0f sim-cycles/s, speedup %.2fx\n",
-		rep.EventCyclesPerSec, rep.ScanCyclesPerSec, rep.Speedup)
+	fmt.Printf("benchgate: event %.0f sim-cycles/s (%.0f allocs/op, %.0f B/op), scan %.0f sim-cycles/s, speedup %.2fx\n",
+		rep.EventCyclesPerSec, rep.EventAllocsPerOp, rep.EventBytesPerOp, rep.ScanCyclesPerSec, rep.Speedup)
 
 	if *update {
 		b := Baseline{
-			EventCyclesPerSec: rep.EventCyclesPerSec,
-			MinSpeedup:        1.5,
-			Note:              "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
+			EventCyclesPerSec:   rep.EventCyclesPerSec,
+			MinSpeedup:          1.5,
+			MaxEventAllocsPerOp: rep.EventAllocsPerOp,
+			MaxEventBytesPerOp:  rep.EventBytesPerOp,
+			Note:                "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
 		}
 		braw, _ := json.MarshalIndent(b, "", "  ")
 		braw = append(braw, '\n')
@@ -116,19 +134,33 @@ func main() {
 	if base.MinSpeedup > 0 && rep.Speedup < base.MinSpeedup {
 		fatal("speedup regression: event/scan %.2fx < required %.2fx", rep.Speedup, base.MinSpeedup)
 	}
-	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx)\n", floor, base.MinSpeedup)
+	// Allocation gates are exact, not tolerance-scaled: the baseline commits
+	// 0, and any steady-state allocation in the reused hot loop is a
+	// regression of the zero-allocation contract.
+	if rep.EventAllocsPerOp > base.MaxEventAllocsPerOp {
+		fatal("allocation regression: event engine %.0f allocs/op > allowed %.0f (steady-state sim reuse must not allocate)",
+			rep.EventAllocsPerOp, base.MaxEventAllocsPerOp)
+	}
+	if rep.EventBytesPerOp > base.MaxEventBytesPerOp {
+		fatal("allocation regression: event engine %.0f B/op > allowed %.0f",
+			rep.EventBytesPerOp, base.MaxEventBytesPerOp)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op)\n",
+		floor, base.MinSpeedup, base.MaxEventAllocsPerOp)
 }
 
 type benchLine struct {
-	nsPerOp float64
-	metric  float64 // the benchmark's custom sim-cycles/s metric, if reported
+	nsPerOp     float64
+	metric      float64 // the benchmark's custom sim-cycles/s metric, if reported
+	bytesPerOp  float64 // -benchmem B/op
+	allocsPerOp float64 // -benchmem allocs/op
 }
 
 // runBench executes one `go test -bench` selection and parses its result
-// lines into name -> {ns/op, sim-cycles/s}.
+// lines into name -> {ns/op, sim-cycles/s, B/op, allocs/op}.
 func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^"+pattern+"$",
-		"-benchtime", benchtime, ".")
+		"-benchtime", benchtime, "-benchmem", ".")
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
@@ -140,7 +172,7 @@ func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// "BenchmarkName/sub-8  N  123 ns/op  456 sim-cycles/s ..."
+		// "BenchmarkName/sub-8  N  123 ns/op  456 sim-cycles/s  0 B/op  0 allocs/op"
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i] // strip the GOMAXPROCS suffix
@@ -156,6 +188,10 @@ func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 				bl.nsPerOp = v
 			case "sim-cycles/s":
 				bl.metric = v
+			case "B/op":
+				bl.bytesPerOp = v
+			case "allocs/op":
+				bl.allocsPerOp = v
 			}
 		}
 		res[name] = bl

@@ -94,3 +94,42 @@ func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
 		t.Errorf("campaign JSON differs between WithParallelism(1) and WithParallelism(8)\nserial: %s\nwide:   %s", serial, wide)
 	}
 }
+
+// TestWorkerSimReuseDeterministicUnderParallelism pins the zero-allocation
+// run-reuse path: every timing simulation goes through the engine's
+// simulator pool, so an 8-wide campaign has workers concurrently grabbing,
+// Resetting and returning pooled simulators whose arrays were grown by
+// earlier, unrelated runs. Repeating the campaign on the same Lab (second
+// pass guaranteed to reuse warm simulators) and on a serial Lab must yield
+// byte-identical reports. The CI race job runs this under -race, making it
+// the data-race sentinel for per-worker simulator reuse.
+func TestWorkerSimReuseDeterministicUnderParallelism(t *testing.T) {
+	ctx := context.Background()
+	names := PaperBenchmarks()[:4]
+	targets := []Target{TargetL, TargetE}
+	run := func(lab *Lab) []byte {
+		rep, err := lab.RunCampaign(ctx, names, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		stripWallClock(rep)
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	wide := New(WithParallelism(8))
+	first := run(wide)
+	second := run(wide) // warm pool: simulators reused across benchmarks
+	serial := run(New(WithParallelism(1)))
+	if !bytes.Equal(first, second) {
+		t.Error("repeated campaign on a warm simulator pool diverged from the cold pass")
+	}
+	if !bytes.Equal(first, serial) {
+		t.Error("8-wide pooled-simulator campaign diverged from serial execution")
+	}
+}

@@ -60,6 +60,19 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Reset returns the predictor to its post-New state — weakly-not-taken
+// tables, empty history and BTB, zero statistics — without reallocating.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+		p.gshare[i] = 1
+		p.chooser[i] = 1
+	}
+	p.history = 0
+	p.Stats = Stats{}
+	p.btb.reset()
+}
+
 func (p *Predictor) index(pc int64) int {
 	return int(uint64(pc) % uint64(p.cfg.Entries))
 }
@@ -183,6 +196,15 @@ func newBTB(entries, ways int) *btb {
 		b.tag[i] = -1
 	}
 	return b
+}
+
+// reset empties the BTB without reallocating.
+func (b *btb) reset() {
+	for i := range b.tag {
+		b.tag[i] = -1
+		b.tgt[i] = 0
+		b.lru[i] = 0
+	}
 }
 
 // lookupUpdate probes for pc and installs/updates the mapping. It returns

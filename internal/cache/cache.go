@@ -82,6 +82,20 @@ func New(cfg Config) *Cache {
 // Config returns the cache's geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset returns the cache to its post-New state (all lines invalid, LRU and
+// statistics cleared) without reallocating its storage, so a simulator can
+// be reused across runs allocation-free.
+func (c *Cache) Reset() {
+	for i := range c.tag {
+		c.tag[i] = -1
+		c.lru[i] = 0
+		c.readyAt[i] = 0
+		c.prefID[i] = NoPrefetcher
+	}
+	c.lruClock = 0
+	c.Stats = Stats{}
+}
+
 // Block returns the block address (line-aligned) of a byte address.
 func (c *Cache) Block(addr int64) int64 { return addr >> c.blockBits }
 

@@ -126,6 +126,25 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
 
+// Reset returns the whole hierarchy to its post-NewHierarchy state —
+// caches, TLBs, MSHRs, prefetcher, bus clock and counters — without
+// reallocating any structure, so a simulator reusing it across runs stays
+// allocation-free and bit-deterministic against a freshly built hierarchy.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.MSHR.Reset()
+	if h.Pref != nil {
+		h.Pref.Reset()
+	}
+	h.busFreeAt = 0
+	h.Counts = AccessCounts{}
+	h.DemandL2Misses = 0
+}
+
 // busOccupancy returns the core cycles one block transfer occupies the bus.
 func (h *Hierarchy) busOccupancy() int64 {
 	beats := (h.cfg.L2.BlockBytes + h.cfg.BusBytes - 1) / h.cfg.BusBytes

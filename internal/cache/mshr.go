@@ -22,6 +22,14 @@ func NewMSHRFile(capacity int) *MSHRFile {
 // Cap returns the file's capacity.
 func (m *MSHRFile) Cap() int { return m.cap }
 
+// Reset drops every outstanding miss and clears the statistics, keeping the
+// entry storage for allocation-free reuse.
+func (m *MSHRFile) Reset() {
+	m.blocks = m.blocks[:0]
+	m.readyAt = m.readyAt[:0]
+	m.Allocs, m.Merges, m.FullRej = 0, 0, 0
+}
+
 // InFlight returns the number of outstanding misses at the given time,
 // expiring completed entries as a side effect.
 func (m *MSHRFile) InFlight(now int64) int {

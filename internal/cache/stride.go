@@ -39,6 +39,17 @@ func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
 	return p
 }
 
+// Reset returns the table to its post-New state without reallocating.
+func (p *StridePrefetcher) Reset() {
+	for i := range p.pc {
+		p.pc[i] = -1
+		p.last[i] = 0
+		p.stride[i] = 0
+		p.conf[i] = 0
+	}
+	p.Trained, p.Issued = 0, 0
+}
+
 // Train updates the table for a demand load at pc touching addr and returns
 // the address to prefetch (confident, non-zero stride) or ok=false.
 func (p *StridePrefetcher) Train(pc, addr int64) (prefAddr int64, ok bool) {

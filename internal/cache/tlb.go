@@ -26,6 +26,16 @@ func NewTLB(entries, pageBytes int) *TLB {
 	return t
 }
 
+// Reset returns the TLB to its post-New state without reallocating.
+func (t *TLB) Reset() {
+	for i := range t.tags {
+		t.tags[i] = -1
+		t.lru[i] = 0
+	}
+	t.clock = 0
+	t.Stats = Stats{}
+}
+
 // Lookup probes (and on miss, installs) the page of addr. It reports whether
 // the translation hit.
 func (t *TLB) Lookup(addr int64) bool {

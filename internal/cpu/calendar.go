@@ -31,6 +31,15 @@ type calendar struct {
 	pending int
 }
 
+// reset empties the queue, keeping every bucket's storage for reuse.
+func (c *calendar) reset() {
+	for i := range c.wheel {
+		c.wheel[i] = c.wheel[i][:0]
+	}
+	c.far = c.far[:0]
+	c.pending = 0
+}
+
 // push schedules an event; at must be in the future.
 func (c *calendar) push(at int64, now int64, d int32) {
 	c.pending++

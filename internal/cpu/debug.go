@@ -9,7 +9,7 @@ func (s *Simulator) debugState() string {
 	if s.robLen > 0 {
 		d := s.rob[s.robHead]
 		head = fmt.Sprintf("dyn=%d pc=%d op=%s st=%b done=%d",
-			d, s.tr.Entries[d].PC, s.inst(d).Op, s.state[d], s.completeAt[d])
+			d, s.tr.PC(int(d)), s.inst(d).Op, s.state[d], s.completeAt[d])
 	}
 	ctxs := ""
 	for i := range s.ctxs {

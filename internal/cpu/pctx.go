@@ -29,6 +29,7 @@ type pctx struct {
 	active  bool
 	pt      *PThread
 	spawnID int32
+	statIdx int32 // index into the simulator's pthStats
 
 	// Precomputed at spawn.
 	vals    []int64
@@ -72,12 +73,13 @@ func (c *pctx) grow(n int) {
 
 // init prepares the context for a new instance of pt, executing the body
 // functionally to obtain values, addresses and dependence references.
-func (c *pctx) init(pt *PThread, spawnID int32, s *Simulator) {
+func (c *pctx) init(pt *PThread, spawnID, statIdx int32, s *Simulator) {
 	body := pt.Body
 	n := len(body)
 	c.active = true
 	c.pt = pt
 	c.spawnID = spawnID
+	c.statIdx = statIdx
 	c.fetched = 0
 	c.dispatched = 0
 	c.issued = 0
@@ -129,7 +131,7 @@ func (c *pctx) init(pt *PThread, spawnID int32, s *Simulator) {
 				// implementation would suppress the fault and kill the
 				// p-thread.
 				c.abortAt = j
-				s.perPThread[pt.ID].Aborted++
+				s.pthStats[statIdx].Aborted++
 				return
 			}
 			c.addrs[j] = addr

@@ -35,18 +35,20 @@ func (p *PThread) Validate() error {
 	if len(p.Targets) == 0 {
 		return fmt.Errorf("p-thread %d: no target loads", p.ID)
 	}
-	seen := make(map[int]bool)
-	for _, t := range p.Targets {
+	// The target list is tiny; a quadratic duplicate check keeps Validate
+	// allocation-free so per-run revalidation costs nothing in steady state.
+	for i, t := range p.Targets {
 		if t < 0 || t >= len(p.Body) {
 			return fmt.Errorf("p-thread %d: target index %d out of body range", p.ID, t)
 		}
 		if !p.Body[t].IsLoad() {
 			return fmt.Errorf("p-thread %d: target body[%d] = %s is not a load", p.ID, t, p.Body[t])
 		}
-		if seen[t] {
-			return fmt.Errorf("p-thread %d: duplicate target %d", p.ID, t)
+		for _, u := range p.Targets[:i] {
+			if u == t {
+				return fmt.Errorf("p-thread %d: duplicate target %d", p.ID, t)
+			}
 		}
-		seen[t] = true
 	}
 	return nil
 }

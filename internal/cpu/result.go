@@ -87,6 +87,16 @@ type Result struct {
 	Bpred bpred.Stats
 }
 
+// Clone returns a deep copy of the Result. Results returned by a reusable
+// Simulator borrow simulator-owned memory and are invalidated by the next
+// Reset; callers that keep a Result across reuse (worker pools, caches)
+// must Clone it first.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.PerPThread = append([]PThreadStats(nil), r.PerPThread...)
+	return &out
+}
+
 // IPC returns committed main-thread instructions per cycle.
 func (r *Result) IPC() float64 {
 	if r.Cycles == 0 {

@@ -3,7 +3,6 @@ package cpu
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -36,7 +35,15 @@ type fetchEnt struct {
 
 // Simulator runs one program execution (a dynamic trace) through the timing
 // model, optionally with a set of selected p-threads installed in the
-// trigger table. Create one per run; it is single-use.
+// trigger table.
+//
+// A Simulator is reusable: Reset reinitializes it for a new (config, trace,
+// p-thread) triple while retaining every internal pool — ROB, per-entry
+// state columns, wakeup-node pool, calendar buckets, cache arrays, p-thread
+// contexts — so steady-state reuse performs no allocation. A Result
+// returned by Run/RunContext borrows simulator-owned memory and is valid
+// only until the next Reset; callers that outlive the reuse cycle must
+// Clone it.
 //
 // Two engines share the pipeline stages: the default event-driven engine
 // (wakeup lists, a ready queue and a calendar queue of completion events,
@@ -49,6 +56,10 @@ type Simulator struct {
 	prog *isa.Program
 	hier *cache.Hierarchy
 	bp   *bpred.Predictor
+	// bpCfg remembers the raw requested predictor configuration so Reset can
+	// tell whether the existing predictor (possibly built from a defaulted
+	// config) still matches.
+	bpCfg bpred.Config
 
 	now int64
 	n   int
@@ -73,23 +84,31 @@ type Simulator struct {
 	specRegs   [isa.NumRegs]int64
 	lastWriter [isa.NumRegs]int64
 	mem        []int64
-	inflightSt map[int64]int // addr -> count of dispatched, uncommitted stores
+	inflightSt []int32 // per memory word: dispatched, uncommitted stores
 
-	// Pre-execution.
-	triggers    map[int32][]*PThread
+	// Pre-execution. Triggers are a per-PC intrusive list over the installed
+	// p-threads (trigHead[pc] -> first index, trigNext chains in install
+	// order); statOf deduplicates stats for p-threads sharing an ID.
+	pthreads    []*PThread
+	trigHead    []int32
+	trigNext    []int32
+	statOf      []int32
+	pthStats    []PThreadStats
 	ctxs        []pctx
 	liveCtxs    int // count of active contexts (fast-path gate for the pctx scans)
 	rrCtx       int // round-robin fetch arbitration pointer
 	spawnUseful []bool
-	spawnStatic []int32
-	perPThread  map[int32]*PThreadStats
+	spawnStatic []int32 // spawnID -> stat index
 
-	// Event engine state; nil under the reference scan engine.
-	ev *evState
+	// Event engine state; ev is nil under the reference scan engine, evMem
+	// keeps the allocated structures alive across engine switches.
+	ev    *evState
+	evMem *evState
 
 	// Statistics.
 	res          Result
-	memMainAcc   int64 // d-cache/LSQ accesses by the main thread
+	perPBuf      []PThreadStats // reused backing for res.PerPThread
+	memMainAcc   int64          // d-cache/LSQ accesses by the main thread
 	memPthAcc    int64
 	aluMain      int64
 	aluPth       int64
@@ -101,52 +120,181 @@ type Simulator struct {
 // NewSimulator prepares a run of tr on the configured processor with the
 // given p-threads installed (nil for an unoptimized baseline run).
 func NewSimulator(cfg Config, tr *trace.Trace, pthreads []*PThread) (*Simulator, error) {
+	s := &Simulator{}
+	if err := s.Reset(cfg, tr, pthreads); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// grow returns a slice of length n, reusing s's storage when possible.
+// Contents are unspecified; callers that need a known initial state fill it.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Reset reinitializes the simulator for a run of tr under cfg with the
+// given p-threads installed, reusing every internal pool sized on previous
+// runs. After one warm-up run per (program size, configuration) shape,
+// Reset and the subsequent run allocate nothing. Any Result previously
+// returned by this simulator is invalidated (see Simulator doc).
+func (s *Simulator) Reset(cfg Config, tr *trace.Trace, pthreads []*PThread) error {
 	if cfg.Engine != EngineEvent && cfg.Engine != EngineScan {
-		return nil, fmt.Errorf("cpu: unknown engine %q (want %q or %q)", cfg.Engine, EngineEvent, EngineScan)
-	}
-	n := tr.Len()
-	s := &Simulator{
-		cfg:             cfg,
-		tr:              tr,
-		prog:            tr.Prog,
-		hier:            cache.NewHierarchy(cfg.Hier),
-		bp:              bpred.New(cfg.Bpred),
-		n:               n,
-		stalledOnBranch: -1,
-		fetchQ:          make([]fetchEnt, cfg.FetchQCap),
-		rob:             make([]int32, cfg.ROBSize),
-		state:           make([]uint8, n),
-		level:           make([]uint8, n),
-		completeAt:      make([]int64, n),
-		mem:             make([]int64, len(tr.Prog.InitMem)),
-		inflightSt:      make(map[int64]int),
-		triggers:        make(map[int32][]*PThread),
-		ctxs:            make([]pctx, cfg.Contexts-1),
-		spawnUseful:     make([]bool, 0, 1024),
-		spawnStatic:     make([]int32, 0, 1024),
-		perPThread:      make(map[int32]*PThreadStats),
-	}
-	copy(s.mem, tr.Prog.InitMem)
-	for r := range s.lastWriter {
-		s.lastWriter[r] = -1
+		return fmt.Errorf("cpu: unknown engine %q (want %q or %q)", cfg.Engine, EngineEvent, EngineScan)
 	}
 	for _, pt := range pthreads {
 		if err := pt.Validate(); err != nil {
-			return nil, err
+			return err
 		}
-		s.triggers[pt.TriggerPC] = append(s.triggers[pt.TriggerPC], pt)
-		s.perPThread[pt.ID] = &PThreadStats{ID: pt.ID}
+		// Validate can't see the program; check here that the trigger exists
+		// (the trigger table is indexed by PC).
+		if pt.TriggerPC < 0 || int(pt.TriggerPC) >= len(tr.Prog.Insts) {
+			return fmt.Errorf("cpu: p-thread %d trigger PC %d out of program range (%d instructions)",
+				pt.ID, pt.TriggerPC, len(tr.Prog.Insts))
+		}
+	}
+	n := tr.Len()
+	s.cfg = cfg
+	s.tr = tr
+	s.prog = tr.Prog
+	s.n = n
+
+	if s.hier == nil || s.hier.Config() != cfg.Hier {
+		s.hier = cache.NewHierarchy(cfg.Hier)
+	} else {
+		s.hier.Reset()
+	}
+	if s.bp == nil || s.bpCfg != cfg.Bpred {
+		s.bp = bpred.New(cfg.Bpred)
+		s.bpCfg = cfg.Bpred
+	} else {
+		s.bp.Reset()
+	}
+
+	s.now = 0
+	s.fetchIdx = 0
+	s.fetchResumeAt = 0
+	s.stalledOnBranch = -1
+	if cap(s.fetchQ) >= cfg.FetchQCap {
+		s.fetchQ = s.fetchQ[:cfg.FetchQCap]
+	} else {
+		s.fetchQ = make([]fetchEnt, cfg.FetchQCap)
+	}
+	s.fqHead, s.fqLen = 0, 0
+
+	s.rob = grow(s.rob, cfg.ROBSize)
+	s.robHead, s.robLen = 0, 0
+	// One canonical clear loop per slice so each compiles to a memclr.
+	s.state = grow(s.state, n)
+	for i := range s.state {
+		s.state[i] = 0
+	}
+	s.level = grow(s.level, n)
+	for i := range s.level {
+		s.level[i] = 0
+	}
+	s.completeAt = grow(s.completeAt, n)
+	for i := range s.completeAt {
+		s.completeAt[i] = 0
+	}
+	s.rsUsed, s.physUsed = 0, 0
+
+	s.specRegs = [isa.NumRegs]int64{}
+	for r := range s.lastWriter {
+		s.lastWriter[r] = -1
+	}
+	memWords := len(tr.Prog.InitMem)
+	s.mem = grow(s.mem, memWords)
+	copy(s.mem, tr.Prog.InitMem)
+	s.inflightSt = grow(s.inflightSt, memWords)
+	for i := range s.inflightSt {
+		s.inflightSt[i] = 0
+	}
+
+	s.installPThreads(pthreads)
+
+	nctx := cfg.Contexts - 1
+	if cap(s.ctxs) >= nctx {
+		s.ctxs = s.ctxs[:nctx]
+	} else {
+		s.ctxs = make([]pctx, nctx)
 	}
 	// Preallocate every p-thread context's working arrays to the largest
 	// installed body once, so spawn never allocates.
 	maxBody := MaxBodyLen(pthreads)
 	for c := range s.ctxs {
+		s.ctxs[c].active = false
 		s.ctxs[c].grow(maxBody)
 	}
-	if cfg.Engine == EngineEvent {
-		s.ev = newEvState(n, cfg.ROBSize)
+	s.liveCtxs = 0
+	s.rrCtx = 0
+	s.spawnUseful = s.spawnUseful[:0]
+	s.spawnStatic = s.spawnStatic[:0]
+	if s.spawnUseful == nil {
+		s.spawnUseful = make([]bool, 0, 1024)
+		s.spawnStatic = make([]int32, 0, 1024)
 	}
-	return s, nil
+
+	if cfg.Engine == EngineEvent {
+		if s.evMem == nil {
+			s.evMem = &evState{}
+		}
+		s.evMem.reset(n, cfg.ROBSize)
+		s.ev = s.evMem
+	} else {
+		s.ev = nil
+	}
+
+	s.res = Result{}
+	s.memMainAcc, s.memPthAcc = 0, 0
+	s.aluMain, s.aluPth = 0, 0
+	s.instsMain, s.instsPth = 0, 0
+	s.branchesMain = 0
+	return nil
+}
+
+// installPThreads rebuilds the trigger table and per-p-thread stat slots.
+// Per-PC dispatch order is the argument order (trigNext chains preserve
+// it), and p-threads sharing an ID share one stat slot, both matching the
+// previous map-based behaviour bit for bit.
+func (s *Simulator) installPThreads(pthreads []*PThread) {
+	s.pthreads = pthreads
+	nInsts := len(s.prog.Insts)
+	s.trigHead = grow(s.trigHead, nInsts)
+	for i := range s.trigHead {
+		s.trigHead[i] = -1
+	}
+	s.trigNext = grow(s.trigNext, len(pthreads))
+	s.statOf = grow(s.statOf, len(pthreads))
+	s.pthStats = s.pthStats[:0]
+	for k, pt := range pthreads {
+		s.trigNext[k] = -1
+		// Append to the trigger PC's chain tail to preserve install order.
+		if head := s.trigHead[pt.TriggerPC]; head < 0 {
+			s.trigHead[pt.TriggerPC] = int32(k)
+		} else {
+			tail := head
+			for s.trigNext[tail] >= 0 {
+				tail = s.trigNext[tail]
+			}
+			s.trigNext[tail] = int32(k)
+		}
+		si := int32(-1)
+		for j := range s.pthStats {
+			if s.pthStats[j].ID == pt.ID {
+				si = int32(j)
+				break
+			}
+		}
+		if si < 0 {
+			si = int32(len(s.pthStats))
+			s.pthStats = append(s.pthStats, PThreadStats{ID: pt.ID})
+		}
+		s.statOf[k] = si
+	}
 }
 
 // Run simulates to completion and returns the result.
@@ -160,7 +308,9 @@ func (s *Simulator) Run() (*Result, error) {
 const ctxCheckMask = 1<<12 - 1
 
 // RunContext simulates to completion, aborting with ctx.Err() if ctx is
-// cancelled mid-simulation.
+// cancelled mid-simulation. The returned Result borrows simulator-owned
+// memory; it is valid until the simulator's next Reset (Clone it to keep
+// it longer).
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	if s.ev == nil {
 		return s.runScan(ctx)
@@ -182,7 +332,7 @@ func (s *Simulator) maxCycles() int64 {
 	return defaultMaxCycles
 }
 
-func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.tr.Entries[d].PC] }
+func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.tr.PC(int(d))] }
 
 // ---------------------------------------------------------------- commit --
 
@@ -194,19 +344,15 @@ func (s *Simulator) commitStage() int {
 			break
 		}
 		in := s.inst(d)
-		e := &s.tr.Entries[d]
 		if s.state[d]&fRSFreed == 0 {
 			s.rsUsed--
 			s.state[d] |= fRSFreed
 		}
 		if in.IsStore() {
-			s.hier.StoreCommit(e.Addr, s.now)
+			addr := s.tr.Addr(int(d))
+			s.hier.StoreCommit(addr, s.now)
 			s.memMainAcc++
-			if c := s.inflightSt[e.Addr]; c <= 1 {
-				delete(s.inflightSt, e.Addr)
-			} else {
-				s.inflightSt[e.Addr] = c - 1
-			}
+			s.inflightSt[addr>>3]--
 		}
 		if in.HasDst() {
 			s.physUsed--
@@ -263,21 +409,22 @@ func (s *Simulator) ready(prod int64) bool {
 // the caller keeps the instruction in the ready set and retries next cycle.
 // mshrFull reports the rejection case.
 func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, mshrFull bool) {
-	e := &s.tr.Entries[d]
-	in := s.inst(d)
+	pc := s.tr.PC(int(d))
+	in := s.prog.Insts[pc]
 	switch {
 	case in.IsLoad():
 		if *loadBudget == 0 {
 			return false, false
 		}
-		if s.inflightSt[e.Addr] > 0 {
+		addr := s.tr.Addr(int(d))
+		if s.inflightSt[addr>>3] > 0 {
 			// Store-to-load forwarding through the LSQ.
 			s.completeAt[d] = s.now + int64(s.cfg.Hier.L1D.HitLatency)
 			s.level[d] = lvlL1
 			s.state[d] |= fFwd
 			s.memMainAcc++
 		} else {
-			info, ok := s.hier.Load(e.Addr, s.now, false, int64(e.PC))
+			info, ok := s.hier.Load(addr, s.now, false, int64(pc))
 			if !ok {
 				return false, true // MSHR full; retry next cycle
 			}
@@ -370,7 +517,7 @@ func (s *Simulator) issuePctx(issueBudget, loadBudget *int) (active, mshrFull bo
 			*issueBudget--
 			active = true
 			s.res.PInstsExec++
-			s.perPThread[ctx.pt.ID].InstsExecuted++
+			s.pthStats[ctx.statIdx].InstsExecuted++
 		}
 		s.maybeRelease(ctx)
 	}
@@ -416,7 +563,7 @@ func (s *Simulator) maybeRelease(ctx *pctx) {
 }
 
 func (s *Simulator) creditPrefetch(spawnID int32, partial bool) {
-	stat := s.perPThread[s.spawnStatic[spawnID]]
+	stat := &s.pthStats[s.spawnStatic[spawnID]]
 	if partial {
 		s.res.PartCovered++
 		stat.PartCovered++
@@ -442,7 +589,8 @@ func (s *Simulator) dispatchStage() bool {
 			break
 		}
 		d := fe.dyn
-		in := s.inst(d)
+		pc := s.tr.PC(int(d))
+		in := s.prog.Insts[pc]
 		if s.robLen >= s.cfg.ROBSize || s.rsUsed >= s.cfg.RSSize {
 			break
 		}
@@ -451,11 +599,8 @@ func (s *Simulator) dispatchStage() bool {
 		}
 		// Spawn p-threads before the trigger's own register update: the
 		// body re-executes the trigger computation from pre-trigger state.
-		e := &s.tr.Entries[d]
-		if pts, hit := s.triggers[e.PC]; hit {
-			for _, pt := range pts {
-				s.spawn(pt)
-			}
+		for ti := s.trigHead[pc]; ti >= 0; ti = s.trigNext[ti] {
+			s.spawn(ti)
 		}
 		s.fqHead = (s.fqHead + 1) % s.cfg.FetchQCap
 		s.fqLen--
@@ -465,12 +610,13 @@ func (s *Simulator) dispatchStage() bool {
 		s.rsUsed++
 		if in.HasDst() {
 			s.physUsed++
-			s.specRegs[in.Dst] = e.Val
+			s.specRegs[in.Dst] = s.tr.Val(int(d))
 			s.lastWriter[in.Dst] = int64(d)
 		}
 		if in.IsStore() {
-			s.mem[e.Addr>>3] = e.Val
-			s.inflightSt[e.Addr]++
+			addr := s.tr.Addr(int(d))
+			s.mem[addr>>3] = s.tr.Val(int(d))
+			s.inflightSt[addr>>3]++
 		}
 		s.instsMain++
 		if in.IsBranch() {
@@ -480,8 +626,8 @@ func (s *Simulator) dispatchStage() bool {
 			// Subscribe to incomplete producers; an instruction with none
 			// enters the ready queue directly (it has the largest dynamic
 			// index in flight, so appending keeps the queue sorted).
-			w1 := s.watch(e.Prod1, d)
-			w2 := s.watch(e.Prod2, d)
+			w1 := s.watch(s.tr.Prod1(int(d)), d)
+			w2 := s.watch(s.tr.Prod2(int(d)), d)
 			if !w1 && !w2 {
 				s.ev.readyQ = append(s.ev.readyQ, d)
 			}
@@ -527,9 +673,12 @@ func (s *Simulator) dispatchStage() bool {
 	return active
 }
 
-// spawn starts a p-thread instance on a free context, if any.
-func (s *Simulator) spawn(pt *PThread) {
-	stat := s.perPThread[pt.ID]
+// spawn starts an instance of installed p-thread ti on a free context, if
+// any.
+func (s *Simulator) spawn(ti int32) {
+	pt := s.pthreads[ti]
+	si := s.statOf[ti]
+	stat := &s.pthStats[si]
 	var ctx *pctx
 	for c := range s.ctxs {
 		if !s.ctxs[c].active {
@@ -544,8 +693,8 @@ func (s *Simulator) spawn(pt *PThread) {
 	}
 	spawnID := int32(len(s.spawnUseful))
 	s.spawnUseful = append(s.spawnUseful, false)
-	s.spawnStatic = append(s.spawnStatic, pt.ID)
-	ctx.init(pt, spawnID, s)
+	s.spawnStatic = append(s.spawnStatic, si)
+	ctx.init(pt, spawnID, si, s)
 	s.liveCtxs++
 	s.res.Spawns++
 	stat.Spawns++
@@ -580,7 +729,7 @@ func (s *Simulator) fetchStage() bool {
 	}
 	// I-cache access for the block containing the next PC. Instruction
 	// addresses live in their own space at 8 bytes per instruction.
-	iaddr := int64(s.tr.Entries[s.fetchIdx].PC) * 8
+	iaddr := int64(s.tr.PC(s.fetchIdx)) * 8
 	done := s.hier.FetchBlock(iaddr, s.now, false)
 	if done > s.now+int64(s.cfg.Hier.L1I.HitLatency) {
 		s.fetchResumeAt = done // i-cache miss: stall until fill
@@ -592,26 +741,27 @@ func (s *Simulator) fetchStage() bool {
 	}
 	for w := 0; w < width && s.fetchIdx < s.n; w++ {
 		d := int32(s.fetchIdx)
-		e := &s.tr.Entries[d]
-		in := s.prog.Insts[e.PC]
+		pc := s.tr.PC(s.fetchIdx)
+		in := s.prog.Insts[pc]
 		s.fetchQ[(s.fqHead+s.fqLen)%s.cfg.FetchQCap] = fetchEnt{dyn: d, availAt: s.now + int64(s.cfg.FrontEndDepth)}
 		s.fqLen++
 		s.fetchIdx++
 		if in.IsBranch() {
-			pred, btbHit := s.bp.PredictAndUpdate(int64(e.PC), e.Taken, int64(in.Target))
-			if pred != e.Taken {
+			taken := s.tr.Taken(int(d))
+			pred, btbHit := s.bp.PredictAndUpdate(int64(pc), taken, int64(in.Target))
+			if pred != taken {
 				s.state[d] |= fMispred
 				s.stalledOnBranch = d
 				break
 			}
-			if e.Taken {
+			if taken {
 				if !btbHit {
 					s.fetchResumeAt = s.now + 2 // BTB miss bubble
 				}
 				break // redirect: stop fetching this cycle
 			}
 		} else if in.IsJump() {
-			if !s.bp.PredictJump(int64(e.PC), int64(in.Target)) {
+			if !s.bp.PredictJump(int64(pc), int64(in.Target)) {
 				s.fetchResumeAt = s.now + 2
 			}
 			break
@@ -672,14 +822,20 @@ func (s *Simulator) finalize() {
 		BranchesMain:    s.branchesMain,
 	}
 	s.res.Energy = energy.Compute(s.cfg.Energy, s.res.Events)
-	for _, st := range s.perPThread {
-		s.res.PerPThread = append(s.res.PerPThread, *st)
+	// Result must be byte-stable (the JSON reports and the determinism
+	// guarantee depend on it): emit PerPThread in ascending ID order via an
+	// allocation-free insertion sort (the set is tiny). With no p-threads
+	// installed the field stays nil, exactly like a freshly built simulator.
+	if len(s.pthStats) > 0 {
+		out := append(s.perPBuf[:0], s.pthStats...)
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		s.perPBuf = out
+		s.res.PerPThread = out
 	}
-	// Map iteration order is random; Result must be byte-stable (the JSON
-	// reports and the determinism guarantee depend on it).
-	sort.Slice(s.res.PerPThread, func(i, j int) bool {
-		return s.res.PerPThread[i].ID < s.res.PerPThread[j].ID
-	})
 }
 
 // Run is a convenience that builds and runs a simulator in one call.

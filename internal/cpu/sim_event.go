@@ -44,16 +44,34 @@ type evState struct {
 	nextPoll int64 // next context-cancellation poll cycle
 }
 
-func newEvState(n, robSize int) *evState {
-	return &evState{
-		popBuf:    make([]int32, 0, 64),
-		wakeHead:  make([]int32, n),
-		waitCnt:   make([]uint8, n),
-		nodes:     make([]wakeNode, 0, 2*robSize),
-		readyQ:    make([]int32, 0, robSize),
-		unfreedQ:  make([]int32, 0, robSize),
-		unfreedNx: make([]int32, 0, robSize),
+// reset prepares the engine state for a run over n dynamic instructions,
+// reusing (and zeroing) the per-entry columns and keeping every queue's and
+// the node pool's storage, so steady-state simulator reuse never allocates.
+func (ev *evState) reset(n, robSize int) {
+	if ev.popBuf == nil {
+		ev.popBuf = make([]int32, 0, 64)
+		ev.nodes = make([]wakeNode, 0, 2*robSize)
+		ev.readyQ = make([]int32, 0, robSize)
+		ev.unfreedQ = make([]int32, 0, robSize)
+		ev.unfreedNx = make([]int32, 0, robSize)
 	}
+	ev.cal.reset()
+	ev.popBuf = ev.popBuf[:0]
+	ev.wakeHead = grow(ev.wakeHead, n)
+	for i := range ev.wakeHead {
+		ev.wakeHead[i] = 0
+	}
+	ev.waitCnt = grow(ev.waitCnt, n)
+	for i := range ev.waitCnt {
+		ev.waitCnt[i] = 0
+	}
+	ev.nodes = ev.nodes[:0]
+	ev.freeNode = 0
+	ev.readyQ = ev.readyQ[:0]
+	ev.unfreedQ = ev.unfreedQ[:0]
+	ev.unfreedNx = ev.unfreedNx[:0]
+	ev.freeable = 0
+	ev.nextPoll = 0
 }
 
 // runEvent is the event-driven engine loop. Cycle-for-cycle it performs the

@@ -58,8 +58,7 @@ func (s *Simulator) issueStageScan() {
 			}
 			continue
 		}
-		e := &s.tr.Entries[d]
-		if !s.ready(e.Prod1) || !s.ready(e.Prod2) {
+		if !s.ready(s.tr.Prod1(int(d))) || !s.ready(s.tr.Prod2(int(d))) {
 			continue
 		}
 		if issued, _ := s.issueMain(d, &loadBudget, &storeBudget); issued {

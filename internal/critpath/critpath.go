@@ -148,8 +148,7 @@ func (a *Analyzer) latency(i int, in isa.Inst, pc passConfig) (lat float64, dema
 	case profile.LvlMem:
 		base = float64(a.cfg.LatMem)
 	}
-	e := &a.tr.Entries[i]
-	isTargetMiss := pc.reducePC >= 0 && e.PC == pc.reducePC && lvl == profile.LvlMem
+	isTargetMiss := pc.reducePC >= 0 && a.tr.PC(i) == pc.reducePC && lvl == profile.LvlMem
 	if isTargetMiss {
 		miss := base - float64(a.cfg.LatL1)
 		// A partially-covered miss still completes through memory.
@@ -195,9 +194,11 @@ func (a *Analyzer) pass(pc passConfig) (int64, [5]int64) {
 	lastMispred := -1
 	busFree := 0.0
 	busOcc := float64(a.cfg.BusOcc)
-	for i := 0; i < n; i++ {
-		e := &a.tr.Entries[i]
-		in := a.tr.Prog.Insts[e.PC]
+	// The longest-path DP is a pure forward scan; the cursor streams the PC
+	// and producer columns chunk by chunk.
+	for cu := a.tr.Cursor(); cu.Next(); {
+		i := cu.Index()
+		in := a.tr.Prog.Insts[cu.PC()]
 
 		// Dispatch.
 		d := 0.0
@@ -231,14 +232,14 @@ func (a *Analyzer) pass(pc passConfig) (int64, [5]int64) {
 		lat, demandMem := a.latency(i, in, pc)
 		base := d
 		efrom := uint8(fromDSelf)
-		if e.Prod1 != trace.NoProducer {
-			if v := E[e.Prod1]; v > base {
+		if p1 := cu.Prod1(); p1 != trace.NoProducer {
+			if v := E[p1]; v > base {
 				base = v
 				efrom = fromProd1
 			}
 		}
-		if e.Prod2 != trace.NoProducer {
-			if v := E[e.Prod2]; v > base {
+		if p2 := cu.Prod2(); p2 != trace.NoProducer {
+			if v := E[p2]; v > base {
 				base = v
 				efrom = fromProd2
 			}
@@ -334,7 +335,7 @@ func (a *Analyzer) attribute(D, E, C []float64, dFrom, eFrom, cFrom []uint8, pc 
 				cat = 3 // the E->C edge is commit overhead (1 cycle)
 			}
 		case 1: // execute node
-			in := a.tr.Prog.Insts[a.tr.Entries[cur.i].PC]
+			in := a.tr.Prog.Insts[a.tr.PC(cur.i)]
 			switch {
 			case in.IsLoad() && a.levels[cur.i] == profile.LvlMem:
 				cat = 0
@@ -345,10 +346,10 @@ func (a *Analyzer) attribute(D, E, C []float64, dFrom, eFrom, cFrom []uint8, pc 
 			}
 			switch eFrom[cur.i] {
 			case fromProd1:
-				next = node{1, int(a.tr.Entries[cur.i].Prod1)}
+				next = node{1, int(a.tr.Prod1(cur.i))}
 				nextT = E[next.i]
 			case fromProd2:
-				next = node{1, int(a.tr.Entries[cur.i].Prod2)}
+				next = node{1, int(a.tr.Prod2(cur.i))}
 				nextT = E[next.i]
 			default:
 				next = node{0, cur.i}
@@ -443,29 +444,30 @@ func modelMispredicts(tr *trace.Trace) []bool {
 	}
 	var hist uint64
 	out := make([]bool, tr.Len())
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		in := tr.Prog.Insts[e.PC]
+	for cu := tr.Cursor(); cu.Next(); {
+		pc := cu.PC()
+		in := tr.Prog.Insts[pc]
 		if !in.IsBranch() {
 			continue
 		}
-		bi := int(uint64(e.PC) % entries)
-		gi := int((uint64(e.PC) ^ (hist & ((1 << hbits) - 1))) % entries)
+		taken := cu.Taken()
+		bi := int(uint64(pc) % entries)
+		gi := int((uint64(pc) ^ (hist & ((1 << hbits) - 1))) % entries)
 		bPred := bim[bi] >= 2
 		gPred := gsh[gi] >= 2
 		pred := bPred
 		if cho[bi] >= 2 {
 			pred = gPred
 		}
-		out[i] = pred != e.Taken
+		out[cu.Index()] = pred != taken
 		if bPred != gPred {
-			if gPred == e.Taken {
+			if gPred == taken {
 				satInc(&cho[bi])
 			} else {
 				satDec(&cho[bi])
 			}
 		}
-		if e.Taken {
+		if taken {
 			satInc(&bim[bi])
 			satInc(&gsh[gi])
 			hist = hist<<1 | 1

@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cpu"
@@ -20,6 +21,38 @@ import (
 	"repro/internal/slicer"
 	"repro/internal/trace"
 )
+
+// simPool recycles simulators across runs: every timing simulation issued
+// through this package (baselines, target measurements, campaign workers)
+// grabs a pooled simulator, Resets it onto the new (config, trace,
+// p-threads) triple and returns it afterwards, so the figure suite's
+// thousands of runs reuse a handful of fully-grown simulators — ROB, state
+// columns, wakeup pools, cache arrays — instead of reallocating them per
+// run. Determinism is unaffected: Reset restores exactly the
+// freshly-constructed state (pinned by the golden and reuse tests).
+var simPool sync.Pool
+
+// Simulate runs one timing simulation through the simulator pool and
+// returns an owned (cloned) Result.
+func Simulate(ctx context.Context, cfg cpu.Config, tr *trace.Trace, pthreads []*cpu.PThread) (*cpu.Result, error) {
+	s, _ := simPool.Get().(*cpu.Simulator)
+	if s == nil {
+		s = new(cpu.Simulator)
+	}
+	if err := s.Reset(cfg, tr, pthreads); err != nil {
+		simPool.Put(s)
+		return nil, err
+	}
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		simPool.Put(s)
+		return nil, err
+	}
+	// The pooled simulator owns res's memory; clone before releasing it.
+	out := res.Clone()
+	simPool.Put(s)
+	return out, nil
+}
 
 // Config parameterizes a full experiment run.
 type Config struct {
@@ -98,7 +131,7 @@ func PrepareTrace(ctx context.Context, name string, tr *trace.Trace, cfg Config)
 		curves[ls.PC] = cp.CostCurve(ls.PC)
 	}
 
-	base, err := cpu.RunContext(ctx, cfg.CPU, tr, nil)
+	base, err := Simulate(ctx, cfg.CPU, tr, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", name, err)
 	}
@@ -177,7 +210,7 @@ func RunTarget(ctx context.Context, sel, meas *Prepared, target pthsel.Target, c
 	}
 	selection := pthsel.Select(sel.Trace, sel.Prof, sel.Trees, sel.Params, target)
 	start := time.Now()
-	res, err := cpu.RunContext(ctx, cfg.CPU, meas.Trace, selection.PThreads)
+	res, err := Simulate(ctx, cfg.CPU, meas.Trace, selection.PThreads)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", meas.Name, target, err)
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// escapeProgram builds a seeded random workload mixing ALU chains, loads,
+// stores and a counted loop — enough dataflow variety that lowering the
+// producer-delta escape threshold routes a meaningful fraction of links
+// through the trace's overflow maps.
+func escapeProgram(seed int64, iters int64) *isa.Program {
+	rng := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) & 0x7FFFFFFF
+	}
+	const words = 128
+	mem := make([]int64, words)
+	for i := range mem {
+		mem[i] = rng() % 4096
+	}
+	b := isa.NewBuilder("escape")
+	b.MovI(1, 0)
+	b.MovI(2, iters)
+	b.Label("top")
+	for k := 0; k < 16; k++ {
+		dst := isa.Reg(3 + rng()%8)
+		s1 := isa.Reg(1 + rng()%10)
+		switch rng() % 4 {
+		case 0:
+			b.AddI(dst, s1, rng()%32)
+		case 1:
+			b.Add(dst, s1, isa.Reg(1+rng()%10))
+		case 2:
+			b.AndI(dst, s1, (words-1)*8)
+			b.Load(isa.Reg(3+rng()%8), dst, 0)
+		default:
+			b.AndI(dst, s1, (words-1)*8)
+			b.Store(dst, 0, isa.Reg(1+rng()%10))
+		}
+	}
+	b.AddI(1, 1, 1)
+	b.CmpLT(11, 1, 2)
+	b.BrNZ(11, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}
+
+// TestEscapePathResultsIdentical is the end-to-end stress case for the
+// 32-bit producer-delta escape path: the same randomized program is traced
+// twice — once with the normal inline delta encoding and once with the
+// escape threshold forced low enough that producer links go through the
+// overflow maps — and both traces must drive the full timing simulation
+// (both engines) to byte-identical Result JSON. The producer columns are
+// the only thing that differs between the two encodings, so any decode
+// asymmetry shows up as a timing divergence.
+func TestEscapePathResultsIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{7, 1234} {
+		p := escapeProgram(seed, 800)
+		plain := trace.MustRun(p)
+		it := trace.Interpreter{DeltaLimit: 3}
+		escaped, err := it.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, engine := range []string{cpu.EngineEvent, cpu.EngineScan} {
+			cfg := DefaultConfig().CPU
+			cfg.Engine = engine
+			run := func(tr *trace.Trace) []byte {
+				res, err := Simulate(ctx, cfg, tr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return raw
+			}
+			if a, b := run(plain), run(escaped); !bytes.Equal(a, b) {
+				t.Errorf("seed %d engine %q: escaped-delta trace diverged from inline-delta trace", seed, engine)
+			}
+		}
+	}
+}

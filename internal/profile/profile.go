@@ -62,42 +62,47 @@ func Collect(tr *trace.Trace, hier cache.HierConfig) *Profile {
 		TotalInsts: int64(tr.Len()),
 		Levels:     make([]uint8, tr.Len()),
 	}
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		p.ExecCounts[e.PC]++
-		in := tr.Prog.Insts[e.PC]
+	// Sequential scan: the cursor streams only the PC and address columns of
+	// the chunked SoA trace.
+	for cu := tr.Cursor(); cu.Next(); {
+		pc := cu.PC()
+		p.ExecCounts[pc]++
+		in := tr.Prog.Insts[pc]
 		switch {
 		case in.IsLoad():
-			ls := p.Loads[e.PC]
+			addr := cu.Addr()
+			ls := p.Loads[pc]
 			if ls == nil {
-				ls = &LoadStats{PC: e.PC}
-				p.Loads[e.PC] = ls
+				ls = &LoadStats{PC: pc}
+				p.Loads[pc] = ls
 			}
 			ls.Execs++
 			if pref != nil {
-				if paddr, ok := pref.Train(int64(e.PC), e.Addr); ok && paddr >= 0 && !l2.Probe(paddr) {
+				if paddr, ok := pref.Train(int64(pc), addr); ok && paddr >= 0 && !l2.Probe(paddr) {
 					l2.Fill(paddr, 0, cache.NoPrefetcher)
 				}
 			}
+			i := cu.Index()
 			p.Levels[i] = LvlL1
-			if r := l1.Lookup(e.Addr); !r.Hit {
+			if r := l1.Lookup(addr); !r.Hit {
 				ls.L1Misses++
 				p.Levels[i] = LvlL2
-				if r2 := l2.Lookup(e.Addr); !r2.Hit {
+				if r2 := l2.Lookup(addr); !r2.Hit {
 					ls.L2Misses++
 					p.TotalL2++
 					p.Levels[i] = LvlMem
 					ls.MissDynIx = append(ls.MissDynIx, int64(i))
-					l2.Fill(e.Addr, 0, cache.NoPrefetcher)
+					l2.Fill(addr, 0, cache.NoPrefetcher)
 				}
-				l1.Fill(e.Addr, 0, cache.NoPrefetcher)
+				l1.Fill(addr, 0, cache.NoPrefetcher)
 			}
 		case in.IsStore():
-			if r := l1.Lookup(e.Addr); !r.Hit {
-				if r2 := l2.Lookup(e.Addr); !r2.Hit {
-					l2.Fill(e.Addr, 0, cache.NoPrefetcher)
+			addr := cu.Addr()
+			if r := l1.Lookup(addr); !r.Hit {
+				if r2 := l2.Lookup(addr); !r2.Hit {
+					l2.Fill(addr, 0, cache.NoPrefetcher)
 				}
-				l1.Fill(e.Addr, 0, cache.NoPrefetcher)
+				l1.Fill(addr, 0, cache.NoPrefetcher)
 			}
 		}
 	}

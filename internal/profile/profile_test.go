@@ -72,12 +72,11 @@ func TestCollectLevels(t *testing.T) {
 		t.Fatal("levels not per dynamic instruction")
 	}
 	var memLevels int
-	for i := range tr.Entries {
-		in := tr.Prog.Insts[tr.Entries[i].PC]
-		if !in.IsLoad() && prof.Levels[i] != LvlNone {
+	for i := 0; i < tr.Len(); i++ {
+		if !tr.Inst(i).IsLoad() && prof.Levels[i] != LvlNone {
 			t.Fatal("non-load has a service level")
 		}
-		if tr.Entries[i].PC == int32(missPC) && prof.Levels[i] == LvlMem {
+		if tr.PC(i) == int32(missPC) && prof.Levels[i] == LvlMem {
 			memLevels++
 		}
 	}
@@ -95,7 +94,7 @@ func TestMissDynIxPointAtMisses(t *testing.T) {
 		t.Fatalf("%d indices for %d misses", len(ls.MissDynIx), ls.L2Misses)
 	}
 	for _, ix := range ls.MissDynIx {
-		if tr.Entries[ix].PC != int32(missPC) {
+		if tr.PC(int(ix)) != int32(missPC) {
 			t.Fatal("miss index points at the wrong instruction")
 		}
 	}

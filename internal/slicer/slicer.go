@@ -150,9 +150,8 @@ func backwardSlice(tr *trace.Trace, m int64, cfg Config) []int64 {
 			heap.push(j)
 		}
 	}
-	e := &tr.Entries[m]
-	push(e.Prod1)
-	push(e.Prod2)
+	push(tr.Prod1(int(m)))
+	push(tr.Prod2(int(m)))
 	var out []int64
 	var last int64 = -1
 	for heap.len() > 0 && len(out) < cfg.MaxLen-1 {
@@ -162,9 +161,8 @@ func backwardSlice(tr *trace.Trace, m int64, cfg Config) []int64 {
 		}
 		last = j
 		out = append(out, j)
-		je := &tr.Entries[j]
-		push(je.Prod1)
-		push(je.Prod2)
+		push(tr.Prod1(int(j)))
+		push(tr.Prod2(int(j)))
 	}
 	return out
 }
@@ -175,7 +173,7 @@ func insertPath(tr *trace.Trace, root *Node, slice []int64, m int64, execCounts 
 	root.DCptcm++
 	cur := root
 	for _, j := range slice {
-		cur = childFor(cur, tr.Entries[j].PC, execCounts)
+		cur = childFor(cur, tr.PC(int(j)), execCounts)
 		cur.DCptcm++
 		cur.DistSum += m - j
 	}

@@ -282,9 +282,10 @@ func (s *Study) Select(ctx context.Context, target Target) (*Selection, error) {
 
 // Measure simulates the program with the selection's p-threads installed
 // and derives the paper's metrics against the study's baseline. The context
-// is honored mid-simulation.
+// is honored mid-simulation; the run goes through the engine's simulator
+// pool, so repeated measurements reuse one fully-grown simulator.
 func (s *Study) Measure(ctx context.Context, sel *Selection) (*TargetRun, error) {
-	res, err := cpu.RunContext(ctx, s.cfg.CPU, s.prep.Trace, sel.PThreads)
+	res, err := experiments.Simulate(ctx, s.cfg.CPU, s.prep.Trace, sel.PThreads)
 	if err != nil {
 		return nil, err
 	}
