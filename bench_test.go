@@ -195,6 +195,57 @@ func BenchmarkFigure5MemLatency(b *testing.B) { benchFigure5(b, SweepMemLatency)
 // BenchmarkFigure5L2Size sweeps the L2 (128KB/256KB/512KB).
 func BenchmarkFigure5L2Size(b *testing.B) { benchFigure5(b, SweepL2Size) }
 
+// sweepGridFixture is the benchmark grid: the paper's idle-factor axis on
+// the smallest benchmark, under the default sensitivity targets.
+func sweepGridFixture() Grid {
+	return Grid{Axes: []Axis{GridAxis(SweepIdleFactor)}, Benchmarks: []string{"gap"}}
+}
+
+// heavyStageBuilds counts the expensive upstream stage executions (trace,
+// profile, slice trees) an engine has performed — the per-stage reuse
+// observable cmd/benchgate gates.
+func heavyStageBuilds(lab *Lab) int64 {
+	return lab.StagePrepares(StageTrace) + lab.StagePrepares(StageProfile) + lab.StagePrepares(StageSlices)
+}
+
+// BenchmarkSweepGrid measures a 3-point single-axis sweep grid cold (fresh
+// engine, every stage built once thanks to per-stage sharing) versus warm
+// (every artifact cached; only the target measurements run). Both variants
+// report grid-stage-builds — heavy stage executions per sweep — which is 3
+// cold (one trace + one profile + one slice build for the benchmark) and
+// must be exactly 0 warm: cmd/benchgate gates the warm column, so a
+// regression that re-runs tracing, profiling or slicing for already-seen
+// sweep points fails CI.
+func BenchmarkSweepGrid(b *testing.B) {
+	ctx := context.Background()
+	grid := sweepGridFixture()
+	b.Run("cold", func(b *testing.B) {
+		var builds int64
+		for i := 0; i < b.N; i++ {
+			lab := New()
+			if _, err := lab.Sweep(ctx, grid); err != nil {
+				b.Fatal(err)
+			}
+			builds += heavyStageBuilds(lab)
+		}
+		b.ReportMetric(float64(builds)/float64(b.N), "grid-stage-builds")
+	})
+	b.Run("warm", func(b *testing.B) {
+		lab := New()
+		if _, err := lab.Sweep(ctx, grid); err != nil {
+			b.Fatal(err) // warm every stage artifact outside the timed loop
+		}
+		start := heavyStageBuilds(lab)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lab.Sweep(ctx, grid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(heavyStageBuilds(lab)-start)/float64(b.N), "grid-stage-builds")
+	})
+}
+
 // BenchmarkED2Target reproduces the §5.1 ED² discussion (P2 ≈ L; both
 // improve ED² strongly).
 func BenchmarkED2Target(b *testing.B) {

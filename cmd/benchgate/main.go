@@ -10,7 +10,11 @@
 //   - the event engine's steady-state allocation rate must not exceed the
 //     baseline's MaxEventAllocsPerOp / MaxEventBytesPerOp (0 since the
 //     zero-allocation run-reuse tentpole: one Reset+run over the full suite
-//     allocates nothing).
+//     allocates nothing), and
+//   - a warm 3-point sweep grid must not perform more heavy stage builds
+//     (trace/profile/slice-tree executions) than the baseline's
+//     MaxWarmGridStageBuilds (0 since the staged-pipeline tentpole: warm
+//     sweep points reuse every cached upstream artifact).
 //
 // Usage:
 //
@@ -44,6 +48,16 @@ type Report struct {
 	EventAllocsPerOp  float64 // steady-state allocations per full-suite op (event engine)
 	EventBytesPerOp   float64 // steady-state bytes allocated per full-suite op
 	FigureSuiteSec    float64 // BenchmarkFigureSuite seconds per full suite (0 when skipped)
+
+	// Sweep grid columns (BenchmarkSweepGrid): seconds per 3-point
+	// single-axis sweep, cold (fresh engine) vs warm (every stage
+	// artifact cached), plus the heavy stage executions (trace + profile
+	// + slice builds) each performs. Warm builds are the gated column:
+	// the staged pipeline guarantees 0.
+	SweepColdSec        float64
+	SweepWarmSec        float64
+	ColdGridStageBuilds float64
+	WarmGridStageBuilds float64
 }
 
 // Baseline is the committed gate (testdata/bench_baseline.json).
@@ -58,7 +72,12 @@ type Baseline struct {
 	// must be allocation-free under simulator reuse).
 	MaxEventAllocsPerOp float64
 	MaxEventBytesPerOp  float64
-	Note                string `json:",omitempty"`
+	// MaxWarmGridStageBuilds caps the heavy stage executions (trace +
+	// profile + slice builds) a warm 3-point sweep grid may perform
+	// (machine-independent; 0 = warm sweep points must reuse every cached
+	// upstream artifact — the staged-pipeline contract).
+	MaxWarmGridStageBuilds float64
+	Note                   string `json:",omitempty"`
 }
 
 func main() {
@@ -85,6 +104,24 @@ func main() {
 	rep.EventAllocsPerOp = event.allocsPerOp
 	rep.EventBytesPerOp = event.bytesPerOp
 
+	grid, err := runBench("BenchmarkSweepGrid", "1x")
+	if err != nil {
+		fatal("sweep grid benchmark: %v", err)
+	}
+	cold, warm := grid["BenchmarkSweepGrid/cold"], grid["BenchmarkSweepGrid/warm"]
+	rep.SweepColdSec = cold.nsPerOp / 1e9
+	rep.SweepWarmSec = warm.nsPerOp / 1e9
+	rep.ColdGridStageBuilds = cold.gridStageBuilds
+	rep.WarmGridStageBuilds = warm.gridStageBuilds
+	if rep.ColdGridStageBuilds <= 0 {
+		fatal("missing grid-stage-builds metric in sweep grid benchmark output")
+	}
+	// The warm sub-benchmark is the gated one, and its expected metric is 0,
+	// so "missing from the output" must not masquerade as a pass.
+	if rep.SweepWarmSec <= 0 {
+		fatal("missing warm sweep grid benchmark output (BenchmarkSweepGrid/warm)")
+	}
+
 	if !*skipSuite {
 		suite, err := runBench("BenchmarkFigureSuite", "1x")
 		if err != nil {
@@ -100,14 +137,17 @@ func main() {
 	}
 	fmt.Printf("benchgate: event %.0f sim-cycles/s (%.0f allocs/op, %.0f B/op), scan %.0f sim-cycles/s, speedup %.2fx\n",
 		rep.EventCyclesPerSec, rep.EventAllocsPerOp, rep.EventBytesPerOp, rep.ScanCyclesPerSec, rep.Speedup)
+	fmt.Printf("benchgate: sweep grid cold %.2fs (%.0f stage builds), warm %.2fs (%.0f stage builds)\n",
+		rep.SweepColdSec, rep.ColdGridStageBuilds, rep.SweepWarmSec, rep.WarmGridStageBuilds)
 
 	if *update {
 		b := Baseline{
-			EventCyclesPerSec:   rep.EventCyclesPerSec,
-			MinSpeedup:          1.5,
-			MaxEventAllocsPerOp: rep.EventAllocsPerOp,
-			MaxEventBytesPerOp:  rep.EventBytesPerOp,
-			Note:                "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
+			EventCyclesPerSec:      rep.EventCyclesPerSec,
+			MinSpeedup:             1.5,
+			MaxEventAllocsPerOp:    rep.EventAllocsPerOp,
+			MaxEventBytesPerOp:     rep.EventBytesPerOp,
+			MaxWarmGridStageBuilds: rep.WarmGridStageBuilds,
+			Note:                   "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
 		}
 		braw, _ := json.MarshalIndent(b, "", "  ")
 		braw = append(braw, '\n')
@@ -145,15 +185,23 @@ func main() {
 		fatal("allocation regression: event engine %.0f B/op > allowed %.0f",
 			rep.EventBytesPerOp, base.MaxEventBytesPerOp)
 	}
-	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op)\n",
-		floor, base.MinSpeedup, base.MaxEventAllocsPerOp)
+	// The warm-grid gate is exact, like the allocation gates: a warm sweep
+	// point re-running tracing, profiling or slicing breaks the staged
+	// pipeline's reuse contract regardless of how fast the machine is.
+	if rep.WarmGridStageBuilds > base.MaxWarmGridStageBuilds {
+		fatal("stage-reuse regression: warm sweep grid performed %.0f heavy stage builds > allowed %.0f (warm points must reuse cached trace/profile/slices)",
+			rep.WarmGridStageBuilds, base.MaxWarmGridStageBuilds)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds)\n",
+		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds)
 }
 
 type benchLine struct {
-	nsPerOp     float64
-	metric      float64 // the benchmark's custom sim-cycles/s metric, if reported
-	bytesPerOp  float64 // -benchmem B/op
-	allocsPerOp float64 // -benchmem allocs/op
+	nsPerOp         float64
+	metric          float64 // the benchmark's custom sim-cycles/s metric, if reported
+	gridStageBuilds float64 // BenchmarkSweepGrid's grid-stage-builds metric
+	bytesPerOp      float64 // -benchmem B/op
+	allocsPerOp     float64 // -benchmem allocs/op
 }
 
 // runBench executes one `go test -bench` selection and parses its result
@@ -188,6 +236,8 @@ func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 				bl.nsPerOp = v
 			case "sim-cycles/s":
 				bl.metric = v
+			case "grid-stage-builds":
+				bl.gridStageBuilds = v
 			case "B/op":
 				bl.bytesPerOp = v
 			case "allocs/op":

@@ -13,16 +13,26 @@
 //	report -fig 3          # one figure
 //	report -table 3        # the validation table
 //	report -json           # machine-readable JSON stream, one object per artifact
+//	report -render f.json  # render a saved artifact stream ("-" = stdin)
 //	report -v              # engine progress on stderr
+//
+// The -render mode closes the round trip: any artifact stream this command
+// (or cmd/sweep -json) emitted renders back to the exact tables a live run
+// would print, without recomputing anything:
+//
+//	sweep -axis idle,mem -json | report -render -
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	preexec "repro"
 )
@@ -31,8 +41,17 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (2, 3, 4 or 5); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (3); 0 = all")
 	asJSON := flag.Bool("json", false, "emit JSON artifacts instead of rendered tables")
+	renderPath := flag.String("render", "", "render a saved JSON artifact stream instead of recomputing (\"-\" = stdin)")
 	verbose := flag.Bool("v", false, "log engine progress events to stderr")
 	flag.Parse()
+
+	if *renderPath != "" {
+		if err := renderStream(*renderPath); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := []preexec.Option{}
 	if *verbose {
@@ -94,6 +113,80 @@ func main() {
 			return &r, json.Unmarshal(raw, &r)
 		})
 	}
+}
+
+// decoderFor maps an artifact name from the stream to its report type.
+func decoderFor(name string) func([]byte) (preexec.Report, error) {
+	decode := func(r preexec.Report) func([]byte) (preexec.Report, error) {
+		return func(raw []byte) (preexec.Report, error) { return r, json.Unmarshal(raw, r) }
+	}
+	switch {
+	case name == "figure2":
+		return decode(&preexec.Figure2Report{})
+	case name == "figure3":
+		return decode(&preexec.Figure3Report{})
+	case name == "table3":
+		return decode(&preexec.Table3Report{})
+	case name == "figure4":
+		return decode(&preexec.Figure4Report{})
+	case strings.HasPrefix(name, "figure5"):
+		return decode(&preexec.Figure5Report{})
+	case name == "ed2":
+		return decode(&preexec.ED2Report{})
+	case name == "sweep":
+		return decode(&preexec.SweepReport{})
+	case name == "campaign":
+		return decode(&preexec.CampaignReport{})
+	}
+	return nil
+}
+
+// renderStream decodes a JSON artifact stream (one {"artifact","report"}
+// object per line, as emitted by -json or by cmd/sweep -json) and renders
+// each artifact.
+func renderStream(path string) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 64<<20) // reports can be large
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var env struct {
+			Artifact string          `json:"artifact"`
+			Report   json.RawMessage `json:"report"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			return fmt.Errorf("artifact stream line %d: %w", n+1, err)
+		}
+		decode := decoderFor(env.Artifact)
+		if decode == nil {
+			return fmt.Errorf("artifact stream line %d: unknown artifact %q", n+1, env.Artifact)
+		}
+		rep, err := decode(env.Report)
+		if err != nil {
+			return fmt.Errorf("artifact %q: %w", env.Artifact, err)
+		}
+		fmt.Println(rep.Render())
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no artifacts in %s", path)
+	}
+	return nil
 }
 
 // emit serializes one artifact to JSON. In JSON mode the artifact streams

@@ -1,12 +1,18 @@
-// Command sweep runs one of the paper's Figure 5 sensitivity sweeps over
-// any benchmark set.
+// Command sweep runs sensitivity sweeps over any benchmark set: one of the
+// paper's Figure 5 axes, or a declarative multi-axis cartesian grid.
 //
 // Usage:
 //
-//	sweep -axis idle                    # paper's idle-factor triple
-//	sweep -axis mem -bench mcf,twolf    # custom benchmark set
-//	sweep -axis l2 -all                 # all nine benchmarks
-//	sweep -axis mem -json               # machine-readable output
+//	sweep -axis idle                        # paper's idle-factor triple
+//	sweep -axis mem -bench mcf,twolf        # custom benchmark set
+//	sweep -axis idle,mem -bench vortex      # 3×3 cartesian grid
+//	sweep -axis l2 -all                     # all nine benchmarks
+//	sweep -axis mem -targets L,P2           # custom target set
+//	sweep -axis mem -json                   # machine-readable artifact
+//	                                        # (render with: report -render -)
+//
+// Benchmark names are validated by the Lab engine itself: unknown or
+// duplicated names fail fast with the valid set listed.
 package main
 
 import (
@@ -22,49 +28,55 @@ import (
 )
 
 func main() {
-	axisName := flag.String("axis", "idle", "sweep axis: idle, mem, l2")
-	bench := flag.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the axis)")
+	axisNames := flag.String("axis", "idle", "comma-separated sweep axes: idle, mem, l2 (multiple = cartesian grid)")
+	bench := flag.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the first axis)")
 	all := flag.Bool("all", false, "sweep every benchmark")
+	targetNames := flag.String("targets", "", "comma-separated selection targets (default: L,E,P)")
 	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
-	asJSON := flag.Bool("json", false, "emit the JSON report instead of the rendered table")
+	asJSON := flag.Bool("json", false, "emit the JSON artifact instead of the rendered table")
 	flag.Parse()
 
-	var axis preexec.SweepAxis
-	switch *axisName {
-	case "idle":
-		axis = preexec.SweepIdleFactor
-	case "mem":
-		axis = preexec.SweepMemLatency
-	case "l2":
-		axis = preexec.SweepL2Size
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown axis %q (want idle, mem or l2)\n", *axisName)
-		os.Exit(1)
+	var axes []preexec.Axis
+	var first preexec.SweepAxis
+	for i, name := range strings.Split(*axisNames, ",") {
+		axis, err := preexec.ParseSweepAxis(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			first = axis
+		}
+		axes = append(axes, preexec.GridAxis(axis))
 	}
 
-	names := preexec.Figure5Benchmarks(axis)
+	names := preexec.Figure5Benchmarks(first)
 	if *all {
 		names = preexec.PaperBenchmarks()
 	} else if *bench != "" {
 		names = strings.Split(*bench, ",")
 	}
-	valid := make(map[string]bool)
-	for _, n := range preexec.Benchmarks() {
-		valid[n] = true
-	}
-	for _, n := range names {
-		if !valid[n] {
-			fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q (valid: %s)\n",
-				n, strings.Join(preexec.Benchmarks(), ", "))
-			os.Exit(1)
+
+	var targets []preexec.Target
+	if *targetNames != "" {
+		for _, t := range strings.Split(*targetNames, ",") {
+			tgt, err := preexec.ParseTarget(strings.TrimSpace(t))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			targets = append(targets, tgt)
 		}
 	}
 
 	lab := preexec.New(
 		preexec.WithParallelism(*parallelism),
 		preexec.WithObserver(func(ev preexec.Event) {
-			if ev.Kind == preexec.EventPrepareStart {
-				fmt.Fprintf(os.Stderr, "sweep: preparing %s/%s\n", ev.Bench, ev.Input)
+			switch ev.Kind {
+			case preexec.EventStageStart:
+				fmt.Fprintf(os.Stderr, "sweep: building %s/%s %s\n", ev.Bench, ev.Input, ev.Stage)
+			case preexec.EventPointDone:
+				fmt.Fprintf(os.Stderr, "sweep: point %d/%d %s@%s\n", ev.Done, ev.Total, ev.Bench, ev.Point)
 			}
 		}),
 	)
@@ -72,18 +84,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	rep, err := lab.Figure5(ctx, axis, names)
+	rep, err := lab.Sweep(ctx, preexec.Grid{Axes: axes, Benchmarks: names, Targets: targets})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 	if *asJSON {
-		raw, err := json.MarshalIndent(rep, "", "  ")
+		raw, err := json.Marshal(rep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		fmt.Println(string(raw))
+		out, err := json.Marshal(struct {
+			Artifact string          `json:"artifact"`
+			Report   json.RawMessage `json:"report"`
+		}{"sweep", raw})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 		return
 	}
 	fmt.Println(rep.Render())

@@ -33,24 +33,29 @@ func main() {
 			tgt, run.SpeedupPct, run.EnergySavePct, run.EDSavePct, run.PInstIncPct)
 	}
 
-	fmt.Println("\nIdle energy factor sweep (vpr.route, E-p-threads):")
-	fmt.Printf("%-8s %10s %10s %10s %10s\n", "idle", "#pthreads", "speedup%", "energy%", "ED%")
-	for _, idle := range []float64{0, 0.05, 0.10} {
-		cfg := preexec.DefaultConfig()
-		cfg.CPU.Energy.IdleFactor = idle
-		// One engine per configuration point: the artifact store keys on
-		// the config fingerprint, so these do not alias.
-		s, err := preexec.New(preexec.WithConfig(cfg)).AnalyzeBenchmark(ctx, "vpr.route")
-		if err != nil {
-			log.Fatal(err)
-		}
-		run, err := s.Run(ctx, preexec.TargetE)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8.0f%% %9d %+10.1f %+10.1f %+10.1f\n",
-			idle*100, len(run.Sel.PThreads), run.SpeedupPct, run.EnergySavePct, run.EDSavePct)
+	fmt.Println("\nIdle energy factor sweep (vpr.route, E-p-threads), as a declarative grid:")
+	// One engine, one grid: the staged artifact store keys every pipeline
+	// stage on only the config fields it reads, so the three idle-factor
+	// points share the benchmark's trace, profile, slice trees and even its
+	// baseline simulation — only the selection params re-derive per point.
+	sweepLab := preexec.New()
+	rep, err := sweepLab.Sweep(ctx, preexec.Grid{
+		Axes:       []preexec.Axis{preexec.GridAxis(preexec.SweepIdleFactor)},
+		Benchmarks: []string{"vpr.route"},
+		Targets:    []preexec.Target{preexec.TargetE},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nAt a 0% idle factor EREDagg is zero, every EADVagg is negative, and")
-	fmt.Println("no E-p-thread survives — the paper's observation exactly.")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "idle", "#pthreads", "speedup%", "energy%", "ED%")
+	for _, pt := range rep.Points {
+		r := pt.Runs[0]
+		fmt.Printf("%-8s %10d %+10.1f %+10.1f %+10.1f\n",
+			pt.Point(), r.PThreads, r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
+	}
+	fmt.Printf("\nThe grid ran %d baseline simulation and %d trace for its 3 points\n",
+		sweepLab.StagePrepares(preexec.StageBaseline), sweepLab.StagePrepares(preexec.StageTrace))
+	fmt.Println("(energy knobs never re-simulate). At a 0% idle factor EREDagg is zero,")
+	fmt.Println("every EADVagg is negative, and no E-p-thread survives — the paper's")
+	fmt.Println("observation exactly.")
 }

@@ -18,6 +18,7 @@ package critpath
 
 import (
 	"repro/internal/cache"
+	"repro/internal/fingerprint"
 	"repro/internal/isa"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -48,6 +49,11 @@ func DefaultConfig(h cache.HierConfig) Config {
 		BusOcc:     (h.L2.BlockBytes / h.BusBytes) * h.BusFreqDiv,
 	}
 }
+
+// Fingerprint returns the content fingerprint of the criticality stage
+// config — the complete set of knobs the analyzer reads beyond its input
+// artifacts, so curve caches are invalidated by exactly these fields.
+func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
 
 // Curve is the latency-reduction → execution-time-reduction function for one
 // static problem load, sampled at 25%, 50%, 75% and 100% of the full miss

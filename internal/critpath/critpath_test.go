@@ -1,6 +1,7 @@
 package critpath
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cache"
@@ -20,7 +21,7 @@ func analyzerFor(t *testing.T, p *isa.Program) (*Analyzer, *trace.Trace, *profil
 	// tests exercise the criticality model on raw misses.
 	hier := cache.DefaultHierConfig()
 	hier.StrideEntries = 0
-	prof := profile.Collect(tr, hier)
+	prof := profile.Collect(tr, profile.ConfigFromHier(hier))
 	return New(tr, prof, DefaultConfig(hier)), tr, prof
 }
 
@@ -173,6 +174,40 @@ func TestGainAtInterpolation(t *testing.T) {
 	}
 }
 
+// TestGainAtEdgeCases pins the degenerate inputs the selection pipeline can
+// hand the cost model: the zero-value (empty) curve of a load that never
+// missed, non-positive miss latencies, and tolerated latencies at or beyond
+// the last sampled knee, which must saturate at Gain[3] — including for
+// extreme and infinite tolerances.
+func TestGainAtEdgeCases(t *testing.T) {
+	var empty Curve
+	for _, tol := range []float64{-1, 0, 1, 200, 1e12, math.Inf(1)} {
+		if got := empty.GainAt(tol); got != 0 {
+			t.Errorf("empty curve GainAt(%v) = %v, want 0", tol, got)
+		}
+	}
+	neg := Curve{MissLat: -200, Gain: [4]float64{10, 30, 60, 100}}
+	if got := neg.GainAt(50); got != 0 {
+		t.Errorf("negative-latency curve GainAt(50) = %v, want 0", got)
+	}
+
+	c := Curve{MissLat: 200, Gain: [4]float64{10, 30, 60, 100}}
+	for _, tol := range []float64{200, 200.0001, 1e9, math.MaxFloat64, math.Inf(1)} {
+		if got := c.GainAt(tol); got != 100 {
+			t.Errorf("GainAt(%v) = %v, want saturation at Gain[3]=100", tol, got)
+		}
+	}
+	// Approaching the last knee from below stays on the final segment:
+	// bounded by the 75% and 100% samples, never above saturation.
+	if got := c.GainAt(199.999); got < 60 || got > 100 {
+		t.Errorf("GainAt(199.999) = %v, want within (60, 100]", got)
+	}
+	// A zero-latency flat curve is inert, not NaN.
+	if got := FlatCurve(0).GainAt(50); got != 0 || math.IsNaN(got) {
+		t.Errorf("FlatCurve(0).GainAt(50) = %v, want 0", got)
+	}
+}
+
 func TestFlatCurveIsIdentity(t *testing.T) {
 	c := FlatCurve(200)
 	for _, tol := range []float64{0, 37, 100, 150, 200, 300} {
@@ -205,7 +240,7 @@ func TestModelTracksSimulatorOnBenchmarks(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := trace.MustRun(bm.Build(program.Train))
-	prof := profile.Collect(tr, cache.DefaultHierConfig())
+	prof := profile.Collect(tr, profile.ConfigFromHier(cache.DefaultHierConfig()))
 	a := New(tr, prof, DefaultConfig(cache.DefaultHierConfig()))
 	est := a.Baseline()
 	if est <= 0 {

@@ -92,17 +92,14 @@ type Prepared struct {
 	Params   pthsel.Params
 }
 
-// Prepare builds, traces, profiles and baselines one benchmark. The context
-// is honored throughout, including mid-simulation in the baseline run.
+// Prepare builds, traces, profiles and baselines one benchmark by running
+// the staged pipeline end to end without a store (every stage cold). The
+// context is honored throughout, including mid-simulation in the baseline
+// run. Engines cache the same stages individually — see Runner.Prepare.
 func Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
-	bm, err := program.ByName(name)
+	tr, err := stageTrace(name, input)
 	if err != nil {
 		return nil, err
-	}
-	prog := bm.Build(input)
-	tr, err := trace.Run(prog)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	p, err := PrepareTrace(ctx, name, tr, cfg)
 	if err != nil {
@@ -113,52 +110,28 @@ func Prepare(ctx context.Context, name string, input program.InputClass, cfg Con
 }
 
 // PrepareTrace profiles and baselines an already-traced program (used for
-// custom workloads supplied through the public façade).
+// custom workloads supplied through the public façade). It is the uncached
+// composition of the pipeline stages, so its output is identical to the
+// Runner's store-backed preparation.
 func PrepareTrace(ctx context.Context, name string, tr *trace.Trace, cfg Config) (*Prepared, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prof := profile.Collect(tr, cfg.CPU.Hier)
-	problems := prof.ProblemLoads(cfg.ProblemCoverage, cfg.MinMisses)
-	trees := slicer.BuildTrees(tr, prof, problems, cfg.Slicer)
-
-	cp := critpath.New(tr, prof, critpathConfig(cfg))
-	curves := make(map[int32]critpath.Curve, len(problems))
-	for _, ls := range problems {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		curves[ls.PC] = cp.CostCurve(ls.PC)
-	}
-
-	base, err := Simulate(ctx, cfg.CPU, tr, nil)
+	plan := planFor(cfg)
+	prof := profile.Collect(tr, plan.profileCfg)
+	problems := stageProblems(prof, plan.problemsCfg)
+	trees := slicer.BuildTrees(tr, prof, problems, plan.slicerCfg)
+	curves, err := stageCurves(ctx, tr, prof, problems, plan.critCfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s baseline: %w", name, err)
+		return nil, err
 	}
-
-	h := cfg.CPU.Hier
-	p := &Prepared{
-		Name:     name,
-		Trace:    tr,
-		Prof:     prof,
-		Trees:    trees,
-		Curves:   curves,
-		Baseline: base,
-		Params: pthsel.Params{
-			BWSEQproc: float64(cfg.CPU.FetchWidth),
-			BWSEQmt:   base.IPC(),
-			MissLat:   float64(h.MemLatency),
-			LatL1:     float64(h.L1D.HitLatency),
-			LatL2:     float64(h.L1D.HitLatency + h.L2.HitLatency),
-			LatMem:    float64(h.L1D.HitLatency + h.L2.HitLatency + h.MemLatency),
-			Energy:    cfg.CPU.Energy,
-			L0:        float64(base.Cycles),
-			E0:        base.Energy.Total(),
-			Curves:    curves,
-			MinDCptcm: 16,
-		},
+	base, err := stageBaseline(ctx, name, plan.timingCfg, tr)
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	base = baselineFor(base, cfg.CPU.Energy)
+	params := plan.deriveCfg.Derive(float64(base.Cycles), base.Energy.Total(), base.IPC(), curves)
+	return assemblePrepared(name, tr, prof, trees, curves, base, params), nil
 }
 
 func critpathConfig(cfg Config) critpath.Config {

@@ -18,6 +18,9 @@ var PrimaryTargets = []pthsel.Target{pthsel.TargetO, pthsel.TargetL, pthsel.Targ
 // category) and energy breakdowns for unoptimized execution (N) and
 // PTHSEL-driven pre-execution (O), normalized to N = 100.
 func (r *Runner) Figure2(ctx context.Context, names []string) (*Figure2Report, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
 	results, err := r.benchResults(ctx, names, []pthsel.Target{pthsel.TargetO}, r.cfg)
 	if err != nil {
 		return nil, err
@@ -36,6 +39,9 @@ func (r *Runner) Figure2(ctx context.Context, names []string) (*Figure2Report, e
 // Figure3 reproduces the paper's Figure 3: improvements and diagnostics for
 // all four primary targets across all benchmarks.
 func (r *Runner) Figure3(ctx context.Context, names []string) (*Figure3Report, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
 	results, err := r.benchResults(ctx, names, PrimaryTargets, r.cfg)
 	if err != nil {
 		return nil, err
@@ -70,6 +76,9 @@ func (r *Runner) Figure3(ctx context.Context, names []string) (*Figure3Report, e
 // Table3 reproduces the paper's validation table for L-p-threads on the
 // paper's four benchmarks (gcc, parser, vortex, vpr.place).
 func (r *Runner) Table3(ctx context.Context, names []string) (*Table3Report, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
 	rep := &Table3Report{Rows: make([]Table3Row, 0, len(names))}
 	for _, name := range names {
 		prep, err := r.Prepare(ctx, name, r.cfg.MeasureInput, r.cfg)
@@ -108,6 +117,9 @@ var Figure4Targets = []pthsel.Target{pthsel.TargetL, pthsel.TargetE, pthsel.Targ
 // preparations go through the artifact store, so the Train preparation is
 // shared with every other figure.
 func (r *Runner) Figure4(ctx context.Context, names []string) (*Figure4Report, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
 	rep := &Figure4Report{Targets: targetNames(Figure4Targets)}
 	for _, name := range names {
 		profPrep, err := r.Prepare(ctx, name, program.Ref, r.cfg)
@@ -186,52 +198,41 @@ func SweepPoints(a SweepAxis) (labels []string, mutate []func(*Config)) {
 }
 
 // Figure5 reproduces one sensitivity sweep for the given benchmarks: every
-// axis point re-runs profiling, selection and measurement under the mutated
+// axis point re-runs selection and measurement under the mutated
 // configuration (PTHSEL+E re-targets to the new parameters, which is the
-// point of the experiment). Each mutated configuration gets its own
-// artifact-store entries via the config fingerprint, so repeating a sweep
-// on one engine is free while distinct points never alias.
+// point of the experiment). It is a one-axis declarative grid: each point
+// is keyed per stage in the artifact store, so the points share the
+// benchmark's trace, profile and slice trees and rebuild only the stages
+// the axis actually touches.
 func (r *Runner) Figure5(ctx context.Context, axis SweepAxis, names []string) (*Figure5Report, error) {
-	labels, mutations := SweepPoints(axis)
-	rep := &Figure5Report{Axis: axis.String(), Targets: targetNames(Figure4Targets)}
-	for _, name := range names {
-		for pi, mutate := range mutations {
-			ptCfg := r.cfg
-			mutate(&ptCfg)
-			prep, err := r.Prepare(ctx, name, ptCfg.MeasureInput, ptCfg)
-			if err != nil {
-				return nil, err
-			}
-			point := Figure5Point{Bench: name, Point: labels[pi]}
-			for _, tgt := range Figure4Targets {
-				run, err := RunTarget(ctx, prep, prep, tgt, ptCfg)
-				if err != nil {
-					return nil, err
-				}
-				point.Runs = append(point.Runs, runReport(run))
-			}
-			rep.Points = append(rep.Points, point)
-		}
+	sw, err := r.Sweep(ctx, Grid{Axes: []Axis{GridAxis(axis)}, Benchmarks: names, Targets: Figure4Targets})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Figure5Report{Axis: axis.String(), Targets: sw.Targets}
+	for _, pt := range sw.Points {
+		rep.Points = append(rep.Points, Figure5Point{Bench: pt.Bench, Point: pt.Labels[0], Runs: pt.Runs})
 	}
 	return rep, nil
 }
 
 // ED2Study reproduces the §5.1 ED² discussion: P2-p-threads behave like
-// L-p-threads; both improve ED² substantially.
+// L-p-threads; both improve ED² substantially. It is the degenerate
+// declarative grid: no axes, a single base-configuration point per
+// benchmark, targets L and P2.
 func (r *Runner) ED2Study(ctx context.Context, names []string) (*ED2Report, error) {
-	targets := []pthsel.Target{pthsel.TargetL, pthsel.TargetP2}
-	results, err := r.benchResults(ctx, names, targets, r.cfg)
+	sw, err := r.Sweep(ctx, Grid{Benchmarks: names, Targets: []pthsel.Target{pthsel.TargetL, pthsel.TargetP2}})
 	if err != nil {
 		return nil, err
 	}
 	rep := &ED2Report{}
 	var lAll, p2All []float64
-	for _, br := range results {
-		l := br.Runs[pthsel.TargetL].ED2SavePct
-		p2 := br.Runs[pthsel.TargetP2].ED2SavePct
+	for _, pt := range sw.Points {
+		l := pt.Runs[0].ED2SavePct
+		p2 := pt.Runs[1].ED2SavePct
 		lAll = append(lAll, l)
 		p2All = append(p2All, p2)
-		rep.Rows = append(rep.Rows, ED2Row{Bench: br.Name, LSavePct: l, P2SavePct: p2})
+		rep.Rows = append(rep.Rows, ED2Row{Bench: pt.Bench, LSavePct: l, P2SavePct: p2})
 	}
 	rep.GMeanL = metrics.GMeanPct(lAll)
 	rep.GMeanP2 = metrics.GMeanPct(p2All)

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/critpath"
+	"repro/internal/energy"
+	"repro/internal/fingerprint"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+	"repro/internal/slicer"
+	"repro/internal/trace"
+)
+
+// Stage identifies one stage of the preparation pipeline — the small DAG
+//
+//	trace ──► profile ──► problems ──┬─► slices
+//	  │                              └─► curves ──┐
+//	  └────────────────► baseline ────────────────┴─► params
+//
+// Every stage artifact is cached under a content fingerprint derived from
+// exactly the configuration fields the stage reads (chained through its
+// upstream artifacts' fingerprints), so a sweep point that mutates one knob
+// rebuilds only the stages that actually depend on it:
+//
+//	trace    — (benchmark, input) alone; no configuration
+//	profile  — profile.Config (L1D/L2 geometry, stride prefetcher)
+//	problems — ProblemCoverage, MinMisses
+//	slices   — slicer.Config
+//	curves   — critpath.Config (core shape + hierarchy latencies)
+//	baseline — cpu.Config with the energy parameters zeroed (simulation
+//	           timing is independent of them; energy is recomputed from the
+//	           cached event counts per requesting configuration)
+//	params   — pthsel.DeriveConfig (latencies + energy model + floors)
+//	prepared — the assembled whole-config view (cheap; kept so repeated
+//	           figures over one configuration share a single assembly)
+type Stage string
+
+// Pipeline stages, in dependency order.
+const (
+	StageTrace    Stage = "trace"
+	StageProfile  Stage = "profile"
+	StageProblems Stage = "problems"
+	StageSlices   Stage = "slices"
+	StageCurves   Stage = "curves"
+	StageBaseline Stage = "baseline"
+	StageParams   Stage = "params"
+	StagePrepared Stage = "prepared"
+)
+
+// Stages lists every pipeline stage in dependency order (StagePrepared
+// last: the assembled whole-config view behind Prepares()).
+func Stages() []Stage {
+	return []Stage{StageTrace, StageProfile, StageProblems, StageSlices,
+		StageCurves, StageBaseline, StageParams, StagePrepared}
+}
+
+// problemsConfig is the configuration of the problem-load mining stage.
+type problemsConfig struct {
+	Coverage  float64
+	MinMisses int64
+}
+
+// stagePlan is one experiment Config projected onto the pipeline: each
+// stage's own config struct plus its chained content fingerprint.
+type stagePlan struct {
+	profileCfg  profile.Config
+	problemsCfg problemsConfig
+	slicerCfg   slicer.Config
+	critCfg     critpath.Config
+	timingCfg   cpu.Config
+	deriveCfg   pthsel.DeriveConfig
+
+	fps map[Stage]string
+}
+
+// timingConfig strips the processor configuration down to the fields that
+// influence simulated behaviour: the energy parameters are accounting-only
+// (they are read exactly once, after the last cycle, to convert event counts
+// into energy), so baselines are keyed — and simulated — without them.
+func timingConfig(c cpu.Config) cpu.Config {
+	c.Energy = energy.Params{}
+	return c
+}
+
+// deriveConfig projects an experiment Config onto the params-derivation
+// stage's inputs.
+func deriveConfig(cfg Config) pthsel.DeriveConfig {
+	h := cfg.CPU.Hier
+	return pthsel.DeriveConfig{
+		BWSEQproc: float64(cfg.CPU.FetchWidth),
+		MissLat:   float64(h.MemLatency),
+		LatL1:     float64(h.L1D.HitLatency),
+		LatL2:     float64(h.L1D.HitLatency + h.L2.HitLatency),
+		LatMem:    float64(h.L1D.HitLatency + h.L2.HitLatency + h.MemLatency),
+		Energy:    cfg.CPU.Energy,
+		MinDCptcm: 16,
+	}
+}
+
+// planFor computes the per-stage configs and content fingerprints of one
+// experiment configuration.
+func planFor(cfg Config) stagePlan {
+	p := stagePlan{
+		profileCfg:  profile.ConfigFromHier(cfg.CPU.Hier),
+		problemsCfg: problemsConfig{Coverage: cfg.ProblemCoverage, MinMisses: cfg.MinMisses},
+		slicerCfg:   cfg.Slicer,
+		critCfg:     critpathConfig(cfg),
+		timingCfg:   timingConfig(cfg.CPU),
+		deriveCfg:   deriveConfig(cfg),
+	}
+	fps := map[Stage]string{StageTrace: ""} // trace depends on (benchmark, input) alone
+	fps[StageProfile] = fingerprint.Chain(p.profileCfg.Fingerprint(), fps[StageTrace])
+	fps[StageProblems] = fingerprint.Chain(fingerprint.JSON(p.problemsCfg), fps[StageProfile])
+	fps[StageSlices] = fingerprint.Chain(p.slicerCfg.Fingerprint(), fps[StageProblems])
+	fps[StageCurves] = fingerprint.Chain(p.critCfg.Fingerprint(), fps[StageProblems])
+	fps[StageBaseline] = fingerprint.Chain(fingerprint.JSON(p.timingCfg), fps[StageTrace])
+	fps[StageParams] = fingerprint.Chain(p.deriveCfg.Fingerprint(), fps[StageBaseline], fps[StageCurves])
+	fps[StagePrepared] = fingerprint.JSON(cfg)
+	p.fps = fps
+	return p
+}
+
+// ------------------------------------------------------- stage functions --
+//
+// Each stage is a plain function of its upstream artifacts and its own
+// config struct; the Runner wraps them in the content-addressed store, and
+// the uncached paths (custom programs, the free Prepare) call them directly.
+
+func stageTrace(name string, input program.InputClass) (*trace.Trace, error) {
+	bm, err := program.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Run(bm.Build(input))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return tr, nil
+}
+
+func stageProblems(prof *profile.Profile, pc problemsConfig) []*profile.LoadStats {
+	return prof.ProblemLoads(pc.Coverage, pc.MinMisses)
+}
+
+func stageCurves(ctx context.Context, tr *trace.Trace, prof *profile.Profile,
+	problems []*profile.LoadStats, ccfg critpath.Config) (map[int32]critpath.Curve, error) {
+	cp := critpath.New(tr, prof, ccfg)
+	curves := make(map[int32]critpath.Curve, len(problems))
+	for _, ls := range problems {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		curves[ls.PC] = cp.CostCurve(ls.PC)
+	}
+	return curves, nil
+}
+
+func stageBaseline(ctx context.Context, name string, timingCfg cpu.Config, tr *trace.Trace) (*cpu.Result, error) {
+	base, err := Simulate(ctx, timingCfg, tr, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", name, err)
+	}
+	return base, nil
+}
+
+// baselineFor returns one configuration's view of a cached timing baseline:
+// a clone whose energy breakdown is recomputed from the recorded event
+// counts under that configuration's energy parameters. Simulation timing is
+// independent of the energy model, so this is bit-identical to re-running
+// the baseline under the full configuration — which is what lets sweep
+// points that only mutate energy knobs reuse the cached baseline L0/E0.
+func baselineFor(base *cpu.Result, p energy.Params) *cpu.Result {
+	out := base.Clone()
+	out.Energy = energy.Compute(p, out.Events)
+	return out
+}
+
+// assemblePrepared builds the whole-config view from stage artifacts. base
+// must already carry the requesting configuration's energy breakdown.
+func assemblePrepared(name string, tr *trace.Trace, prof *profile.Profile, trees []*slicer.Tree,
+	curves map[int32]critpath.Curve, base *cpu.Result, params pthsel.Params) *Prepared {
+	return &Prepared{
+		Name:     name,
+		Trace:    tr,
+		Prof:     prof,
+		Trees:    trees,
+		Curves:   curves,
+		Baseline: base,
+		Params:   params,
+	}
+}
+
+// --------------------------------------------------------- staged runner --
+
+// stage runs one pipeline stage through the content-addressed store,
+// emitting stage events and bumping the per-stage cold-execution counter.
+func (r *Runner) stage(ctx context.Context, name string, input program.InputClass,
+	st Stage, plan stagePlan, compute func() (any, error)) (any, error) {
+	key := artifactKey{name: name, input: input, stage: st, fp: plan.fps[st]}
+	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
+		r.stageCount(st).Add(1)
+		r.emit(Event{Kind: EventStageStart, Bench: name, Input: input.String(), Stage: string(st)})
+		v, cerr := compute()
+		r.emit(Event{Kind: EventStageDone, Bench: name, Input: input.String(), Stage: string(st), Err: cerr})
+		return v, cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if outcome == storeHit {
+		r.emit(Event{Kind: EventStageCached, Bench: name, Input: input.String(), Stage: string(st)})
+	}
+	return val, nil
+}
+
+// stagedPrepare assembles a Prepared from per-stage artifacts, computing
+// each missing stage at most once per engine (shared across every sweep
+// point, figure and campaign worker whose configuration agrees on the
+// fields that stage reads).
+func (r *Runner) stagedPrepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
+	plan := planFor(cfg)
+	trV, err := r.stage(ctx, name, input, StageTrace, plan, func() (any, error) {
+		return stageTrace(name, input)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := trV.(*trace.Trace)
+
+	profV, err := r.stage(ctx, name, input, StageProfile, plan, func() (any, error) {
+		return profile.Collect(tr, plan.profileCfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prof := profV.(*profile.Profile)
+
+	problemsV, err := r.stage(ctx, name, input, StageProblems, plan, func() (any, error) {
+		return stageProblems(prof, plan.problemsCfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	problems := problemsV.([]*profile.LoadStats)
+
+	treesV, err := r.stage(ctx, name, input, StageSlices, plan, func() (any, error) {
+		return slicer.BuildTrees(tr, prof, problems, plan.slicerCfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	trees := treesV.([]*slicer.Tree)
+
+	curvesV, err := r.stage(ctx, name, input, StageCurves, plan, func() (any, error) {
+		return stageCurves(ctx, tr, prof, problems, plan.critCfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	curves := curvesV.(map[int32]critpath.Curve)
+
+	baseV, err := r.stage(ctx, name, input, StageBaseline, plan, func() (any, error) {
+		return stageBaseline(ctx, name, plan.timingCfg, tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := baselineFor(baseV.(*cpu.Result), cfg.CPU.Energy)
+
+	paramsV, err := r.stage(ctx, name, input, StageParams, plan, func() (any, error) {
+		return plan.deriveCfg.Derive(float64(base.Cycles), base.Energy.Total(), base.IPC(), curves), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p := assemblePrepared(name, tr, prof, trees, curves, base, paramsV.(pthsel.Params))
+	p.Input = input
+	return p, nil
+}

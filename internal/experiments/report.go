@@ -336,6 +336,54 @@ func (f *Figure5Report) Render() string {
 	return b.String()
 }
 
+// SweepPointReport is one (benchmark, grid point) evaluation of a
+// declarative sweep: the point's per-axis labels and its per-target runs.
+type SweepPointReport struct {
+	Bench  string
+	Labels []string `json:",omitempty"` // one per axis; empty for the base point
+	Runs   []RunReport
+}
+
+// Point renders the per-axis labels as a single point name.
+func (p SweepPointReport) Point() string {
+	if len(p.Labels) == 0 {
+		return "base"
+	}
+	return strings.Join(p.Labels, "/")
+}
+
+// SweepReport is the structured result of a declarative multi-axis sweep:
+// the cartesian grid's points, ordered benchmark-major then row-major
+// across the axes (first axis slowest).
+type SweepReport struct {
+	Axes    []string `json:",omitempty"`
+	Targets []string
+	Points  []SweepPointReport
+}
+
+// Render formats the sweep grid table.
+func (s *SweepReport) Render() string {
+	var b strings.Builder
+	axes := strings.Join(s.Axes, " × ")
+	if axes == "" {
+		axes = "base configuration"
+	}
+	fmt.Fprintf(&b, "Sweep: %s (%d points)\n", axes, len(s.Points))
+	fmt.Fprintf(&b, "%-10s %-18s", "bench", "point")
+	for _, tgt := range s.Targets {
+		fmt.Fprintf(&b, " |%22s", tgt+" (ipc/energy/ED)")
+	}
+	fmt.Fprintln(&b)
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%-10s %-18s", pt.Bench, pt.Point())
+		for _, r := range pt.Runs {
+			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
 // ED2Row is one benchmark's L-vs-P2 ED² comparison.
 type ED2Row struct {
 	Bench     string

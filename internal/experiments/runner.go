@@ -2,15 +2,15 @@ package experiments
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fingerprint"
 	"repro/internal/program"
 	"repro/internal/pthsel"
 )
@@ -20,23 +20,30 @@ type EventKind string
 
 // Observer event kinds, in lifecycle order.
 const (
-	EventPrepareStart  EventKind = "prepare-start"  // a cold preparation began
-	EventPrepareDone   EventKind = "prepare-done"   // a cold preparation finished
-	EventPrepareCached EventKind = "prepare-cached" // the artifact store satisfied a preparation
+	EventPrepareStart  EventKind = "prepare-start"  // a cold preparation assembly began
+	EventPrepareDone   EventKind = "prepare-done"   // a cold preparation assembly finished
+	EventPrepareCached EventKind = "prepare-cached" // the artifact store satisfied a whole preparation
+	EventStageStart    EventKind = "stage-start"    // a cold pipeline stage began (Stage names it)
+	EventStageDone     EventKind = "stage-done"     // a cold pipeline stage finished
+	EventStageCached   EventKind = "stage-cached"   // the artifact store satisfied a pipeline stage
 	EventRunStart      EventKind = "run-start"      // one (benchmark, target) measurement began
 	EventRunDone       EventKind = "run-done"       // one (benchmark, target) measurement finished
 	EventBenchDone     EventKind = "bench-done"     // one campaign benchmark finished (Done/Total track progress)
+	EventPointDone     EventKind = "point-done"     // one sweep grid point finished (Point labels it)
 )
 
 // Event is one progress notification delivered to a Runner's observer.
 // Fields beyond Kind and Bench are populated where meaningful: Input for
-// preparation events, Target for run events, Done/Total for campaign
+// preparation and stage events, Stage for stage events, Target for run
+// events, Point for sweep progress, Done/Total for campaign and sweep
 // progress, Err when the step failed.
 type Event struct {
 	Kind   EventKind
 	Bench  string
 	Input  string
+	Stage  string
 	Target string
+	Point  string
 	Done   int
 	Total  int
 	Err    error
@@ -47,27 +54,11 @@ type Event struct {
 	SimCyclesPerSec float64
 }
 
-// prepKey identifies one artifact-store entry: a benchmark prepared on one
-// input under one exact configuration.
-type prepKey struct {
-	name        string
-	input       program.InputClass
-	fingerprint string
-}
-
-// prepEntry is a single-flight store slot: the first requester computes,
-// everyone else waits on done.
-type prepEntry struct {
-	done chan struct{}
-	prep *Prepared
-	err  error
-}
-
-// Runner is the experiment engine behind the public Lab façade. It owns a
-// memoizing artifact store keyed by (benchmark, input, config fingerprint),
-// so every figure, table, sweep and campaign sharing one Runner shares one
-// preparation per benchmark, and a bounded worker pool for multi-benchmark
-// fan-out.
+// Runner is the experiment engine behind the public Lab façade. It owns the
+// staged artifact store — every pipeline stage cached under a per-stage
+// content fingerprint, so figures, sweeps, studies and campaign workers
+// sharing one Runner share every upstream artifact their configurations
+// agree on — and a bounded worker pool for multi-benchmark fan-out.
 type Runner struct {
 	cfg         Config
 	parallelism int
@@ -75,10 +66,10 @@ type Runner struct {
 
 	obsMu sync.Mutex // serializes observer callbacks
 
-	mu    sync.Mutex
-	store map[prepKey]*prepEntry
+	store *artifactStore
 
-	prepares atomic.Int64 // cold preparations actually executed
+	prepares   atomic.Int64   // whole-config preparations assembled cold
+	stageColds []atomic.Int64 // cold executions per pipeline stage, indexed by stageIndex
 }
 
 // NewRunner creates an engine over cfg. parallelism bounds concurrent
@@ -92,16 +83,50 @@ func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
 		cfg:         cfg,
 		parallelism: parallelism,
 		observe:     observe,
-		store:       map[prepKey]*prepEntry{},
+		store:       newArtifactStore(),
+		stageColds:  make([]atomic.Int64, len(stageIndex)),
 	}
 }
 
 // Config returns the engine's base configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
-// Prepares reports how many cold preparations the engine has executed —
-// the probe behind the O(benchmarks) preparation guarantee.
+// Prepares reports how many whole-config preparations the engine has
+// assembled cold — the probe behind the O(benchmarks) preparation
+// guarantee. Sweep points count one each even when every underlying stage
+// was cached; StagePrepares observes the per-stage reuse beneath them.
 func (r *Runner) Prepares() int64 { return r.prepares.Load() }
+
+// stageIndex maps each pipeline stage to its counter slot, derived from
+// Stages() so the stage list is maintained in exactly one place.
+var stageIndex = func() map[Stage]int {
+	m := make(map[Stage]int, len(Stages()))
+	for i, st := range Stages() {
+		m[st] = i
+	}
+	return m
+}()
+
+func (r *Runner) stageCount(st Stage) *atomic.Int64 {
+	i, ok := stageIndex[st]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown pipeline stage %q", st))
+	}
+	return &r.stageColds[i]
+}
+
+// StagePrepares reports how many cold executions of one pipeline stage the
+// engine has performed, across all benchmarks and configurations — the
+// observable behind the per-stage reuse guarantee (a 3-point sweep along an
+// axis a stage never reads executes that stage once per benchmark).
+// StagePrepares(StagePrepared) equals Prepares().
+func (r *Runner) StagePrepares(st Stage) int64 {
+	i, ok := stageIndex[st]
+	if !ok {
+		return 0
+	}
+	return r.stageColds[i].Load()
+}
 
 func (r *Runner) emit(ev Event) {
 	if r.observe == nil {
@@ -112,82 +137,73 @@ func (r *Runner) emit(ev Event) {
 	r.observe(ev)
 }
 
-// fingerprint hashes a configuration into the artifact-store key, so sweeps
-// that mutate the config (Figure 5) get distinct entries while repeated
-// figures over the same config share one.
-func fingerprint(cfg Config) string {
-	raw, err := json.Marshal(cfg)
+// Prepare returns the (benchmark, input, cfg) preparation. The assembled
+// whole-config view is computed at most once per engine, and each of its
+// pipeline stages is cached individually under a per-stage content
+// fingerprint, so two configurations that agree on the fields a stage reads
+// share that stage's artifact (a sweep point that mutates one knob rebuilds
+// only the stages downstream of it). Concurrent requests for the same
+// artifact share a single in-flight computation. Failed computations are
+// cached (a benchmark that cannot prepare will not prepare on retry) except
+// when the failure was a context cancellation, which is the waiting
+// caller's problem, not the artifact's.
+func (r *Runner) Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
+	// The outer key needs only the whole-config fingerprint; the full stage
+	// plan is computed once, on a cold miss, inside stagedPrepare.
+	key := artifactKey{name: name, input: input, stage: StagePrepared, fp: fingerprint.JSON(cfg)}
+	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
+		r.prepares.Add(1)
+		r.stageCount(StagePrepared).Add(1)
+		r.emit(Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
+		p, perr := r.stagedPrepare(ctx, name, input, cfg)
+		r.emit(Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: perr})
+		return p, perr
+	})
 	if err != nil {
-		// Config is a tree of plain values; Marshal cannot fail on it.
-		panic(fmt.Sprintf("experiments: config fingerprint: %v", err))
+		return nil, err
 	}
-	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:8])
+	if outcome == storeHit {
+		r.emit(Event{Kind: EventPrepareCached, Bench: name, Input: input.String()})
+	}
+	return val.(*Prepared), nil
 }
 
-// Prepare returns the (benchmark, input, cfg) preparation, computing it at
-// most once per engine. Concurrent requests for the same key share a single
-// in-flight computation. Failed computations are cached (a benchmark that
-// cannot prepare will not prepare on retry) except when the failure was a
-// context cancellation, which is the waiting caller's problem, not the
-// artifact's.
-func (r *Runner) Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
-	key := prepKey{name: name, input: input, fingerprint: fingerprint(cfg)}
-	for {
-		r.mu.Lock()
-		if e, ok := r.store[key]; ok {
-			r.mu.Unlock()
-			// A true store hit is an entry that was already complete when we
-			// found it; waiting for a concurrent in-flight preparation shares
-			// its result but is not a cache hit (the prepare-start/done events
-			// of the computing caller already describe that work).
-			hit := false
-			select {
-			case <-e.done:
-				hit = true
-			default:
-			}
-			select {
-			case <-e.done:
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-			if e.err == nil {
-				if hit {
-					r.emit(Event{Kind: EventPrepareCached, Bench: name, Input: input.String()})
-				}
-				return e.prep, nil
-			}
-			if !isContextErr(e.err) {
-				return nil, e.err
-			}
-			// The computing caller was cancelled; retire the poisoned entry
-			// (unless someone already replaced it) and retry under our ctx.
-			r.mu.Lock()
-			if r.store[key] == e {
-				delete(r.store, key)
-			}
-			r.mu.Unlock()
-			continue
-		}
-		e := &prepEntry{done: make(chan struct{})}
-		r.store[key] = e
-		r.mu.Unlock()
-
-		r.prepares.Add(1)
-		r.emit(Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
-		e.prep, e.err = Prepare(ctx, name, input, cfg)
-		close(e.done)
-		if isContextErr(e.err) {
-			r.mu.Lock()
-			if r.store[key] == e {
-				delete(r.store, key)
-			}
-			r.mu.Unlock()
-		}
-		r.emit(Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: e.err})
-		return e.prep, e.err
+// validateNames rejects unknown and silently-duplicated benchmark names
+// with a single error listing every problem and the valid set. Entry points
+// that fan out over benchmark lists (campaigns, figures, sweeps) call it up
+// front so a typo fails fast instead of surfacing as one opaque
+// per-benchmark failure deep in a long run.
+func validateNames(names []string) error {
+	if len(names) == 0 {
+		return errors.New("experiments: no benchmarks given")
 	}
+	valid := make(map[string]bool)
+	for _, n := range program.Names() {
+		valid[n] = true
+	}
+	seen := make(map[string]bool, len(names))
+	var unknown, dups []string
+	for _, n := range names {
+		if !valid[n] {
+			unknown = append(unknown, n)
+		} else if seen[n] {
+			dups = append(dups, n)
+		}
+		seen[n] = true
+	}
+	if len(unknown) == 0 && len(dups) == 0 {
+		return nil
+	}
+	all := program.Names()
+	sort.Strings(all)
+	var parts []string
+	if len(unknown) > 0 {
+		parts = append(parts, fmt.Sprintf("unknown benchmarks %s", strings.Join(unknown, ", ")))
+	}
+	if len(dups) > 0 {
+		parts = append(parts, fmt.Sprintf("duplicated benchmarks %s", strings.Join(dups, ", ")))
+	}
+	return fmt.Errorf("experiments: %s (valid: %s)", strings.Join(parts, "; "), strings.Join(all, ", "))
 }
 
 func isContextErr(err error) bool {
@@ -261,10 +277,15 @@ func (r *Runner) benchResults(ctx context.Context, names []string, targets []pth
 // Campaign evaluates names × targets on the pool and reports per-benchmark
 // outcomes instead of failing the whole batch on the first error: every
 // benchmark that succeeded carries its baseline and runs, every one that
-// failed carries its error string. The returned error is non-nil only when
-// the context was cancelled; per-benchmark failures are reported through
-// the CampaignReport (see its Err method).
+// failed carries its error string. Unknown or duplicated benchmark names
+// are rejected up front (see validateNames); beyond that, the returned
+// error is non-nil only when the context was cancelled, and per-benchmark
+// runtime failures are reported through the CampaignReport (see its Err
+// method).
 func (r *Runner) Campaign(ctx context.Context, names []string, targets []pthsel.Target) (*CampaignReport, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
 	entries := make([]CampaignBench, len(names))
 	for i, name := range names {
 		entries[i] = CampaignBench{Name: name}

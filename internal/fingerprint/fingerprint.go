@@ -1,0 +1,41 @@
+// Package fingerprint derives short content fingerprints from plain
+// configuration values. The staged preparation pipeline keys every artifact
+// on the fingerprint of exactly the configuration fields the producing stage
+// reads (plus its upstream artifacts' fingerprints), so mutating a knob a
+// stage never looks at cannot invalidate its cache entries.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON fingerprints a tree of plain values (a stage-config struct) by
+// hashing its canonical JSON encoding. The value must be JSON-marshalable;
+// stage configs are by construction (plain numeric/string fields only).
+func JSON(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Stage configs are trees of plain values; Marshal cannot fail on
+		// them, and a silent fallback would alias distinct configurations.
+		panic(fmt.Sprintf("fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Chain combines a stage's own config fingerprint with the fingerprints of
+// its upstream artifacts, making the result content-addressed through the
+// whole dependency chain: a change anywhere upstream re-fingerprints every
+// stage built on top of it, and nothing else.
+func Chain(own string, upstream ...string) string {
+	h := sha256.New()
+	h.Write([]byte(own))
+	for _, up := range upstream {
+		h.Write([]byte{0}) // unambiguous separator
+		h.Write([]byte(up))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

@@ -9,8 +9,34 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/fingerprint"
 	"repro/internal/trace"
 )
+
+// Config captures exactly the configuration Collect reads: the data-side
+// cache geometries and the stride prefetcher. It deliberately excludes every
+// other hierarchy field (memory latency, bus, TLBs, MSHRs, L1I) — profiling
+// is functional, so those cannot change its output, and the staged pipeline
+// keys profile artifacts on this struct alone.
+type Config struct {
+	L1D, L2       cache.Config
+	StrideEntries int
+	StrideDegree  int
+}
+
+// ConfigFromHier projects a full hierarchy configuration onto the fields
+// profiling depends on.
+func ConfigFromHier(h cache.HierConfig) Config {
+	return Config{
+		L1D:           h.L1D,
+		L2:            h.L2,
+		StrideEntries: h.StrideEntries,
+		StrideDegree:  h.StrideDegree,
+	}
+}
+
+// Fingerprint returns the content fingerprint of the profiling stage config.
+func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
 
 // Service-level codes recorded per dynamic instruction.
 const (
@@ -49,12 +75,12 @@ type Profile struct {
 // Collect runs a functional (timing-free) simulation of the data cache
 // hierarchy over the trace, attributing misses to static loads. Stores are
 // simulated for their cache side effects but not recorded.
-func Collect(tr *trace.Trace, hier cache.HierConfig) *Profile {
-	l1 := cache.New(hier.L1D)
-	l2 := cache.New(hier.L2)
+func Collect(tr *trace.Trace, cfg Config) *Profile {
+	l1 := cache.New(cfg.L1D)
+	l2 := cache.New(cfg.L2)
 	var pref *cache.StridePrefetcher
-	if hier.StrideEntries > 0 {
-		pref = cache.NewStridePrefetcher(hier.StrideEntries, hier.StrideDegree)
+	if cfg.StrideEntries > 0 {
+		pref = cache.NewStridePrefetcher(cfg.StrideEntries, cfg.StrideDegree)
 	}
 	p := &Profile{
 		ExecCounts: make([]int64, len(tr.Prog.Insts)),

@@ -8,12 +8,12 @@ import (
 	"repro/internal/trace"
 )
 
-// noPref returns a hierarchy config with the stride prefetcher disabled so
+// noPref returns a profiling config with the stride prefetcher disabled so
 // the synthetic stride loops below actually miss.
-func noPref() cache.HierConfig {
+func noPref() Config {
 	h := cache.DefaultHierConfig()
 	h.StrideEntries = 0
-	return h
+	return ConfigFromHier(h)
 }
 
 // mixedLoop builds a loop with one always-missing load (64B stride over a
@@ -117,7 +117,7 @@ func TestProblemLoadsCoverageAndThreshold(t *testing.T) {
 func TestStridePrefetcherSuppressesStreamingMisses(t *testing.T) {
 	p, missPC, _ := mixedLoop(300)
 	tr := trace.MustRun(p)
-	with := Collect(tr, cache.DefaultHierConfig())
+	with := Collect(tr, ConfigFromHier(cache.DefaultHierConfig()))
 	without := Collect(tr, noPref())
 	lw := with.Loads[int32(missPC)]
 	lo := without.Loads[int32(missPC)]

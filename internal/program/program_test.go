@@ -60,7 +60,7 @@ func TestAllBenchmarksRun(t *testing.T) {
 				if tr.Len() > 2_000_000 {
 					t.Errorf("%d dynamic instructions: too large for the experiment budget", tr.Len())
 				}
-				prof := profile.Collect(tr, cache.DefaultHierConfig())
+				prof := profile.Collect(tr, profile.ConfigFromHier(cache.DefaultHierConfig()))
 				if prof.TotalL2 < 1000 {
 					t.Errorf("only %d L2 misses: not an L2-bound workload", prof.TotalL2)
 				}

@@ -1,0 +1,48 @@
+package pthsel
+
+import (
+	"repro/internal/critpath"
+	"repro/internal/energy"
+	"repro/internal/fingerprint"
+)
+
+// DeriveConfig captures exactly the configuration the selection-params
+// derivation stage reads: sequencing bandwidth, hierarchy latencies, the
+// energy model and the candidate coverage floor. Everything else in Params
+// is measured (baseline cycles, energy, IPC) or an upstream artifact (the
+// criticality curves), so the staged pipeline keys the params artifact on
+// this struct plus the baseline and curve fingerprints — which is what lets
+// an energy-only sweep point rebuild params without re-simulating.
+type DeriveConfig struct {
+	BWSEQproc float64 // processor sequencing width (L5)
+	MissLat   float64 // Lcm: full L2-miss latency (L5)
+
+	// Per-hierarchy-level load-use latencies (body execution estimates).
+	LatL1, LatL2, LatMem float64
+
+	Energy energy.Params // supplies the E8 constants and Eidle/c
+
+	// MinDCptcm drops candidates covering fewer (scaled) misses.
+	MinDCptcm float64
+}
+
+// Fingerprint returns the content fingerprint of the derivation config.
+func (c DeriveConfig) Fingerprint() string { return fingerprint.JSON(c) }
+
+// Derive assembles the selection Params from the baseline measurements
+// (unoptimized cycles L0, energy E0 and IPC) and the criticality curves.
+func (c DeriveConfig) Derive(l0, e0, ipc float64, curves map[int32]critpath.Curve) Params {
+	return Params{
+		BWSEQproc: c.BWSEQproc,
+		BWSEQmt:   ipc,
+		MissLat:   c.MissLat,
+		LatL1:     c.LatL1,
+		LatL2:     c.LatL2,
+		LatMem:    c.LatMem,
+		Energy:    c.Energy,
+		L0:        l0,
+		E0:        e0,
+		Curves:    curves,
+		MinDCptcm: c.MinDCptcm,
+	}
+}

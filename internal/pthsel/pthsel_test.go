@@ -108,7 +108,7 @@ func testWorkload(t *testing.T, iters, filler int) (*trace.Trace, *profile.Profi
 	// pure stride walk, and the tests are about selection mechanics.
 	hier := cache.DefaultHierConfig()
 	hier.StrideEntries = 0
-	prof := profile.Collect(tr, hier)
+	prof := profile.Collect(tr, profile.ConfigFromHier(hier))
 	problems := prof.ProblemLoads(0.9, 50)
 	if len(problems) == 0 {
 		t.Fatal("workload has no problem loads")

@@ -14,6 +14,7 @@
 package slicer
 
 import (
+	"repro/internal/fingerprint"
 	"repro/internal/isa"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -32,6 +33,10 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{Window: 2048, MaxLen: 64, MaxSamples: 4000}
 }
+
+// Fingerprint returns the content fingerprint of the slicing stage config —
+// the complete set of knobs BuildTrees reads beyond its input artifacts.
+func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
 
 // Node is one slice-tree node: a candidate (trigger, body) pair.
 type Node struct {

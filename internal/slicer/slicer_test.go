@@ -81,7 +81,7 @@ func buildTestTrees(t *testing.T, p *isa.Program, cfg Config) ([]*Tree, *trace.T
 	hier := cache.DefaultHierConfig()
 	hier.L1D = cache.Config{SizeBytes: 1 << 10, Ways: 2, BlockBytes: 64, HitLatency: 2}
 	hier.L2 = cache.Config{SizeBytes: 4 << 10, Ways: 4, BlockBytes: 64, HitLatency: 12}
-	prof := profile.Collect(tr, hier)
+	prof := profile.Collect(tr, profile.ConfigFromHier(hier))
 	problems := prof.ProblemLoads(0.95, 10)
 	if len(problems) == 0 {
 		t.Fatal("no problem loads in test workload")

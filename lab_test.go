@@ -148,10 +148,15 @@ func TestLabConfigIsolation(t *testing.T) {
 }
 
 // TestCampaignPartialResults: one bad benchmark must not discard the rest.
+// Unknown names are rejected up front nowadays, so the runtime failure is
+// injected through the deadlock guard: a cycle budget that gap's baseline
+// (~400k cycles) fits under but mcf's (~1M cycles) exceeds.
 func TestCampaignPartialResults(t *testing.T) {
 	ctx := context.Background()
-	lab := New(WithParallelism(2))
-	rep, err := lab.RunCampaign(ctx, []string{"gap", "nonesuch"}, []Target{TargetL})
+	cfg := DefaultConfig()
+	cfg.CPU.MaxCycles = 600_000
+	lab := New(WithConfig(cfg), WithParallelism(2))
+	rep, err := lab.RunCampaign(ctx, []string{"gap", "mcf"}, []Target{TargetL})
 	if err != nil {
 		t.Fatalf("campaign returned %v; per-benchmark errors belong in the report", err)
 	}
@@ -165,10 +170,10 @@ func TestCampaignPartialResults(t *testing.T) {
 	if good.Name != "gap" || good.Error != "" || good.Baseline == nil || len(good.Runs) != 1 {
 		t.Errorf("good entry malformed: %+v", good)
 	}
-	if bad.Name != "nonesuch" || bad.Error == "" || bad.Baseline != nil {
+	if bad.Name != "mcf" || bad.Error == "" || bad.Baseline != nil {
 		t.Errorf("bad entry malformed: %+v", bad)
 	}
-	if rep.Err() == nil || !strings.Contains(rep.Err().Error(), "nonesuch") {
+	if rep.Err() == nil || !strings.Contains(rep.Err().Error(), "mcf") {
 		t.Errorf("joined error = %v", rep.Err())
 	}
 
@@ -181,7 +186,7 @@ func TestCampaignPartialResults(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded.Err() == nil || !strings.Contains(decoded.Err().Error(), "nonesuch") {
+	if decoded.Err() == nil || !strings.Contains(decoded.Err().Error(), "mcf") {
 		t.Errorf("decoded joined error = %v", decoded.Err())
 	}
 	if decoded.Render() != rep.Render() {
@@ -222,7 +227,7 @@ func TestObserverProgressEvents(t *testing.T) {
 			benchDone = append(benchDone, ev)
 		}
 	}))
-	if _, err := lab.RunCampaign(ctx, []string{"gap", "nonesuch"}, []Target{TargetL}); err != nil {
+	if _, err := lab.RunCampaign(ctx, []string{"gap", "twolf"}, []Target{TargetL}); err != nil {
 		t.Fatal(err)
 	}
 	if len(benchDone) != 2 {
@@ -232,6 +237,44 @@ func TestObserverProgressEvents(t *testing.T) {
 		if ev.Total != 2 || ev.Done < 1 || ev.Done > 2 {
 			t.Errorf("bad progress event: %+v", ev)
 		}
+	}
+}
+
+// TestLabRejectsBadBenchmarkNames: every fan-out entry point must reject
+// unknown and silently-duplicated benchmark names up front with one error
+// listing the valid set — no partial work, no per-benchmark failure deep in
+// a long run.
+func TestLabRejectsBadBenchmarkNames(t *testing.T) {
+	ctx := context.Background()
+	lab := New()
+	entryPoints := map[string]func([]string) error{
+		"RunCampaign": func(names []string) error {
+			_, err := lab.RunCampaign(ctx, names, []Target{TargetL})
+			return err
+		},
+		"Figure2":  func(names []string) error { _, err := lab.Figure2(ctx, names); return err },
+		"Figure3":  func(names []string) error { _, err := lab.Figure3(ctx, names); return err },
+		"Table3":   func(names []string) error { _, err := lab.Table3(ctx, names); return err },
+		"Figure4":  func(names []string) error { _, err := lab.Figure4(ctx, names); return err },
+		"Figure5":  func(names []string) error { _, err := lab.Figure5(ctx, SweepIdleFactor, names); return err },
+		"ED2Study": func(names []string) error { _, err := lab.ED2Study(ctx, names); return err },
+		"Sweep": func(names []string) error {
+			_, err := lab.Sweep(ctx, Grid{Benchmarks: names, Targets: []Target{TargetL}})
+			return err
+		},
+	}
+	for name, call := range entryPoints {
+		err := call([]string{"gap", "nonesuch"})
+		if err == nil || !strings.Contains(err.Error(), "nonesuch") || !strings.Contains(err.Error(), "bzip2") {
+			t.Errorf("%s(unknown): err = %v, want unknown-name error listing valid benchmarks", name, err)
+		}
+		err = call([]string{"gap", "gap"})
+		if err == nil || !strings.Contains(err.Error(), "duplicated") {
+			t.Errorf("%s(duplicate): err = %v, want duplicate-name error", name, err)
+		}
+	}
+	if lab.Prepares() != 0 {
+		t.Errorf("rejected calls still prepared %d benchmarks", lab.Prepares())
 	}
 }
 

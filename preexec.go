@@ -104,6 +104,18 @@ type (
 	EventKind = experiments.EventKind
 	// SweepAxis identifies a Figure 5 sensitivity axis.
 	SweepAxis = experiments.SweepAxis
+	// Stage identifies one stage of the staged preparation pipeline
+	// (trace → profile → problems → slices/curves, trace → baseline →
+	// params); see Lab.StagePrepares.
+	Stage = experiments.Stage
+	// Grid declares a multi-axis sensitivity sweep (cartesian product of
+	// axes × benchmarks × targets); see Lab.Sweep.
+	Grid = experiments.Grid
+	// Axis is one named dimension of a sweep Grid.
+	Axis = experiments.Axis
+	// AxisPoint is one point on an Axis: a label plus the configuration
+	// mutation realizing it.
+	AxisPoint = experiments.AxisPoint
 
 	// Report is a structured, JSON-marshalable experiment artifact with a
 	// Render method producing the human-readable table.
@@ -118,6 +130,10 @@ type (
 	Figure4Report = experiments.Figure4Report
 	// Figure5Report holds one sensitivity sweep.
 	Figure5Report = experiments.Figure5Report
+	// SweepReport holds a declarative multi-axis sweep grid's results.
+	SweepReport = experiments.SweepReport
+	// SweepPointReport is one (benchmark, grid point) sweep evaluation.
+	SweepPointReport = experiments.SweepPointReport
 	// ED2Report holds the ED² study.
 	ED2Report = experiments.ED2Report
 	// CampaignReport holds a campaign's partial results and per-run errors.
@@ -145,14 +161,30 @@ const (
 	SweepL2Size     = experiments.SweepL2Size
 )
 
+// Preparation pipeline stages, in dependency order (see Lab.StagePrepares).
+const (
+	StageTrace    = experiments.StageTrace
+	StageProfile  = experiments.StageProfile
+	StageProblems = experiments.StageProblems
+	StageSlices   = experiments.StageSlices
+	StageCurves   = experiments.StageCurves
+	StageBaseline = experiments.StageBaseline
+	StageParams   = experiments.StageParams
+	StagePrepared = experiments.StagePrepared
+)
+
 // Observer event kinds.
 const (
 	EventPrepareStart  = experiments.EventPrepareStart
 	EventPrepareDone   = experiments.EventPrepareDone
 	EventPrepareCached = experiments.EventPrepareCached
+	EventStageStart    = experiments.EventStageStart
+	EventStageDone     = experiments.EventStageDone
+	EventStageCached   = experiments.EventStageCached
 	EventRunStart      = experiments.EventRunStart
 	EventRunDone       = experiments.EventRunDone
 	EventBenchDone     = experiments.EventBenchDone
+	EventPointDone     = experiments.EventPointDone
 )
 
 // DefaultConfig returns the paper's configuration: 6-wide 15-stage core,
@@ -219,10 +251,21 @@ func New(opts ...Option) *Lab {
 // Config returns the engine's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-// Prepares reports how many cold preparations the engine has executed; the
-// artifact store keeps it at one per (benchmark, input, configuration)
-// regardless of how many figures run.
+// Prepares reports how many whole-config preparations the engine has
+// assembled cold; the artifact store keeps it at one per (benchmark, input,
+// configuration) regardless of how many figures run. Sweep points count one
+// each even when every underlying pipeline stage was cached — use
+// StagePrepares to observe the per-stage reuse beneath them.
 func (l *Lab) Prepares() int64 { return l.run.Prepares() }
+
+// StagePrepares reports how many cold executions of one preparation
+// pipeline stage the engine has performed (generalizing Prepares, which
+// equals StagePrepares(StagePrepared)). It is the observable behind the
+// per-stage reuse guarantee: a mutated knob re-fingerprints only the
+// stages that read it, so a 3-point sweep along an axis a stage never
+// looks at (e.g. idle factor or memory latency for trace/profile/slices)
+// executes that stage exactly once per benchmark.
+func (l *Lab) StagePrepares(stage Stage) int64 { return l.run.StagePrepares(stage) }
 
 // Benchmark builds a named synthetic workload on its Train input. Unknown
 // names return an error; use Benchmarks for the list.
@@ -340,6 +383,31 @@ func (l *Lab) Figure5(ctx context.Context, axis SweepAxis, names []string) (*Fig
 func (l *Lab) ED2Study(ctx context.Context, names []string) (*ED2Report, error) {
 	return l.run.ED2Study(ctx, names)
 }
+
+// Sweep evaluates a declarative multi-axis sensitivity grid: the cartesian
+// product of the grid's axes, for every benchmark, under every target
+// (default: the paper's L, E and P). Points are prepared through the staged
+// artifact store, so a grid's points share every upstream artifact their
+// configurations agree on — a 3-point idle-factor or memory-latency sweep
+// performs one trace, one profile and one slice-tree build per benchmark,
+// not three. Per-point progress is streamed to the observer as
+// EventPointDone events.
+//
+//	rep, err := lab.Sweep(ctx, preexec.Grid{
+//	        Axes:       []preexec.Axis{preexec.GridAxis(preexec.SweepIdleFactor), preexec.GridAxis(preexec.SweepMemLatency)},
+//	        Benchmarks: []string{"mcf", "twolf"},
+//	})
+func (l *Lab) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
+	return l.run.Sweep(ctx, g)
+}
+
+// GridAxis converts a Figure 5 sensitivity axis into a declarative sweep
+// axis (the paper's three points).
+func GridAxis(axis SweepAxis) Axis { return experiments.GridAxis(axis) }
+
+// ParseSweepAxis parses a sensitivity-axis name ("idle", "mem", "l2", or
+// the canonical axis names) as used by cmd/sweep and the paper's figures.
+func ParseSweepAxis(s string) (SweepAxis, error) { return experiments.ParseSweepAxis(s) }
 
 // Figure5Benchmarks returns the paper's per-axis benchmark triples.
 func Figure5Benchmarks(axis SweepAxis) []string { return experiments.Figure5Benchmarks(axis) }
