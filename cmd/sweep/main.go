@@ -11,6 +11,14 @@
 //	sweep -axis mem -json                   # machine-readable artifact
 //	                                        # (render with: report -render -)
 //
+// Generated workloads join the sweep through the repeatable -gen flag,
+// taking the generator spec grammar family:seed[:knob=value,...]. With -gen
+// alone the grid sweeps only the generated workloads; adding -bench or -all
+// mixes built-ins in:
+//
+//	sweep -axis idle -gen pointer-chase:7 -gen hash-probe:2:loads=2
+//	sweep -axis mem -all -gen tree-walk:9:ws=524288
+//
 // Benchmark names are validated by the Lab engine itself: unknown or
 // duplicated names fail fast with the valid set listed.
 package main
@@ -34,6 +42,15 @@ func main() {
 	targetNames := flag.String("targets", "", "comma-separated selection targets (default: L,E,P)")
 	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit the JSON artifact instead of the rendered table")
+	var workloads []preexec.WorkloadPoint
+	flag.Func("gen", "generated workload spec family:seed[:knob=value,...] (repeatable)", func(text string) error {
+		spec, err := preexec.ParseWorkloadSpec(text)
+		if err != nil {
+			return err
+		}
+		workloads = append(workloads, preexec.WorkloadPoint{Label: text, Spec: spec})
+		return nil
+	})
 	flag.Parse()
 
 	var axes []preexec.Axis
@@ -55,6 +72,8 @@ func main() {
 		names = preexec.PaperBenchmarks()
 	} else if *bench != "" {
 		names = strings.Split(*bench, ",")
+	} else if len(workloads) > 0 {
+		names = nil // -gen alone sweeps only the generated workloads
 	}
 
 	var targets []preexec.Target
@@ -84,7 +103,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	rep, err := lab.Sweep(ctx, preexec.Grid{Axes: axes, Benchmarks: names, Targets: targets})
+	rep, err := lab.Sweep(ctx, preexec.Grid{Axes: axes, Benchmarks: names, Workloads: workloads, Targets: targets})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)

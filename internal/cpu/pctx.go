@@ -118,7 +118,15 @@ func (c *pctx) init(pt *PThread, spawnID, statIdx int32, s *Simulator) {
 		c.dep2[j] = c.depFor(in.ReadsSrc2(), in.Src2, bodyWriter[:], s)
 		switch {
 		case in.IsALU():
-			v := in.Eval(regs[in.Src1], regs[in.Src2])
+			v, err := in.Eval(regs[in.Src1], regs[in.Src2])
+			if err != nil {
+				// Unreachable after PThread.Validate (bodies are ALU/Load/Nop
+				// only), but a body that somehow defies ALU semantics squashes
+				// like a wild address instead of crashing the simulation.
+				c.abortAt = j
+				s.pthStats[statIdx].Aborted++
+				return
+			}
 			c.vals[j] = v
 			if in.HasDst() {
 				regs[in.Dst] = v

@@ -31,6 +31,9 @@ func (p *PThread) Validate() error {
 		if !in.IsALU() && !in.IsLoad() && in.Op != isa.Nop {
 			return fmt.Errorf("p-thread %d: body[%d] = %s not executable in lightweight mode", p.ID, i, in)
 		}
+		if err := in.ValidateRegs(); err != nil {
+			return fmt.Errorf("p-thread %d: body[%d]: %w", p.ID, i, err)
+		}
 	}
 	if len(p.Targets) == 0 {
 		return fmt.Errorf("p-thread %d: no target loads", p.ID)

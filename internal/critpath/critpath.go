@@ -53,7 +53,7 @@ func DefaultConfig(h cache.HierConfig) Config {
 // Fingerprint returns the content fingerprint of the criticality stage
 // config — the complete set of knobs the analyzer reads beyond its input
 // artifacts, so curve caches are invalidated by exactly these fields.
-func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
+func (c Config) Fingerprint() (string, error) { return fingerprint.JSON(c) }
 
 // Curve is the latency-reduction → execution-time-reduction function for one
 // static problem load, sampled at 25%, 50%, 75% and 100% of the full miss

@@ -117,7 +117,10 @@ func PrepareTrace(ctx context.Context, name string, tr *trace.Trace, cfg Config)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	plan := planFor(cfg)
+	plan, err := planFor(cfg, "")
+	if err != nil {
+		return nil, err
+	}
 	prof := profile.Collect(tr, plan.profileCfg)
 	problems := stageProblems(prof, plan.problemsCfg)
 	trees := slicer.BuildTrees(tr, prof, problems, plan.slicerCfg)

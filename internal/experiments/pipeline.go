@@ -102,8 +102,14 @@ func deriveConfig(cfg Config) pthsel.DeriveConfig {
 }
 
 // planFor computes the per-stage configs and content fingerprints of one
-// experiment configuration.
-func planFor(cfg Config) stagePlan {
+// experiment configuration. workloadFP is the content fingerprint of the
+// workload itself — empty for the built-in corpus, whose (benchmark, input)
+// pair alone identifies the trace, and the generated-spec fingerprint for
+// registered generator workloads, so a respun spec under a reused name can
+// never alias a cached stage. A configuration that cannot be fingerprinted
+// (e.g. a sweep mutation smuggling in a NaN) is reported as an error instead
+// of panicking from inside the artifact store.
+func planFor(cfg Config, workloadFP string) (stagePlan, error) {
 	p := stagePlan{
 		profileCfg:  profile.ConfigFromHier(cfg.CPU.Hier),
 		problemsCfg: problemsConfig{Coverage: cfg.ProblemCoverage, MinMisses: cfg.MinMisses},
@@ -112,16 +118,67 @@ func planFor(cfg Config) stagePlan {
 		timingCfg:   timingConfig(cfg.CPU),
 		deriveCfg:   deriveConfig(cfg),
 	}
-	fps := map[Stage]string{StageTrace: ""} // trace depends on (benchmark, input) alone
-	fps[StageProfile] = fingerprint.Chain(p.profileCfg.Fingerprint(), fps[StageTrace])
-	fps[StageProblems] = fingerprint.Chain(fingerprint.JSON(p.problemsCfg), fps[StageProfile])
-	fps[StageSlices] = fingerprint.Chain(p.slicerCfg.Fingerprint(), fps[StageProblems])
-	fps[StageCurves] = fingerprint.Chain(p.critCfg.Fingerprint(), fps[StageProblems])
-	fps[StageBaseline] = fingerprint.Chain(fingerprint.JSON(p.timingCfg), fps[StageTrace])
-	fps[StageParams] = fingerprint.Chain(p.deriveCfg.Fingerprint(), fps[StageBaseline], fps[StageCurves])
-	fps[StagePrepared] = fingerprint.JSON(cfg)
+	profileFP, err := p.profileCfg.Fingerprint()
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageProfile, err)
+	}
+	problemsFP, err := fingerprint.JSON(p.problemsCfg)
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageProblems, err)
+	}
+	slicerFP, err := p.slicerCfg.Fingerprint()
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageSlices, err)
+	}
+	critFP, err := p.critCfg.Fingerprint()
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageCurves, err)
+	}
+	timingFP, err := fingerprint.JSON(p.timingCfg)
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageBaseline, err)
+	}
+	deriveFP, err := p.deriveCfg.Fingerprint()
+	if err != nil {
+		return stagePlan{}, fmt.Errorf("%s stage: %w", StageParams, err)
+	}
+	preparedFP, err := preparedFingerprint(cfg, workloadFP)
+	if err != nil {
+		return stagePlan{}, err
+	}
+	fps := map[Stage]string{StageTrace: workloadFP}
+	fps[StageProfile] = fingerprint.Chain(profileFP, fps[StageTrace])
+	fps[StageProblems] = fingerprint.Chain(problemsFP, fps[StageProfile])
+	fps[StageSlices] = fingerprint.Chain(slicerFP, fps[StageProblems])
+	fps[StageCurves] = fingerprint.Chain(critFP, fps[StageProblems])
+	fps[StageBaseline] = fingerprint.Chain(timingFP, fps[StageTrace])
+	fps[StageParams] = fingerprint.Chain(deriveFP, fps[StageBaseline], fps[StageCurves])
+	fps[StagePrepared] = preparedFP
 	p.fps = fps
-	return p
+	return p, nil
+}
+
+// preparedFingerprint is the whole-config fingerprint behind the assembled
+// preparation's store key, chained through the workload fingerprint. It is
+// computed separately from the full stage plan so Runner.Prepare can key its
+// outer store lookup without re-deriving every stage config on a cache hit.
+func preparedFingerprint(cfg Config, workloadFP string) (string, error) {
+	fp, err := fingerprint.JSON(cfg)
+	if err != nil {
+		return "", fmt.Errorf("%s stage: %w", StagePrepared, err)
+	}
+	return fingerprint.Chain(fp, workloadFP), nil
+}
+
+// workloadFingerprint returns the registered benchmark's content fingerprint
+// (empty for the built-in corpus) plus a not-found error for unknown names,
+// so entry points fail fast before touching the store.
+func workloadFingerprint(name string) (string, error) {
+	bm, err := program.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return bm.Fingerprint, nil
 }
 
 // ------------------------------------------------------- stage functions --
@@ -222,7 +279,14 @@ func (r *Runner) stage(ctx context.Context, name string, input program.InputClas
 // point, figure and campaign worker whose configuration agrees on the
 // fields that stage reads).
 func (r *Runner) stagedPrepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
-	plan := planFor(cfg)
+	wfp, err := workloadFingerprint(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planFor(cfg, wfp)
+	if err != nil {
+		return nil, err
+	}
 	trV, err := r.stage(ctx, name, input, StageTrace, plan, func() (any, error) {
 		return stageTrace(name, input)
 	})

@@ -12,8 +12,16 @@ import (
 
 // fpDiff compares two configs' stage fingerprints and returns the set of
 // stages whose artifacts would be invalidated going from a to b.
-func fpDiff(a, b Config) map[Stage]bool {
-	pa, pb := planFor(a), planFor(b)
+func fpDiff(t *testing.T, a, b Config) map[Stage]bool {
+	t.Helper()
+	pa, err := planFor(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := planFor(b, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := map[Stage]bool{}
 	for _, st := range Stages() {
 		if pa.fps[st] != pb.fps[st] {
@@ -84,7 +92,7 @@ func TestStageFingerprintSensitivity(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := base
 			tc.mutate(&cfg)
-			got := fpDiff(base, cfg)
+			got := fpDiff(t, base, cfg)
 			if !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("invalidated stages = %v, want %v", got, tc.want)
 			}
@@ -94,7 +102,7 @@ func TestStageFingerprintSensitivity(t *testing.T) {
 	for _, tc := range cases {
 		cfg := base
 		tc.mutate(&cfg)
-		if fpDiff(base, cfg)[StageTrace] {
+		if fpDiff(t, base, cfg)[StageTrace] {
 			t.Errorf("%s invalidated the trace stage", tc.name)
 		}
 	}

@@ -339,9 +339,22 @@ func (f *Figure5Report) Render() string {
 // SweepPointReport is one (benchmark, grid point) evaluation of a
 // declarative sweep: the point's per-axis labels and its per-target runs.
 type SweepPointReport struct {
-	Bench  string
-	Labels []string `json:",omitempty"` // one per axis; empty for the base point
-	Runs   []RunReport
+	Bench string
+	// Workload is the grid's label for a generated-workload row (the Bench
+	// field carries the registered canonical name); empty for named
+	// benchmarks.
+	Workload string   `json:",omitempty"`
+	Labels   []string `json:",omitempty"` // one per axis; empty for the base point
+	Runs     []RunReport
+}
+
+// benchLabel is the bench-column display name: the workload label when the
+// row is a generated workload, the benchmark name otherwise.
+func (p SweepPointReport) benchLabel() string {
+	if p.Workload != "" {
+		return p.Workload
+	}
+	return p.Bench
 }
 
 // Point renders the per-axis labels as a single point name.
@@ -369,13 +382,27 @@ func (s *SweepReport) Render() string {
 		axes = "base configuration"
 	}
 	fmt.Fprintf(&b, "Sweep: %s (%d points)\n", axes, len(s.Points))
-	fmt.Fprintf(&b, "%-10s %-18s", "bench", "point")
+	// Generated-workload labels and canonical gen/ names overflow the fixed
+	// 10-char bench column, so size it to the widest row label.
+	wb, wp := len("bench"), len("point")
+	for _, pt := range s.Points {
+		if n := len(pt.benchLabel()); n > wb {
+			wb = n
+		}
+		if n := len(pt.Point()); n > wp {
+			wp = n
+		}
+	}
+	if wp < 18 {
+		wp = 18
+	}
+	fmt.Fprintf(&b, "%-*s %-*s", wb, "bench", wp, "point")
 	for _, tgt := range s.Targets {
 		fmt.Fprintf(&b, " |%22s", tgt+" (ipc/energy/ED)")
 	}
 	fmt.Fprintln(&b)
 	for _, pt := range s.Points {
-		fmt.Fprintf(&b, "%-10s %-18s", pt.Bench, pt.Point())
+		fmt.Fprintf(&b, "%-*s %-*s", wb, pt.benchLabel(), wp, pt.Point())
 		for _, r := range pt.Runs {
 			fmt.Fprintf(&b, " |%7.1f%7.1f%8.1f", r.SpeedupPct, r.EnergySavePct, r.EDSavePct)
 		}

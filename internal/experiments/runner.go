@@ -10,7 +10,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/fingerprint"
 	"repro/internal/program"
 	"repro/internal/pthsel"
 )
@@ -148,9 +147,18 @@ func (r *Runner) emit(ev Event) {
 // when the failure was a context cancellation, which is the waiting
 // caller's problem, not the artifact's.
 func (r *Runner) Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
-	// The outer key needs only the whole-config fingerprint; the full stage
-	// plan is computed once, on a cold miss, inside stagedPrepare.
-	key := artifactKey{name: name, input: input, stage: StagePrepared, fp: fingerprint.JSON(cfg)}
+	// The outer key needs only the whole-config fingerprint chained through
+	// the workload fingerprint; the full stage plan is computed once, on a
+	// cold miss, inside stagedPrepare.
+	wfp, err := workloadFingerprint(name)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := preparedFingerprint(cfg, wfp)
+	if err != nil {
+		return nil, err
+	}
+	key := artifactKey{name: name, input: input, stage: StagePrepared, fp: fp}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
 		r.prepares.Add(1)
 		r.stageCount(StagePrepared).Add(1)

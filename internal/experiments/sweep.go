@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/program/gen"
 	"repro/internal/pthsel"
 )
 
@@ -50,6 +51,39 @@ func ParseSweepAxis(s string) (SweepAxis, error) {
 	return 0, fmt.Errorf("unknown sweep axis %q (want idle, mem or l2)", s)
 }
 
+// WorkloadPoint is one generated workload participating in a sweep: a
+// human-readable label (defaulting to the spec's canonical name) plus the
+// spec realizing it.
+type WorkloadPoint struct {
+	Label string
+	Spec  gen.Spec
+}
+
+// GenPoint is one point on a generator-knob axis: a label plus the spec
+// mutation realizing it — the workload analogue of AxisPoint.
+type GenPoint struct {
+	Label  string
+	Mutate func(*gen.Spec)
+}
+
+// GenAxis expands a base spec through per-point mutations into the workload
+// points of a Grid, so generator knobs sweep exactly like config knobs:
+//
+//	g.Workloads = experiments.GenAxis(gen.Spec{Family: gen.PointerChase, Seed: 1},
+//	        experiments.GenPoint{Label: "d=500", Mutate: func(s *gen.Spec) { s.Depth = 500 }},
+//	        experiments.GenPoint{Label: "d=2000", Mutate: func(s *gen.Spec) { s.Depth = 2000 }})
+func GenAxis(base gen.Spec, pts ...GenPoint) []WorkloadPoint {
+	out := make([]WorkloadPoint, len(pts))
+	for i, pt := range pts {
+		s := base
+		if pt.Mutate != nil {
+			pt.Mutate(&s)
+		}
+		out[i] = WorkloadPoint{Label: pt.Label, Spec: s}
+	}
+	return out
+}
+
 // Grid declares a multi-axis sensitivity sweep: the cartesian product of
 // every axis's points, evaluated for every benchmark under every target.
 // With no axes the grid has a single point at the engine's base
@@ -58,7 +92,14 @@ func ParseSweepAxis(s string) (SweepAxis, error) {
 type Grid struct {
 	Axes       []Axis
 	Benchmarks []string
-	Targets    []pthsel.Target
+	// Workloads extends the benchmark dimension with generated workloads:
+	// each point's spec is registered (idempotently) when the sweep starts
+	// and then evaluated like a named benchmark under every axis point and
+	// target, sharing the staged artifact store the same way — an axis over
+	// a generator knob the config axes never read (chase depth, branch mix)
+	// re-traces nothing between config points.
+	Workloads []WorkloadPoint
+	Targets   []pthsel.Target
 }
 
 // Points returns the number of configuration points in the grid (the
@@ -119,7 +160,24 @@ func (g Grid) points(base Config) ([]gridPoint, error) {
 // then row-major across the axes (first axis slowest), independent of
 // worker scheduling.
 func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
-	if err := validateNames(g.Benchmarks); err != nil {
+	names := append([]string(nil), g.Benchmarks...)
+	// Workload labels per registered name; empty for named benchmarks.
+	labels := make([]string, len(names))
+	if len(g.Workloads) > 0 {
+		for _, wp := range g.Workloads {
+			wnames, err := gen.Register(wp.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: workload %q: %w", wp.Label, err)
+			}
+			label := wp.Label
+			if label == "" {
+				label = wnames[0]
+			}
+			names = append(names, wnames[0])
+			labels = append(labels, label)
+		}
+	}
+	if err := validateNames(names); err != nil {
 		return nil, err
 	}
 	targets := g.Targets
@@ -133,12 +191,13 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 
 	type job struct {
 		bench string
+		wl    string // workload label, empty for named benchmarks
 		pt    gridPoint
 	}
-	jobs := make([]job, 0, len(g.Benchmarks)*len(pts))
-	for _, bench := range g.Benchmarks {
+	jobs := make([]job, 0, len(names)*len(pts))
+	for bi, bench := range names {
 		for _, pt := range pts {
-			jobs = append(jobs, job{bench: bench, pt: pt})
+			jobs = append(jobs, job{bench: bench, wl: labels[bi], pt: pt})
 		}
 	}
 
@@ -159,6 +218,7 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 		if perr != nil {
 			errs[i] = fmt.Errorf("%s@%s: %w", j.bench, strings.Join(j.pt.labels, ","), perr)
 		} else {
+			point.Workload = j.wl
 			rep.Points[i] = point
 		}
 		r.emit(Event{Kind: EventPointDone, Bench: j.bench,

@@ -13,17 +13,18 @@ import (
 )
 
 // JSON fingerprints a tree of plain values (a stage-config struct) by
-// hashing its canonical JSON encoding. The value must be JSON-marshalable;
-// stage configs are by construction (plain numeric/string fields only).
-func JSON(v any) string {
+// hashing its canonical JSON encoding. An unmarshalable value — a NaN float
+// smuggled in by a sweep mutation, a function-typed field on a generated
+// workload spec — yields an error rather than a panic: a silent fallback
+// would alias distinct configurations, and a panic from deep inside the
+// artifact store would kill a whole sweep.
+func JSON(v any) (string, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
-		// Stage configs are trees of plain values; Marshal cannot fail on
-		// them, and a silent fallback would alias distinct configurations.
-		panic(fmt.Sprintf("fingerprint: %v", err))
+		return "", fmt.Errorf("fingerprint: %w", err)
 	}
 	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:8])
+	return hex.EncodeToString(sum[:8]), nil
 }
 
 // Chain combines a stage's own config fingerprint with the fingerprints of

@@ -1,0 +1,66 @@
+package fingerprint
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONStable(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	a, err := JSON(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSON(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal values fingerprint differently: %s vs %s", a, b)
+	}
+	c, err := JSON(cfg{2, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct values alias")
+	}
+}
+
+// TestJSONErrorInsteadOfPanic pins the panic-path fix: unmarshalable values
+// — NaN floats from a bad sweep mutation, function- or channel-typed fields
+// — report an error instead of killing the caller from inside the artifact
+// store.
+func TestJSONErrorInsteadOfPanic(t *testing.T) {
+	cases := []any{
+		math.NaN(),
+		math.Inf(1),
+		struct{ F func() }{},
+		make(chan int),
+		struct{ V float64 }{math.NaN()},
+	}
+	for _, v := range cases {
+		fp, err := JSON(v)
+		if err == nil {
+			t.Errorf("JSON(%T) = %q, want error", v, fp)
+		} else if !strings.Contains(err.Error(), "fingerprint") {
+			t.Errorf("error %v not attributed to fingerprinting", err)
+		}
+	}
+}
+
+func TestChainSeparatesUpstream(t *testing.T) {
+	if Chain("a", "b", "c") == Chain("a", "bc") || Chain("a", "b") == Chain("ab") {
+		t.Error("chain boundaries ambiguous")
+	}
+	if Chain("a", "b") != Chain("a", "b") {
+		t.Error("chain not deterministic")
+	}
+	if Chain("a") == Chain("b") {
+		t.Error("distinct own fingerprints alias")
+	}
+}

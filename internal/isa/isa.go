@@ -140,6 +140,20 @@ func (i Inst) HasDst() bool {
 	return (i.IsALU() || i.Op == Load) && i.Dst != Zero
 }
 
+// ValidateRegs checks that every register operand names one of the NumRegs
+// architectural registers. Reg is a uint8, so raw Inst values (built outside
+// the Builder helpers) can carry operands past the register file; the
+// interpreter and the simulator index register arrays with all three
+// operands unconditionally, so an out-of-range operand — even a dead one —
+// must be rejected before execution.
+func (i Inst) ValidateRegs() error {
+	if i.Dst >= NumRegs || i.Src1 >= NumRegs || i.Src2 >= NumRegs {
+		return fmt.Errorf("%s: register operand out of range (dst r%d, src1 r%d, src2 r%d; %d registers)",
+			i.Op, i.Dst, i.Src1, i.Src2, NumRegs)
+	}
+	return nil
+}
+
 // ReadsSrc1 reports whether Src1 is a live source operand.
 func (i Inst) ReadsSrc1() bool {
 	switch i.Op {
@@ -208,70 +222,73 @@ func (i Inst) String() string {
 }
 
 // Eval computes the result of an ALU instruction given its source values.
-// It panics if called on a non-ALU instruction.
-func (i Inst) Eval(v1, v2 int64) int64 {
+// Non-ALU instructions have no ALU semantics and yield an error; callers in
+// the interpreter and simulator surface it up the sim loop instead of
+// crashing mid-simulation (user-built programs reach Eval through the public
+// Builder, so this must never panic).
+func (i Inst) Eval(v1, v2 int64) (int64, error) {
 	switch i.Op {
 	case Add:
-		return v1 + v2
+		return v1 + v2, nil
 	case Sub:
-		return v1 - v2
+		return v1 - v2, nil
 	case Mul:
-		return v1 * v2
+		return v1 * v2, nil
 	case Div:
 		if v2 == 0 {
-			return 0
+			return 0, nil
 		}
-		return v1 / v2
+		return v1 / v2, nil
 	case And:
-		return v1 & v2
+		return v1 & v2, nil
 	case Or:
-		return v1 | v2
+		return v1 | v2, nil
 	case Xor:
-		return v1 ^ v2
+		return v1 ^ v2, nil
 	case Shl:
-		return v1 << (uint64(v2) & 63)
+		return v1 << (uint64(v2) & 63), nil
 	case Shr:
-		return int64(uint64(v1) >> (uint64(v2) & 63))
+		return int64(uint64(v1) >> (uint64(v2) & 63)), nil
 	case CmpLT:
 		if v1 < v2 {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	case CmpEQ:
 		if v1 == v2 {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	case AddI:
-		return v1 + i.Imm
+		return v1 + i.Imm, nil
 	case SubI:
-		return v1 - i.Imm
+		return v1 - i.Imm, nil
 	case MulI:
-		return v1 * i.Imm
+		return v1 * i.Imm, nil
 	case AndI:
-		return v1 & i.Imm
+		return v1 & i.Imm, nil
 	case OrI:
-		return v1 | i.Imm
+		return v1 | i.Imm, nil
 	case XorI:
-		return v1 ^ i.Imm
+		return v1 ^ i.Imm, nil
 	case ShlI:
-		return v1 << (uint64(i.Imm) & 63)
+		return v1 << (uint64(i.Imm) & 63), nil
 	case ShrI:
-		return int64(uint64(v1) >> (uint64(i.Imm) & 63))
+		return int64(uint64(v1) >> (uint64(i.Imm) & 63)), nil
 	case CmpLTI:
 		if v1 < i.Imm {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	case CmpEQI:
 		if v1 == i.Imm {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	case MovI:
-		return i.Imm
+		return i.Imm, nil
 	}
-	panic("isa: Eval on non-ALU instruction " + i.Op.String())
+	return 0, fmt.Errorf("isa: eval of non-ALU instruction %s", i.Op)
 }
 
 // Program is a complete executable: static code plus an initial data image.
@@ -290,8 +307,11 @@ type Program struct {
 // MemBytes returns the size of the data segment in bytes.
 func (p *Program) MemBytes() int64 { return int64(len(p.InitMem)) * 8 }
 
-// Validate checks structural well-formedness: opcodes defined, branch
-// targets in range, memory accesses expressible. It does not execute code.
+// Validate checks structural well-formedness: opcodes defined, register
+// operands within the architectural file, branch targets in range, memory
+// accesses expressible. It does not execute code. Programs that pass cannot
+// crash the interpreter or the simulator mid-run: every instruction either
+// executes or was rejected here.
 func (p *Program) Validate() error {
 	if len(p.Insts) == 0 {
 		return fmt.Errorf("program %q has no instructions", p.Name)
@@ -302,6 +322,9 @@ func (p *Program) Validate() error {
 	for pc, in := range p.Insts {
 		if !in.Op.Valid() {
 			return fmt.Errorf("program %q pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		if err := in.ValidateRegs(); err != nil {
+			return fmt.Errorf("program %q pc %d: %w", p.Name, pc, err)
 		}
 		if in.IsBranch() || in.IsJump() {
 			if in.Target < 0 || in.Target >= len(p.Insts) {

@@ -132,44 +132,82 @@ func TestEvalArithmetic(t *testing.T) {
 		{Inst{Op: MovI, Imm: 42}, 0, 0, 42},
 	}
 	for _, c := range cases {
-		if got := c.in.Eval(c.v1, c.v2); got != c.want {
+		got, err := c.in.Eval(c.v1, c.v2)
+		if err != nil {
+			t.Errorf("%s.Eval(%d,%d): %v", c.in.Op, c.v1, c.v2, err)
+		}
+		if got != c.want {
 			t.Errorf("%s.Eval(%d,%d) = %d, want %d", c.in.Op, c.v1, c.v2, got, c.want)
 		}
 	}
 }
 
-func TestEvalPanicsOnNonALU(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Eval on Load must panic")
+// TestEvalErrorsOnNonALU pins the panic-path fix: Eval on a non-ALU
+// instruction reports an error instead of crashing the caller.
+func TestEvalErrorsOnNonALU(t *testing.T) {
+	for _, op := range []Op{Nop, Load, Store, BrZ, BrNZ, Jmp, Halt} {
+		if _, err := (Inst{Op: op}).Eval(0, 0); err == nil {
+			t.Errorf("Eval on %s: want error, got nil", op)
 		}
-	}()
-	_ = Inst{Op: Load}.Eval(0, 0)
+	}
+}
+
+// evalOK is the old single-value Eval for tests of ALU-only instructions.
+func evalOK(t *testing.T, in Inst, v1, v2 int64) int64 {
+	t.Helper()
+	v, err := in.Eval(v1, v2)
+	if err != nil {
+		t.Fatalf("%s.Eval: %v", in.Op, err)
+	}
+	return v
 }
 
 // Property: Add/Sub round-trips and shift semantics match Go's for any inputs.
 func TestEvalProperties(t *testing.T) {
 	addSub := func(a, b int64) bool {
-		s := Inst{Op: Add}.Eval(a, b)
-		return Inst{Op: Sub}.Eval(s, b) == a
+		s := evalOK(t, Inst{Op: Add}, a, b)
+		return evalOK(t, Inst{Op: Sub}, s, b) == a
 	}
 	if err := quick.Check(addSub, nil); err != nil {
 		t.Error(err)
 	}
 	xorInvolution := func(a, b int64) bool {
-		x := Inst{Op: Xor}.Eval(a, b)
-		return Inst{Op: Xor}.Eval(x, b) == a
+		x := evalOK(t, Inst{Op: Xor}, a, b)
+		return evalOK(t, Inst{Op: Xor}, x, b) == a
 	}
 	if err := quick.Check(xorInvolution, nil); err != nil {
 		t.Error(err)
 	}
 	cmpAntisym := func(a, b int64) bool {
-		lt := Inst{Op: CmpLT}.Eval(a, b)
-		gt := Inst{Op: CmpLT}.Eval(b, a)
+		lt := evalOK(t, Inst{Op: CmpLT}, a, b)
+		gt := evalOK(t, Inst{Op: CmpLT}, b, a)
 		return !(lt == 1 && gt == 1)
 	}
 	if err := quick.Check(cmpAntisym, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestValidateRejectsWildRegisters pins the mid-sim crash fix: a raw Inst
+// with a register operand past the architectural file — expressible because
+// Reg is a uint8 — is rejected at Validate time instead of panicking inside
+// the interpreter's register-array indexing.
+func TestValidateRejectsWildRegisters(t *testing.T) {
+	cases := []Inst{
+		{Op: Add, Dst: 70, Src1: 1, Src2: 2},
+		{Op: Add, Dst: 1, Src1: 200, Src2: 2},
+		{Op: Load, Dst: 1, Src1: NumRegs},
+		{Op: MovI, Dst: 1, Src2: 255}, // dead operand still indexes the file
+	}
+	for _, in := range cases {
+		p := &Program{Name: "wild", Insts: []Inst{in, {Op: Halt}}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", in)
+		}
+	}
+	ok := &Program{Name: "ok", Insts: []Inst{{Op: Add, Dst: 63, Src1: 63, Src2: 63}, {Op: Halt}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected in-range registers: %v", err)
 	}
 }
 

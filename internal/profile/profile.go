@@ -36,7 +36,7 @@ func ConfigFromHier(h cache.HierConfig) Config {
 }
 
 // Fingerprint returns the content fingerprint of the profiling stage config.
-func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
+func (c Config) Fingerprint() (string, error) { return fingerprint.JSON(c) }
 
 // Service-level codes recorded per dynamic instruction.
 const (

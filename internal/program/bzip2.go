@@ -33,8 +33,8 @@ func buildBzip2(c InputClass) *isa.Program {
 	ptrBase := 0
 	blockBase := ptrEntries // words
 	mem := make([]int64, ptrEntries+blockWords)
-	r := newLCG(seed)
-	perm := r.perm(ptrEntries)
+	r := NewLCG(seed)
+	perm := r.Perm(ptrEntries)
 	hotWords := 4 << 10 // 32KB hot prefix of the block
 	if hotWords > blockWords {
 		hotWords = blockWords
@@ -50,7 +50,7 @@ func buildBzip2(c InputClass) *isa.Program {
 		}
 	}
 	for w := 0; w < blockWords; w++ {
-		mem[blockBase+w] = int64(r.intn(256))
+		mem[blockBase+w] = int64(r.Intn(256))
 	}
 
 	const (

@@ -29,7 +29,7 @@ func buildGAP(c InputClass) *isa.Program {
 	tabBase := 0
 	slabBase := nSlabs
 	mem := make([]int64, nSlabs+nSlabs*slabWords)
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	// Three quarters of the dispatch entries point at three "hot" slabs
 	// (L2-resident working set); the rest scatter across all slabs. Problem
 	// loads are the cold accesses — a realistic miss density of one L2 miss
@@ -37,12 +37,12 @@ func buildGAP(c InputClass) *isa.Program {
 	for s := 0; s < nSlabs; s++ {
 		slab := s % 3
 		if s%8 == 0 {
-			slab = r.intn(nSlabs)
+			slab = r.Intn(nSlabs)
 		}
 		mem[tabBase+s] = int64((slabBase + slab*slabWords) * 8) // slab byte address
 	}
 	for w := nSlabs; w < len(mem); w++ {
-		mem[w] = int64(r.intn(1 << 16))
+		mem[w] = int64(r.Intn(1 << 16))
 	}
 
 	const (

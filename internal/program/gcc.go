@@ -29,13 +29,13 @@ func buildGCC(c InputClass) *isa.Program {
 	arenaBytes := arenaWords * 8
 
 	mem := make([]int64, arenaWords)
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	// Records are 4 words (32 bytes): [type, delta, value, pad].
 	for rec := 0; rec < arenaWords/4; rec++ {
 		w := rec * 4
-		mem[w] = int64(r.intn(16))              // type
-		mem[w+1] = int64((1 + r.intn(16)) * 32) // delta: 32..512 bytes
-		mem[w+2] = int64(r.intn(1000))          // value
+		mem[w] = int64(r.Intn(16))              // type
+		mem[w+1] = int64((1 + r.Intn(16)) * 32) // delta: 32..512 bytes
+		mem[w+2] = int64(r.Intn(1000))          // value
 	}
 
 	const (

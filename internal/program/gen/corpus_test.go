@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// corpusSpecs returns the seeded differential corpus: every family under a
+// matrix of knob settings, ≥20 specs in total, kept small enough that both
+// engines cover the whole corpus in seconds.
+func corpusSpecs() []Spec {
+	var specs []Spec
+	for fi, f := range Families() {
+		seed := uint64(100 + fi)
+		specs = append(specs,
+			Spec{Family: f, Seed: seed, WorkingSet: 1 << 13, Depth: 300},
+			Spec{Family: f, Seed: seed + 1, WorkingSet: 1 << 15, Depth: 200, ProblemLoads: 2, BranchMix: 60},
+			Spec{Family: f, Seed: seed + 2, WorkingSet: 1 << 14, Depth: 250, ProblemLoads: 4, BranchMix: 10, ILP: 6},
+			Spec{Family: f, Seed: seed + 3, WorkingSet: 1 << 12, Depth: 400, BranchMix: 85, ILP: 1},
+		)
+	}
+	return specs
+}
+
+// corpusConfig selects an engine on the default configuration. The corpus
+// here runs without p-threads (pure main-thread scheduling); engine
+// agreement with selector-chosen p-threads installed is covered by
+// TestGenSelectedPThreadsEnginesAgree in the experiments package.
+func corpusConfig(engine string) cpu.Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Engine = engine
+	return cfg
+}
+
+// TestGenCorpusEnginesAgree is the differential corpus harness: every seeded
+// spec's Train trace must produce deeply equal (bit-identical once
+// marshaled) Results under the event-driven and reference scan engines.
+func TestGenCorpusEnginesAgree(t *testing.T) {
+	specs := corpusSpecs()
+	if len(specs) < 20 {
+		t.Fatalf("corpus has %d specs, want >= 20", len(specs))
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			bm, err := s.Benchmark()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.Run(bm.Build(program.Train))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err1 := cpu.Run(corpusConfig(cpu.EngineEvent), tr, nil)
+			sc, err2 := cpu.Run(corpusConfig(cpu.EngineScan), tr, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("event err=%v scan err=%v", err1, err2)
+			}
+			if !reflect.DeepEqual(ev, sc) {
+				t.Errorf("engines disagree\nevent: %+v\nscan:  %+v", ev, sc)
+			}
+		})
+	}
+}
+
+// TestGenCorpusDeltaLimitEscape drives the producer-delta overflow-escape
+// path with generated long-range-producer workloads: the loop-invariant base
+// registers of every family are written once and consumed for the rest of
+// the trace, so lowering Interpreter.DeltaLimit forces those links through
+// the overflow maps. The escaped trace must decode identically entry for
+// entry, and both engines must produce Results identical to the inline-delta
+// trace's.
+func TestGenCorpusDeltaLimitEscape(t *testing.T) {
+	for _, s := range []Spec{
+		{Family: PointerChase, Seed: 41, WorkingSet: 1 << 13, Depth: 400},
+		{Family: HashProbe, Seed: 42, WorkingSet: 1 << 13, Depth: 300, ProblemLoads: 2},
+		{Family: BranchyParser, Seed: 43, WorkingSet: 1 << 13, Depth: 500},
+	} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			bm, err := s.Benchmark()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := bm.Build(program.Train)
+			inline, err := trace.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			esc := trace.Interpreter{DeltaLimit: 512}
+			escaped, err := esc.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inline.Len() != escaped.Len() {
+				t.Fatalf("trace lengths diverge: %d vs %d", inline.Len(), escaped.Len())
+			}
+			escapes := 0
+			for i := 0; i < inline.Len(); i++ {
+				p1, p2 := inline.Prod1(i), inline.Prod2(i)
+				if p1 != escaped.Prod1(i) || p2 != escaped.Prod2(i) {
+					t.Fatalf("entry %d: producers diverge (%d,%d) vs (%d,%d)",
+						i, p1, p2, escaped.Prod1(i), escaped.Prod2(i))
+				}
+				if p1 >= 0 && int64(i)-p1 >= 512 {
+					escapes++
+				}
+				if p2 >= 0 && int64(i)-p2 >= 512 {
+					escapes++
+				}
+			}
+			if escapes == 0 {
+				t.Fatal("spec produced no long-range producer links; the escape path was not exercised")
+			}
+			for _, engine := range []string{cpu.EngineEvent, cpu.EngineScan} {
+				a, err1 := cpu.Run(corpusConfig(engine), inline, nil)
+				b, err2 := cpu.Run(corpusConfig(engine), escaped, nil)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: inline err=%v escaped err=%v", engine, err1, err2)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("%s: escaped trace changed the Result", engine)
+				}
+			}
+		})
+	}
+}
+
+// TestGenCorpusDeterministicResults: a generated workload's Result must be
+// reproducible run to run (the property the artifact store and the golden
+// corpus depend on).
+func TestGenCorpusDeterministicResults(t *testing.T) {
+	for _, f := range Families() {
+		s := Spec{Family: f, Seed: 7, WorkingSet: 1 << 13, Depth: 200}
+		bm, err := s.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.MustRun(bm.Build(program.Train))
+		a, err := cpu.Run(corpusConfig(cpu.EngineEvent), tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cpu.Run(corpusConfig(cpu.EngineEvent), tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two runs of one generated workload diverge", f)
+		}
+	}
+}
+
+// TestGenNamesUniqueAcrossSeeds guards the canonical-name scheme against
+// accidental collisions across a dense seed range (names key the global
+// registry).
+func TestGenNamesUniqueAcrossSeeds(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Families() {
+		for seed := uint64(0); seed < 50; seed++ {
+			n := Spec{Family: f, Seed: seed}.Name()
+			if seen[n] {
+				t.Fatalf("name collision: %s", n)
+			}
+			seen[n] = true
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package gen
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Register allocation shared by every family builder. Chained operands
+// (rP0.., rV0.., rDir0.., rF0..) occupy consecutive registers, one per
+// problem-load chain or filler chain.
+const (
+	rP0   = isa.Reg(1)  // per-chain pointer/index (up to maxProblem)
+	rV0   = isa.Reg(5)  // per-chain loaded value (up to maxProblem)
+	rC    = isa.Reg(9)  // data-branch condition
+	rC2   = isa.Reg(10) // loop condition
+	rI    = isa.Reg(11) // iteration counter
+	rS    = isa.Reg(12) // iteration bound
+	rAcc  = isa.Reg(13) // main accumulator
+	rAcc2 = isa.Reg(14) // extra-path accumulator
+	rT    = isa.Reg(15) // address scratch
+	rK    = isa.Reg(16) // streamed key/token
+	rH    = isa.Reg(17) // hashed/gathered address scratch
+	rG    = isa.Reg(18) // global gather counter / token payload
+	rLvl  = isa.Reg(19) // tree level counter
+	rD    = isa.Reg(20) // tree depth bound
+	rX    = isa.Reg(21) // class-work scratch
+	rCls  = isa.Reg(22) // token class
+	rDir0 = isa.Reg(23) // per-chain tree direction (up to maxProblem)
+	rF0   = isa.Reg(28) // filler chains (up to maxILP: 28-35)
+	rKey0 = isa.Reg(40) // per-chain tree search key (up to maxProblem)
+)
+
+// hashMuls are the per-chain multiplicative hash constants; distinct chains
+// gather through distinct hash functions so their problem loads are
+// independent static PCs with independent address streams.
+var hashMuls = [maxProblem]int64{2654435761, 40503, 2246822519, 3266489917}
+
+// filler emits n independent single-cycle chains, the ILP dilution knob.
+func filler(b *isa.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.AddI(rF0+isa.Reg(i), rF0+isa.Reg(i), 1)
+	}
+}
+
+// buildPointerChase emits ProblemLoads independent pointer chases over
+// disjoint regions of 64-byte node records: each chain's next address loads
+// from the current node, so the misses are serial and non-shortenable — the
+// behaviour class whose cost the criticality model must recognize as
+// unhelpable.
+func (s Spec) buildPointerChase(b *isa.Builder, v inputVar) {
+	const recWords = 8 // one 64B line per node
+	chains := s.ProblemLoads
+	nodes := s.WorkingSet / (chains * recWords)
+	regionWords := nodes * recWords
+
+	mem := make([]int64, chains*regionWords)
+	r := program.NewLCG(v.seed)
+	for k := 0; k < chains; k++ {
+		base := k * regionWords
+		next := r.CyclePerm(nodes)
+		for i := 0; i < nodes; i++ {
+			mem[base+i*recWords] = int64((base + next[i]*recWords) * 8)
+			mem[base+i*recWords+1] = int64(r.Intn(100))
+		}
+	}
+
+	for k := 0; k < chains; k++ {
+		b.MovI(rP0+isa.Reg(k), int64(k*regionWords*8))
+	}
+	b.MovI(rI, 0)
+	b.MovI(rS, int64(v.steps))
+	b.Label("chase")
+	for k := 0; k < chains; k++ {
+		b.Load(rV0+isa.Reg(k), rP0+isa.Reg(k), 8) // node cost
+		b.Load(rP0+isa.Reg(k), rP0+isa.Reg(k), 0) // chase: problem load
+		b.Add(rAcc, rAcc, rV0+isa.Reg(k))
+	}
+	b.CmpLTI(rC, rV0, int64(v.bias)) // cost uniform [0,100): extra path w.p. bias
+	b.BrZ(rC, "skip")
+	b.AddI(rAcc2, rAcc2, 1)
+	b.Label("skip")
+	filler(b, s.effILP())
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "chase")
+	b.Add(rAcc, rAcc, rAcc2)
+	b.Halt()
+	b.SetMem(mem)
+}
+
+// buildHashProbe emits a parser-like dictionary probe: keys stream
+// sequentially from a hot region and hash into a table sized by the working
+// set; the probe addresses are computable from the streamed key, so slices
+// hoist well. A biased fraction of probes needs a second bucket.
+func (s Spec) buildHashProbe(b *isa.Builder, v inputVar) {
+	const keyWords = 1 << 12 // 32KB key stream, L2-resident
+	tableWords := s.WorkingSet
+	tabBase := keyWords
+	// One pad word so the +8 rehash probe of the last bucket stays in bounds.
+	mem := make([]int64, keyWords+tableWords+1)
+	r := program.NewLCG(v.seed)
+	for i := 0; i < keyWords; i++ {
+		mem[i] = int64(1 + r.Intn(1<<30))
+	}
+	for w := 0; w <= tableWords; w++ {
+		mem[tabBase+w] = int64(r.Intn(100))
+	}
+
+	b.MovI(rI, 0)
+	b.MovI(rS, int64(v.steps))
+	b.Label("probe")
+	b.AndI(rT, rI, keyWords-1)
+	b.ShlI(rT, rT, 3)
+	b.Load(rK, rT, 0) // key: sequential stream
+	for p := 0; p < s.ProblemLoads; p++ {
+		b.MulI(rH, rK, hashMuls[p])
+		b.ShrI(rH, rH, 16)
+		b.AndI(rH, rH, int64(tableWords-1))
+		b.ShlI(rH, rH, 3)
+		b.Load(rV0+isa.Reg(p), rH, int64(tabBase*8)) // bucket: problem load
+		b.Add(rAcc, rAcc, rV0+isa.Reg(p))
+	}
+	b.CmpLTI(rC, rV0, int64(v.bias)) // values uniform [0,100): rehash w.p. bias
+	b.BrZ(rC, "join")
+	b.Load(rX, rH, int64(tabBase*8+8)) // second bucket
+	b.Add(rAcc2, rAcc2, rX)
+	b.Label("join")
+	filler(b, s.effILP())
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "probe")
+	b.Add(rAcc, rAcc, rAcc2)
+	b.Halt()
+	b.SetMem(mem)
+}
+
+// treeDepth returns the descent depth that keeps every heap index inside a
+// ws-word array (indices reach 2^(d+1)-1 after d levels from index 1).
+func treeDepth(ws int) int {
+	d := 0
+	for (1 << (d + 2)) <= ws {
+		d++
+	}
+	return d
+}
+
+// buildTreeWalk emits ProblemLoads interleaved key searches through one
+// implicit binary tree: each walk streams a fresh search key and descends by
+// comparing it against the node value, so every level's load feeds the next
+// level's index (a short dependent chain), the direction branch is
+// data-dependent, and distinct keys scatter the walks across the whole tree
+// instead of re-treading one cached path. Key distribution skews the
+// comparison toward the bias fraction.
+func (s Spec) buildTreeWalk(b *isa.Builder, v inputVar) {
+	const keyRecs = 1 << 10 // per-walk key records, maxProblem words each
+	chains := s.ProblemLoads
+	depth := treeDepth(s.WorkingSet)
+	treeBase := keyRecs * maxProblem
+	mem := make([]int64, treeBase+s.WorkingSet)
+	r := program.NewLCG(v.seed)
+	// P(key < node) with nodes uniform [0,100) is set by the key range:
+	// keys uniform [0, 2*(100-bias)) make the taken fraction track bias.
+	keyRange := 2 * (100 - v.bias)
+	if keyRange < 1 {
+		keyRange = 1
+	}
+	for i := 0; i < keyRecs*maxProblem; i++ {
+		mem[i] = int64(r.Intn(keyRange))
+	}
+	for w := 0; w < s.WorkingSet; w++ {
+		mem[treeBase+w] = int64(r.Intn(100))
+	}
+
+	b.MovI(rI, 0)
+	b.MovI(rS, int64(v.steps))
+	b.Label("walk")
+	b.AndI(rT, rI, keyRecs-1)
+	b.ShlI(rT, rT, 5) // *maxProblem words *8 bytes
+	for k := 0; k < chains; k++ {
+		b.Load(rKey0+isa.Reg(k), rT, int64(k*8)) // search key: hot stream
+		b.MovI(rP0+isa.Reg(k), 1)
+	}
+	b.MovI(rLvl, 0)
+	b.MovI(rD, int64(depth))
+	b.Label("level")
+	for k := 0; k < chains; k++ {
+		b.ShlI(rT, rP0+isa.Reg(k), 3)
+		b.Load(rV0+isa.Reg(k), rT, int64(treeBase*8)) // node: problem load, feeds next index
+		b.CmpLT(rDir0+isa.Reg(k), rKey0+isa.Reg(k), rV0+isa.Reg(k))
+		b.ShlI(rP0+isa.Reg(k), rP0+isa.Reg(k), 1)
+		b.Add(rP0+isa.Reg(k), rP0+isa.Reg(k), rDir0+isa.Reg(k))
+	}
+	b.BrZ(rDir0, "left") // key-vs-node comparison: taken w.p. ~bias
+	b.AddI(rAcc2, rAcc2, 1)
+	b.Label("left")
+	filler(b, s.effILP())
+	b.AddI(rLvl, rLvl, 1)
+	b.CmpLT(rC2, rLvl, rD)
+	b.BrNZ(rC2, "level")
+	for k := 0; k < chains; k++ {
+		b.Add(rAcc, rAcc, rV0+isa.Reg(k))
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "walk")
+	b.Add(rAcc, rAcc, rAcc2)
+	b.Halt()
+	b.SetMem(mem)
+}
+
+// buildBlockedStream emits a gap/bzip2-like blocked scan: a sequential
+// stream (covered by the stride prefetcher) interleaved with gathers whose
+// addresses are pure arithmetic on a counter — the cheapest possible slices,
+// since a p-thread needs no loads to compute the next problem address.
+func (s Spec) buildBlockedStream(b *isa.Builder, v inputVar) {
+	const blockWords = 256
+	mask := int64(s.WorkingSet - 1)
+	mem := make([]int64, s.WorkingSet)
+	r := program.NewLCG(v.seed)
+	for i := range mem {
+		mem[i] = int64(r.Intn(200) - 100)
+	}
+
+	b.MovI(rI, 0) // block counter
+	b.MovI(rS, int64(v.steps))
+	b.MovI(rG, 0) // global element counter
+	b.Label("block")
+	b.MovI(rK, 0) // intra-block counter
+	b.Label("scan")
+	b.AndI(rT, rG, mask)
+	b.ShlI(rT, rT, 3)
+	b.Load(rX, rT, 0) // sequential stream: prefetchable
+	b.Add(rAcc, rAcc, rX)
+	for p := 0; p < s.ProblemLoads; p++ {
+		b.MulI(rH, rG, hashMuls[p])
+		b.AndI(rH, rH, mask)
+		b.ShlI(rH, rH, 3)
+		b.Load(rV0+isa.Reg(p), rH, 0) // arithmetic gather: problem load
+		b.Add(rAcc, rAcc, rV0+isa.Reg(p))
+	}
+	b.CmpLTI(rC, rX, int64(2*v.bias-100)) // values uniform [-100,100): w.p. bias
+	b.BrZ(rC, "skip")
+	b.Sub(rAcc2, rAcc2, rX)
+	b.Label("skip")
+	filler(b, s.effILP())
+	b.AddI(rG, rG, 1)
+	b.AddI(rK, rK, 1)
+	b.CmpLTI(rC2, rK, blockWords)
+	b.BrNZ(rC2, "scan")
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "block")
+	b.Add(rAcc, rAcc, rAcc2)
+	b.Halt()
+	b.SetMem(mem)
+}
+
+// buildBranchyParser emits a gcc-like token dispatcher: a class-tagged token
+// stream drives a compare-and-branch dispatch chain (the branch mix is the
+// fraction of tokens leaving the fast path, consistent with the knob's
+// extra-path meaning in every other family), with a hot-table class, an
+// arithmetic class, and a rare cold-gather class supplying the problem
+// loads.
+func (s Spec) buildBranchyParser(b *isa.Builder, v inputVar) {
+	const tokWords = 1 << 13 // 64KB token stream
+	const hotWords = 1 << 9  // 4KB hot table
+	coldWords := s.WorkingSet
+	hotBase := tokWords
+	coldBase := tokWords + hotWords
+	mem := make([]int64, tokWords+hotWords+coldWords)
+	r := program.NewLCG(v.seed)
+	// Class distribution: the bias fraction takes the extra-work classes —
+	// split between the multiply and hot-table classes, with a quarter
+	// landing on class 3, the cold gather — and the rest stays on class 0,
+	// the pure-arithmetic fast path.
+	fast := 100 - v.bias
+	p3 := v.bias / 4
+	p1 := (v.bias - p3) / 2
+	for i := 0; i < tokWords; i++ {
+		roll := r.Intn(100)
+		var cls int64
+		switch {
+		case roll < fast:
+			cls = 0
+		case roll < fast+p1:
+			cls = 1
+		case roll < 100-p3:
+			cls = 2
+		default:
+			cls = 3
+		}
+		mem[i] = cls | int64(r.Intn(coldWords))<<8
+	}
+	for w := 0; w < hotWords; w++ {
+		mem[hotBase+w] = int64(r.Intn(50))
+	}
+	for w := 0; w < coldWords; w++ {
+		mem[coldBase+w] = int64(r.Intn(100))
+	}
+
+	b.MovI(rI, 0)
+	b.MovI(rS, int64(v.steps))
+	b.Label("token")
+	b.AndI(rT, rI, tokWords-1)
+	b.ShlI(rT, rT, 3)
+	b.Load(rK, rT, 0) // token: sequential stream
+	b.AndI(rCls, rK, 255)
+	b.ShrI(rG, rK, 8)
+	b.CmpEQI(rC, rCls, 0)
+	b.BrNZ(rC, "c0")
+	b.CmpEQI(rC, rCls, 1)
+	b.BrNZ(rC, "c1")
+	b.CmpEQI(rC, rCls, 2)
+	b.BrNZ(rC, "c2")
+	for p := 0; p < s.ProblemLoads; p++ {
+		// Chain 0 gathers at the token's random payload directly; further
+		// chains re-scatter it through distinct hash constants.
+		if p == 0 {
+			b.AndI(rH, rG, int64(coldWords-1))
+		} else {
+			b.MulI(rH, rG, hashMuls[p])
+			b.AndI(rH, rH, int64(coldWords-1))
+		}
+		b.ShlI(rH, rH, 3)
+		b.Load(rV0+isa.Reg(p), rH, int64(coldBase*8)) // cold gather: problem load
+		b.Add(rAcc, rAcc, rV0+isa.Reg(p))
+	}
+	b.Jmp("join")
+	b.Label("c0")
+	b.AddI(rAcc, rAcc, 1)
+	b.Jmp("join")
+	b.Label("c1")
+	b.MulI(rX, rG, 7)
+	b.Add(rAcc, rAcc, rX)
+	b.Jmp("join")
+	b.Label("c2")
+	b.AndI(rH, rG, hotWords-1)
+	b.ShlI(rH, rH, 3)
+	b.Load(rX, rH, int64(hotBase*8)) // hot table: cache-resident
+	b.Add(rAcc, rAcc, rX)
+	b.Label("join")
+	filler(b, s.effILP())
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC2, rI, rS)
+	b.BrNZ(rC2, "token")
+	b.Halt()
+	b.SetMem(mem)
+}

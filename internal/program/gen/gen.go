@@ -1,0 +1,429 @@
+// Package gen is a seeded, parameterized synthetic-workload generator: it
+// turns a declarative Spec — a memory-behaviour family plus a handful of
+// knobs — into a program.Benchmark indistinguishable from the hand-written
+// SPEC2000 stand-ins. The nine built-ins cover nine points of the
+// memory-behaviour space the paper evaluates; the generator opens the rest
+// of it, so the selection framework, the staged pipeline and both simulation
+// engines can be exercised on arbitrarily many workloads instead of a fixed
+// corpus.
+//
+// # Determinism
+//
+// A Spec is a pure value: the same (Family, Seed, knobs) always produces the
+// same two programs (Train and Ref inputs), instruction for instruction and
+// data word for data word, across runs, processes and Go releases (the data
+// comes from program.LCG, not math/rand). The Ref input derives a different
+// data seed, iteration count and branch thresholds from the same Spec —
+// data and immediates only, never code structure, preserving the
+// SPEC-binary property the realistic-profiling experiment depends on
+// (static PCs map 1:1 across inputs).
+//
+// # Spec grammar
+//
+// The CLI form accepted by Parse (and cmd/sweep's -gen flag) is
+//
+//	family:seed[:knob=value,knob=value,...]
+//
+// e.g. "pointer-chase:7", "hash-probe:42:ws=131072,loads=2,branch=30".
+// Knob keys: ws (working-set words, rounded up to a power of two), depth
+// (iteration/chain-depth knob), loads (distinct static problem loads, 1-4),
+// branch (data-dependent branch taken mix, percent), ilp (independent filler
+// chains, 0-8). Omitted knobs take family defaults.
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fingerprint"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Family identifies a memory-behaviour class the generator can emit.
+type Family string
+
+// The five workload families, named for the memory behaviour they exhibit.
+const (
+	// PointerChase: serial dependent loads over linked node records — the
+	// misses are address-chained and largely non-shortenable (mcf-like).
+	PointerChase Family = "pointer-chase"
+	// HashProbe: keys stream sequentially, probe addresses hash into a >L2
+	// table — computable addresses, classic pre-execution territory
+	// (parser-like).
+	HashProbe Family = "hash-probe"
+	// TreeWalk: data-dependent descent through an implicit binary tree —
+	// a short dependent chain per level with an unpredictable direction
+	// branch (twolf-like in its branch mix, mcf-like in its chains).
+	TreeWalk Family = "tree-walk"
+	// BlockedStream: blocked sequential streaming plus arithmetic-index
+	// gathers into a >L2 region — the cheapest possible slices (gap/bzip2-
+	// like).
+	BlockedStream Family = "blocked-stream"
+	// BranchyParser: token-dispatch control flow over a class-tagged stream
+	// with a rare cold gather — mispredict-heavy with sparse problem loads
+	// (gcc-like).
+	BranchyParser Family = "branchy-parser"
+)
+
+// Families lists every family in a fixed order.
+func Families() []Family {
+	return []Family{PointerChase, HashProbe, TreeWalk, BlockedStream, BranchyParser}
+}
+
+// Spec declares one generated workload. The zero value of every knob means
+// "family default"; Seed alone distinguishes workloads within a family.
+type Spec struct {
+	Family Family
+	Seed   uint64
+
+	// WorkingSet is the cold region's size in 8-byte words, rounded up to a
+	// power of two. Sized above the L2 (32Ki words at the default 256KB) it
+	// produces problem loads; below, a cache-resident workload.
+	WorkingSet int
+	// Depth is the family's iteration/chain-depth knob: chase steps
+	// (PointerChase), probes (HashProbe), walks (TreeWalk), blocks
+	// (BlockedStream), tokens (BranchyParser).
+	Depth int
+	// ProblemLoads is the number of distinct static problem loads (1-4).
+	ProblemLoads int
+	// BranchMix is the approximate percentage of iterations that take the
+	// data-dependent extra-work path (0-100) — the knob behind each family's
+	// unpredictable branch. Zero means "family default"; an explicitly
+	// never-taken mix is expressed as -1 (Parse maps branch=0 to it).
+	BranchMix int
+	// ILP is the number of independent single-cycle filler chains per
+	// iteration (0-8), diluting the dependent work with exploitable
+	// parallelism. Zero means "family default"; an explicitly filler-free
+	// workload is expressed as -1 (Parse maps ilp=0 to it).
+	ILP int
+}
+
+// familyDefaults returns the per-family default knobs.
+func familyDefaults(f Family) Spec {
+	switch f {
+	case PointerChase:
+		return Spec{WorkingSet: 1 << 16, Depth: 4000, ProblemLoads: 1, BranchMix: 25, ILP: 2}
+	case HashProbe:
+		return Spec{WorkingSet: 1 << 16, Depth: 6000, ProblemLoads: 1, BranchMix: 25, ILP: 1}
+	case TreeWalk:
+		// The descent touches [1, 2^treeDepth) words, a quarter of the
+		// working set, so the default sits at 2MB to put the deep levels
+		// past the 256KB L2.
+		return Spec{WorkingSet: 1 << 18, Depth: 500, ProblemLoads: 1, BranchMix: 50, ILP: 1}
+	case BlockedStream:
+		return Spec{WorkingSet: 1 << 16, Depth: 24, ProblemLoads: 1, BranchMix: 20, ILP: 2}
+	case BranchyParser:
+		return Spec{WorkingSet: 1 << 16, Depth: 8000, ProblemLoads: 1, BranchMix: 40, ILP: 1}
+	default:
+		return Spec{}
+	}
+}
+
+// nextPow2 rounds n up to a power of two, capped just past maxWorkingSet:
+// anything larger (including values that would overflow the doubling) comes
+// back out of range and is rejected by Validate rather than looping forever.
+func nextPow2(n int) int {
+	p := 1
+	for p < n && p <= maxWorkingSet {
+		p <<= 1
+	}
+	return p
+}
+
+// Normalize fills zero knobs with family defaults and canonicalizes the
+// working set to a power of two. Two specs that normalize equal are the same
+// workload: Name, Fingerprint and the emitted programs all agree.
+func (s Spec) Normalize() Spec {
+	d := familyDefaults(s.Family)
+	if s.WorkingSet == 0 {
+		s.WorkingSet = d.WorkingSet
+	} else {
+		s.WorkingSet = nextPow2(s.WorkingSet)
+	}
+	if s.Depth == 0 {
+		s.Depth = d.Depth
+	}
+	if s.ProblemLoads == 0 {
+		s.ProblemLoads = d.ProblemLoads
+	}
+	// BranchMix and ILP have a meaningful zero, so "unset" (0) takes the
+	// family default while -1 expresses an explicit zero. The sentinel IS
+	// the canonical normalized form — mapping it to 0 here would make
+	// Normalize non-idempotent (the second pass would read the 0 as "unset"
+	// and substitute the default, silently aliasing two different workloads
+	// under one name and fingerprint). effBranchMix/effILP resolve it where
+	// the effective value is needed.
+	if s.BranchMix == 0 {
+		s.BranchMix = d.BranchMix
+	}
+	if s.ILP == 0 {
+		s.ILP = d.ILP
+	}
+	return s
+}
+
+// effBranchMix resolves the -1 explicit-zero sentinel to the effective
+// branch mix percentage.
+func (s Spec) effBranchMix() int {
+	if s.BranchMix < 0 {
+		return 0
+	}
+	return s.BranchMix
+}
+
+// effILP resolves the -1 explicit-zero sentinel to the effective filler
+// chain count.
+func (s Spec) effILP() int {
+	if s.ILP < 0 {
+		return 0
+	}
+	return s.ILP
+}
+
+// Spec knob bounds: the working set spans cache-resident (1K words = 8KB)
+// to 16MB; the depth knob is bounded so a generated trace stays well under
+// the interpreter's runaway guard.
+const (
+	minWorkingSet = 1 << 10
+	maxWorkingSet = 1 << 21
+	maxDepth      = 1 << 20
+	maxProblem    = 4
+	maxILP        = 8
+)
+
+// Validate checks a normalized spec's knobs. Call on Normalize()'s result;
+// Benchmark does both.
+func (s Spec) Validate() error {
+	known := false
+	for _, f := range Families() {
+		if s.Family == f {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("gen: unknown family %q (have %v)", s.Family, Families())
+	}
+	if s.WorkingSet < minWorkingSet || s.WorkingSet > maxWorkingSet {
+		return fmt.Errorf("gen: %s: working set %d words out of range [%d, %d]",
+			s.Family, s.WorkingSet, minWorkingSet, maxWorkingSet)
+	}
+	if s.Depth < 1 || s.Depth > maxDepth {
+		return fmt.Errorf("gen: %s: depth %d out of range [1, %d]", s.Family, s.Depth, maxDepth)
+	}
+	if s.ProblemLoads < 1 || s.ProblemLoads > maxProblem {
+		return fmt.Errorf("gen: %s: problem loads %d out of range [1, %d]", s.Family, s.ProblemLoads, maxProblem)
+	}
+	if s.BranchMix != -1 && (s.BranchMix < 0 || s.BranchMix > 100) {
+		return fmt.Errorf("gen: %s: branch mix %d%% out of range [0, 100]", s.Family, s.BranchMix)
+	}
+	if s.ILP != -1 && (s.ILP < 0 || s.ILP > maxILP) {
+		return fmt.Errorf("gen: %s: ilp %d out of range [0, %d]", s.Family, s.ILP, maxILP)
+	}
+	return nil
+}
+
+// Name returns the canonical benchmark name of the (normalized) spec. It
+// encodes every knob, so equal names imply equal workloads and two distinct
+// specs can never collide in the registry.
+func (s Spec) Name() string {
+	n := s.Normalize()
+	// Effective values display the -1 sentinel as the 0 it means; the name
+	// stays injective because a normalized literal 0 cannot occur (0 always
+	// normalizes to the family default).
+	return fmt.Sprintf("gen/%s/s%d-w%d-d%d-p%d-b%d-i%d",
+		n.Family, n.Seed, n.WorkingSet, n.Depth, n.ProblemLoads, n.effBranchMix(), n.effILP())
+}
+
+// Fingerprint returns the content fingerprint of the normalized spec. It is
+// chained into the staged artifact store's per-stage keys, so a generated
+// workload's cached trace, profile, slices and baseline are addressed by the
+// workload's content exactly like a configuration stage is by its knobs.
+func (s Spec) Fingerprint() (string, error) {
+	return fingerprint.JSON(s.Normalize())
+}
+
+// Benchmark materializes the spec as a registerable benchmark. The spec is
+// validated and both input classes are trial-built (and Program.Validate'd)
+// up front, so the returned Build closure cannot fail later — mirroring the
+// built-in workloads' contract.
+func (s Spec) Benchmark() (program.Benchmark, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return program.Benchmark{}, err
+	}
+	fp, err := n.Fingerprint()
+	if err != nil {
+		return program.Benchmark{}, err
+	}
+	for _, c := range []program.InputClass{program.Train, program.Ref} {
+		if _, err := n.build(c); err != nil {
+			return program.Benchmark{}, fmt.Errorf("gen: %s/%s: %w", n.Name(), c, err)
+		}
+	}
+	return program.Benchmark{
+		Name: n.Name(),
+		Build: func(c program.InputClass) *isa.Program {
+			p, err := n.build(c)
+			if err != nil {
+				// Unreachable: both inputs trial-built above and builds are
+				// deterministic.
+				panic(err)
+			}
+			return p
+		},
+		Description: fmt.Sprintf("generated %s workload (seed %d, %d-word set, depth %d, %d problem loads, %d%% branch mix, ilp %d)",
+			n.Family, n.Seed, n.WorkingSet, n.Depth, n.ProblemLoads, n.effBranchMix(), n.effILP()),
+		Fingerprint: fp,
+	}, nil
+}
+
+// Register materializes and registers the given specs, returning their
+// canonical benchmark names in argument order. Re-registering a spec that is
+// already registered is a cheap no-op: the name and fingerprint (but not the
+// programs or data images) are computed and matched against the registry
+// before any materialization, so sweeps can Register their workload points
+// on every invocation without re-paying workload construction.
+func Register(specs ...Spec) ([]string, error) {
+	names := make([]string, 0, len(specs))
+	for _, s := range specs {
+		n := s.Normalize()
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		fp, err := n.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		name := n.Name()
+		if existing, err := program.ByName(name); err == nil && existing.Fingerprint == fp {
+			names = append(names, name)
+			continue
+		}
+		bm, err := n.Benchmark()
+		if err != nil {
+			return nil, err
+		}
+		// A racing identical registration between the lookup and here is
+		// absorbed by the registry's fingerprint-idempotent Register.
+		if err := program.Register(bm); err != nil {
+			return nil, err
+		}
+		names = append(names, bm.Name)
+	}
+	return names, nil
+}
+
+// Parse parses the CLI spec grammar: family:seed[:knob=value,...] (see the
+// package comment).
+func Parse(text string) (Spec, error) {
+	parts := strings.SplitN(text, ":", 3)
+	if len(parts) < 2 {
+		return Spec{}, fmt.Errorf("gen: spec %q: want family:seed[:knob=value,...]", text)
+	}
+	var s Spec
+	s.Family = Family(strings.TrimSpace(parts[0]))
+	seed, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return Spec{}, fmt.Errorf("gen: spec %q: bad seed: %v", text, err)
+	}
+	s.Seed = seed
+	if len(parts) == 3 && strings.TrimSpace(parts[2]) != "" {
+		for _, kv := range strings.Split(parts[2], ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("gen: spec %q: knob %q is not key=value", text, kv)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return Spec{}, fmt.Errorf("gen: spec %q: knob %q: %v", text, kv, err)
+			}
+			switch strings.TrimSpace(key) {
+			case "ws":
+				s.WorkingSet = v
+			case "depth":
+				s.Depth = v
+			case "loads":
+				s.ProblemLoads = v
+			case "branch":
+				// An explicit 0 on the CLI means a never-taken mix, not
+				// "family default" — map it to the -1 sentinel.
+				if v == 0 {
+					v = -1
+				}
+				s.BranchMix = v
+			case "ilp":
+				if v == 0 {
+					v = -1 // explicit zero, as for branch
+				}
+				s.ILP = v
+			default:
+				keys := []string{"ws", "depth", "loads", "branch", "ilp"}
+				sort.Strings(keys)
+				return Spec{}, fmt.Errorf("gen: spec %q: unknown knob %q (have %s)", text, key, strings.Join(keys, ", "))
+			}
+		}
+	}
+	if err := s.Normalize().Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// inputVar is the per-input variation of a spec: a distinct data seed and
+// input-scaled iteration count and branch threshold. Ref differs from Train
+// in data and immediates only — code structure is a function of the knobs
+// alone, preserving the 1:1 static-PC mapping across inputs.
+type inputVar struct {
+	seed  uint64
+	steps int
+	bias  int
+}
+
+func (s Spec) inputVar(c program.InputClass) inputVar {
+	v := inputVar{
+		// splitmix-style spread so nearby seeds yield unrelated streams.
+		seed:  (s.Seed + 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9,
+		steps: s.Depth,
+		bias:  s.effBranchMix(),
+	}
+	if c == program.Ref {
+		v.seed = (v.seed ^ 0x94D049BB133111EB) * 0xD6E8FEB86659FD93
+		v.steps = s.Depth - s.Depth/8
+		if v.steps < 1 {
+			v.steps = 1
+		}
+		// An explicit zero mix stays never-taken on both inputs; everything
+		// else shifts a little, as real inputs shift branch behaviour.
+		if s.BranchMix >= 0 {
+			v.bias += 7
+			if v.bias > 100 {
+				v.bias -= 14
+			}
+		}
+	}
+	return v
+}
+
+// build emits the program for one input class.
+func (s Spec) build(c program.InputClass) (*isa.Program, error) {
+	v := s.inputVar(c)
+	b := isa.NewBuilder(s.Name() + "." + c.String())
+	switch s.Family {
+	case PointerChase:
+		s.buildPointerChase(b, v)
+	case HashProbe:
+		s.buildHashProbe(b, v)
+	case TreeWalk:
+		s.buildTreeWalk(b, v)
+	case BlockedStream:
+		s.buildBlockedStream(b, v)
+	case BranchyParser:
+		s.buildBranchyParser(b, v)
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q", s.Family)
+	}
+	return b.Build()
+}

@@ -1,0 +1,364 @@
+package gen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// TestGenDeterministicBuilds: the same spec must emit bit-identical programs
+// on every call — code, data image and entry point — for both input classes.
+func TestGenDeterministicBuilds(t *testing.T) {
+	for _, f := range Families() {
+		s := Spec{Family: f, Seed: 99, ProblemLoads: 2, ILP: 3}
+		a, err := s.Benchmark()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		b, err := s.Benchmark()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, c := range []program.InputClass{program.Train, program.Ref} {
+			if !reflect.DeepEqual(a.Build(c), b.Build(c)) {
+				t.Errorf("%s/%s: two builds of one spec differ", f, c)
+			}
+		}
+	}
+}
+
+// TestGenSeedsDiverge: distinct seeds must produce distinct data images
+// (the whole point of a seeded corpus).
+func TestGenSeedsDiverge(t *testing.T) {
+	for _, f := range Families() {
+		a, err := Spec{Family: f, Seed: 1}.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Spec{Family: f, Seed: 2}.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := a.Build(program.Train), b.Build(program.Train)
+		if reflect.DeepEqual(pa.InitMem, pb.InitMem) {
+			t.Errorf("%s: seeds 1 and 2 produced identical data images", f)
+		}
+	}
+}
+
+// TestGenTrainRefStructureIdentical: generated workloads must satisfy the
+// SPEC-binary property the realistic-profiling experiment depends on — Train
+// and Ref differ only in data and immediates, never in code structure.
+func TestGenTrainRefStructureIdentical(t *testing.T) {
+	for _, f := range Families() {
+		bm, err := Spec{Family: f, Seed: 5, ProblemLoads: 3, ILP: 2}.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, rf := bm.Build(program.Train), bm.Build(program.Ref)
+		if len(tr.Insts) != len(rf.Insts) {
+			t.Errorf("%s: %d train insts vs %d ref insts", f, len(tr.Insts), len(rf.Insts))
+			continue
+		}
+		for pc := range tr.Insts {
+			a, b := tr.Insts[pc], rf.Insts[pc]
+			if a.Op != b.Op || a.Dst != b.Dst || a.Src1 != b.Src1 || a.Src2 != b.Src2 || a.Target != b.Target {
+				t.Errorf("%s: pc %d structure differs: %s vs %s", f, pc, a, b)
+				break
+			}
+		}
+		if reflect.DeepEqual(tr.InitMem, rf.InitMem) {
+			t.Errorf("%s: train and ref share one data image", f)
+		}
+	}
+}
+
+// TestGenKnobsShapeWorkload: every knob must observably change the emitted
+// workload (code shape or executed behaviour), and the name must encode it.
+func TestGenKnobsShapeWorkload(t *testing.T) {
+	base := Spec{Family: HashProbe, Seed: 3}
+	mutations := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"ws", func(s *Spec) { s.WorkingSet = 1 << 14 }},
+		{"depth", func(s *Spec) { s.Depth = 1000 }},
+		{"loads", func(s *Spec) { s.ProblemLoads = 3 }},
+		{"branch", func(s *Spec) { s.BranchMix = 70 }},
+		{"ilp", func(s *Spec) { s.ILP = 6 }},
+	}
+	baseBM, err := base.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTr := trace.MustRun(baseBM.Build(program.Train))
+	for _, m := range mutations {
+		s := base
+		m.mutate(&s)
+		if s.Name() == base.Name() {
+			t.Errorf("%s knob not encoded in name %q", m.name, s.Name())
+		}
+		bm, err := s.Benchmark()
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		tr := trace.MustRun(bm.Build(program.Train))
+		if tr.Len() == baseTr.Len() && reflect.DeepEqual(bm.Build(program.Train).InitMem, baseBM.Build(program.Train).InitMem) {
+			t.Errorf("%s knob changed neither trace length nor data image", m.name)
+		}
+	}
+}
+
+// TestGenFingerprintNormalizes: explicit defaults and zero knobs are the
+// same workload — same name, same fingerprint — while any knob change
+// re-fingerprints.
+func TestGenFingerprintNormalizes(t *testing.T) {
+	implicit := Spec{Family: PointerChase, Seed: 8}
+	explicit := implicit.Normalize()
+	fa, err := implicit.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := explicit.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb || implicit.Name() != explicit.Name() {
+		t.Errorf("normalized spec diverged: %s/%s vs %s/%s", implicit.Name(), fa, explicit.Name(), fb)
+	}
+	changed := implicit
+	changed.Depth = 123
+	fc, err := changed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc == fa {
+		t.Error("depth change did not re-fingerprint")
+	}
+}
+
+// TestGenRegisterIdempotent: registering one spec twice is a no-op; the
+// second registration must neither error nor duplicate.
+func TestGenRegisterIdempotent(t *testing.T) {
+	s := Spec{Family: BlockedStream, Seed: 777}
+	names1, err := Register(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names2, err := Register(s)
+	if err != nil {
+		t.Fatalf("re-registering an identical spec: %v", err)
+	}
+	if !reflect.DeepEqual(names1, names2) {
+		t.Fatalf("re-registration renamed: %v vs %v", names1, names2)
+	}
+	if _, err := program.ByName(names1[0]); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, name := range program.Names() {
+		if name == names1[0] {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("registry lists the spec %d times", n)
+	}
+}
+
+// TestGenValidate covers the knob bounds and unknown families.
+func TestGenValidate(t *testing.T) {
+	bad := []Spec{
+		{Family: "nonesuch", Seed: 1},
+		{Family: PointerChase, Seed: 1, WorkingSet: 1 << 25},
+		{Family: PointerChase, Seed: 1, Depth: -1},
+		{Family: PointerChase, Seed: 1, ProblemLoads: 9},
+		{Family: PointerChase, Seed: 1, BranchMix: 150},
+		{Family: PointerChase, Seed: 1, ILP: 99},
+	}
+	for _, s := range bad {
+		if _, err := s.Benchmark(); err == nil {
+			t.Errorf("Benchmark accepted invalid spec %+v", s)
+		}
+	}
+}
+
+// TestGenParse covers the CLI spec grammar.
+func TestGenParse(t *testing.T) {
+	s, err := Parse("hash-probe:42:ws=131072,loads=2,branch=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Family: HashProbe, Seed: 42, WorkingSet: 131072, ProblemLoads: 2, BranchMix: 30}
+	if s != want {
+		t.Errorf("Parse = %+v, want %+v", s, want)
+	}
+	if s2, err := Parse("pointer-chase:7"); err != nil || s2.Family != PointerChase || s2.Seed != 7 {
+		t.Errorf("Parse minimal form: %+v, %v", s2, err)
+	}
+	for _, bad := range []string{"", "pointer-chase", "pointer-chase:x", "bogus:1",
+		"pointer-chase:1:ws", "pointer-chase:1:nope=3", "pointer-chase:1:ws=abc",
+		"pointer-chase:1:loads=9"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+	// Parse errors name the valid knobs.
+	_, err = Parse("pointer-chase:1:nope=3")
+	if err == nil || !strings.Contains(err.Error(), "ws") {
+		t.Errorf("unknown-knob error %v does not list knob keys", err)
+	}
+}
+
+// TestGenExplicitZeroKnobs: branch=0 and ilp=0 are meaningful settings, not
+// "family default" — Parse maps them to the -1 sentinel, which is the
+// canonical normalized form (Normalize must be idempotent: a resolved 0
+// would read as "unset" on the next pass and silently substitute the family
+// default). The name, fingerprint and built workload all reflect the zeros,
+// including through the Register path.
+func TestGenExplicitZeroKnobs(t *testing.T) {
+	s, err := Parse("pointer-chase:9:branch=0,ilp=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BranchMix != -1 || s.ILP != -1 {
+		t.Fatalf("Parse mapped zeros to %+v", s)
+	}
+	n := s.Normalize()
+	if n != n.Normalize() {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", n, n.Normalize())
+	}
+	if n.effBranchMix() != 0 || n.effILP() != 0 {
+		t.Fatalf("effective knobs of %+v not zero", n)
+	}
+	if !strings.Contains(s.Name(), "-b0-") || !strings.Contains(s.Name(), "-i0") {
+		t.Errorf("name %q does not encode explicit zeros", s.Name())
+	}
+	dfltSpec := Spec{Family: PointerChase, Seed: 9}
+	if s.Name() == dfltSpec.Name() {
+		t.Fatal("explicit-zero spec aliases the default spec's name")
+	}
+	sf, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := dfltSpec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf == df {
+		t.Fatal("explicit-zero spec aliases the default spec's fingerprint")
+	}
+	// Registration must carry the explicit zeros, not rewrite them to the
+	// family default mid-flight.
+	names, err := Register(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != s.Name() || !strings.Contains(names[0], "-b0-") {
+		t.Fatalf("Register named the explicit-zero spec %q", names[0])
+	}
+	zero, err := program.ByName(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dflt, err := dfltSpec.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zt := trace.MustRun(zero.Build(program.Train))
+	dt := trace.MustRun(dflt.Build(program.Train))
+	if zt.Len() >= dt.Len() {
+		t.Errorf("ilp=0 trace (%d insts) not shorter than default ilp (%d insts)", zt.Len(), dt.Len())
+	}
+	// With a never-taken mix, the extra path must never execute: the
+	// extra-path counter instruction (AddI rAcc2) shows zero dynamic
+	// executions.
+	counts := zt.StaticCounts()
+	prog := zero.Build(program.Train)
+	for pc, in := range prog.Insts {
+		if in.Op == 0 {
+			continue
+		}
+		if in.String() == "addi r14, r14, 1" && counts[pc] != 0 {
+			t.Errorf("branch=0 workload executed the extra path %d times", counts[pc])
+		}
+	}
+}
+
+// TestGenParseHugeWorkingSet: a working set past the power-of-two doubling
+// range must fail fast with a range error, not hang in normalization.
+func TestGenParseHugeWorkingSet(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := Parse("pointer-chase:1:ws=4611686018427387905")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("oversized working set accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Parse hung on an oversized working set")
+	}
+}
+
+// TestGenTreeWalkILPIndependent: the ILP filler chains must be independent
+// of the descent — the sequence of tree-node addresses a walk visits is
+// identical whatever the ILP knob (a register collision between filler and
+// search-key registers would perturb every direction decision).
+func TestGenTreeWalkILPIndependent(t *testing.T) {
+	treeAddrs := func(ilp int) []int64 {
+		s := Spec{Family: TreeWalk, Seed: 13, WorkingSet: 1 << 12, Depth: 50, ProblemLoads: 4, ILP: ilp}
+		bm, err := s.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.MustRun(bm.Build(program.Train))
+		treeBase := int64(1<<10) * maxProblem * 8
+		var addrs []int64
+		for cu := tr.Cursor(); cu.Next(); {
+			if cu.Inst().IsLoad() && cu.Addr() >= treeBase {
+				addrs = append(addrs, cu.Addr())
+			}
+		}
+		return addrs
+	}
+	want := treeAddrs(-1) // explicit zero filler
+	for _, ilp := range []int{2, 5, 8} {
+		if got := treeAddrs(ilp); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ilp=%d changed the descent address stream (%d vs %d tree loads)", ilp, len(got), len(want))
+		}
+	}
+}
+
+// TestGenProgramsValidate: every family × a knob matrix must emit programs
+// that pass isa validation and run to completion on both inputs.
+func TestGenProgramsValidate(t *testing.T) {
+	for _, f := range Families() {
+		for _, s := range []Spec{
+			{Family: f, Seed: 1},
+			{Family: f, Seed: 2, WorkingSet: 1 << 12, Depth: 200, ProblemLoads: 4, BranchMix: 90, ILP: 8},
+			{Family: f, Seed: 3, WorkingSet: 1 << 18, Depth: 100, ProblemLoads: 2, BranchMix: 5},
+		} {
+			bm, err := s.Benchmark()
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			for _, c := range []program.InputClass{program.Train, program.Ref} {
+				p := bm.Build(c)
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s/%s: %v", bm.Name, c, err)
+				}
+				if _, err := trace.Run(p); err != nil {
+					t.Fatalf("%s/%s: %v", bm.Name, c, err)
+				}
+			}
+		}
+	}
+}

@@ -38,23 +38,23 @@ func buildMCF(c InputClass) *isa.Program {
 	arcsBase := nodesWords         // word index of arc values
 	idxBase := arcsBase + arcWords // word index of the arc-index stream
 	mem := make([]int64, nodesWords+arcWords+idxWords)
-	r := newLCG(seed)
-	next := r.cyclePerm(nNodes)
+	r := NewLCG(seed)
+	next := r.CyclePerm(nNodes)
 	for i := 0; i < nNodes; i++ {
 		mem[i*nodeRec] = int64(next[i] * nodeRec * 8) // next node byte address
-		mem[i*nodeRec+1] = int64(r.intn(100))         // cost
+		mem[i*nodeRec+1] = int64(r.Intn(100))         // cost
 	}
 	for w := 0; w < arcWords; w++ {
-		mem[arcsBase+w] = int64(r.intn(200) - 100)
+		mem[arcsBase+w] = int64(r.Intn(200) - 100)
 	}
 	// The arc-index stream gathers arcs in permuted order: every 8th entry
 	// points anywhere in the 512KB arc region (a problem access), the rest
 	// stay within a hot 32KB prefix.
 	for w := 0; w < idxWords; w++ {
 		if w%8 == 0 {
-			mem[idxBase+w] = int64(r.intn(arcWords))
+			mem[idxBase+w] = int64(r.Intn(arcWords))
 		} else {
-			mem[idxBase+w] = int64(r.intn(4096))
+			mem[idxBase+w] = int64(r.Intn(4096))
 		}
 	}
 

@@ -33,7 +33,7 @@ func buildParser(c InputClass) *isa.Program {
 	textBase := 0
 	bucketBase := textEntries
 	mem := make([]int64, textEntries+bucketEntries)
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	hash := func(k int64) int { return int((uint64(k*parserHashMul) >> 16)) & bmask }
 	// Three quarters of the text stream are "frequent words" drawn from a
 	// small dictionary whose buckets live in a hot 32KB prefix of the table
@@ -44,14 +44,14 @@ func buildParser(c InputClass) *isa.Program {
 	for i := 0; i < textEntries; i++ {
 		wantHot := i%8 != 0
 		if wantHot && len(hotKeys) >= 512 {
-			mem[textBase+i] = hotKeys[r.intn(len(hotKeys))]
+			mem[textBase+i] = hotKeys[r.Intn(len(hotKeys))]
 			continue
 		}
 		// Find a fresh key in the wanted region, placeable at its home
 		// bucket or home+1 (no wrap: regenerate when the home bucket is the
 		// last entry).
 		for {
-			k := int64(1 + r.intn(1<<30))
+			k := int64(1 + r.Intn(1<<30))
 			h := hash(k)
 			if h >= bmask {
 				continue
@@ -63,7 +63,7 @@ func buildParser(c InputClass) *isa.Program {
 			switch {
 			case mem[home] == 0 || mem[home] == k:
 				mem[home] = k
-			case r.intn(secondProbeFrac) == 0 && (mem[home+1] == 0 || mem[home+1] == k):
+			case r.Intn(secondProbeFrac) == 0 && (mem[home+1] == 0 || mem[home+1] == k):
 				mem[home+1] = k
 			default:
 				continue

@@ -34,9 +34,9 @@ func buildTwolf(c InputClass) *isa.Program {
 	cmask := int64(cellWords - 1)
 
 	mem := make([]int64, cellWords)
-	r := newLCG(uint64(seed))
+	r := NewLCG(uint64(seed))
 	for w := range mem {
-		mem[w] = int64(r.intn(4096))
+		mem[w] = int64(r.Intn(4096))
 	}
 
 	const (

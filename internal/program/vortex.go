@@ -30,26 +30,26 @@ func buildVortex(c InputClass) *isa.Program {
 	idxBase := idEntries
 	heapBase := idxBase + nObjs
 	mem := make([]int64, idEntries+nObjs+heapRecs*8)
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	hotObjs := nObjs / 32
 	for i := 0; i < idEntries; i++ {
 		// Most references hit a hot object subset (database locality); the
 		// cold quarter generates the problem-load misses.
 		if i%8 == 0 {
-			mem[idBase+i] = int64(r.intn(nObjs))
+			mem[idBase+i] = int64(r.Intn(nObjs))
 		} else {
-			mem[idBase+i] = int64(r.intn(hotObjs))
+			mem[idBase+i] = int64(r.Intn(hotObjs))
 		}
 	}
-	objOf := r.perm(nObjs) // scatter objects across the heap
+	objOf := r.Perm(nObjs) // scatter objects across the heap
 	for o := 0; o < nObjs; o++ {
 		rec := objOf[o] % heapRecs
 		mem[idxBase+o] = int64((heapBase + rec*8) * 8) // object byte address
 	}
 	for rec := 0; rec < heapRecs; rec++ {
 		w := heapBase + rec*8
-		mem[w] = int64(r.intn(256))   // field0: type/value
-		mem[w+1] = int64(r.intn(100)) // field1
+		mem[w] = int64(r.Intn(256))   // field0: type/value
+		mem[w+1] = int64(r.Intn(100)) // field1
 	}
 
 	const (

@@ -32,9 +32,9 @@ func buildVPRPlace(c InputClass) *isa.Program {
 	cmask := int64(cellWords - 2)
 
 	mem := make([]int64, cellWords)
-	r := newLCG(uint64(seed))
+	r := NewLCG(uint64(seed))
 	for w := range mem {
-		mem[w] = int64(r.intn(2048))
+		mem[w] = int64(r.Intn(2048))
 	}
 
 	const (
@@ -128,18 +128,18 @@ func buildVPRRoute(c InputClass) *isa.Program {
 	gridWords := gridW * gridH
 	queueBase := gridWords
 	mem := make([]int64, gridWords+queueEntries)
-	r := newLCG(seed)
+	r := NewLCG(seed)
 	for w := 0; w < gridWords; w++ {
-		mem[w] = int64(r.intn(1 << 14)) // routing cost
+		mem[w] = int64(r.Intn(1 << 14)) // routing cost
 	}
 	for q := 0; q < queueEntries; q++ {
 		// The wavefront lingers in a hot band of rows (net locality); a
 		// quarter of expansions jump to cold rows and miss.
-		row := 1 + r.intn(gridH-2)
+		row := 1 + r.Intn(gridH-2)
 		if q%8 != 0 {
-			row = 1 + r.intn(44)
+			row = 1 + r.Intn(44)
 		}
-		col := 1 + r.intn(gridW-2)
+		col := 1 + r.Intn(gridW-2)
 		mem[queueBase+q] = int64((row*gridW + col) * 8) // interior cell byte offset
 	}
 

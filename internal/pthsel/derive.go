@@ -27,7 +27,7 @@ type DeriveConfig struct {
 }
 
 // Fingerprint returns the content fingerprint of the derivation config.
-func (c DeriveConfig) Fingerprint() string { return fingerprint.JSON(c) }
+func (c DeriveConfig) Fingerprint() (string, error) { return fingerprint.JSON(c) }
 
 // Derive assembles the selection Params from the baseline measurements
 // (unoptimized cycles L0, energy E0 and IPC) and the criticality curves.

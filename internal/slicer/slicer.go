@@ -36,7 +36,7 @@ func DefaultConfig() Config {
 
 // Fingerprint returns the content fingerprint of the slicing stage config —
 // the complete set of knobs BuildTrees reads beyond its input artifacts.
-func (c Config) Fingerprint() string { return fingerprint.JSON(c) }
+func (c Config) Fingerprint() (string, error) { return fingerprint.JSON(c) }
 
 // Node is one slice-tree node: a candidate (trigger, body) pair.
 type Node struct {

@@ -343,7 +343,10 @@ func (it *Interpreter) Run(p *isa.Program) (*Trace, error) {
 		next := pc + 1
 		switch {
 		case in.IsALU():
-			v := in.Eval(regs[in.Src1], regs[in.Src2])
+			v, err := in.Eval(regs[in.Src1], regs[in.Src2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: pc %d (%s): %w", pc, in, err)
+			}
 			eVal = v
 			if in.Dst != isa.Zero {
 				regs[in.Dst] = v

@@ -272,7 +272,10 @@ func referenceRun(t *testing.T, p *isa.Program) ([]refEntry, [isa.NumRegs]int64)
 		next := pc + 1
 		switch {
 		case in.IsALU():
-			v := in.Eval(regs[in.Src1], regs[in.Src2])
+			v, err := in.Eval(regs[in.Src1], regs[in.Src2])
+			if err != nil {
+				t.Fatalf("referenceRun: pc %d: %v", pc, err)
+			}
 			e.Val = v
 			if in.Dst != isa.Zero {
 				regs[in.Dst] = v

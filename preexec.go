@@ -35,6 +35,16 @@
 // the human-readable table (see EXPERIMENTS.md for paper-vs-measured
 // values and the report schema).
 //
+// Beyond the paper's nine built-in workloads, the seeded workload generator
+// opens the rest of the memory-behaviour space: a WorkloadSpec declares a
+// family (pointer-chase, hash-probe, tree-walk, blocked-stream,
+// branchy-parser), a seed and knobs, and Lab.RegisterSpecs turns specs into
+// benchmarks usable everywhere names are (see also Grid.Workloads and
+// GenAxis for sweeping generator knobs like configuration knobs):
+//
+//	names, _ := lab.RegisterSpecs(preexec.WorkloadSpec{Family: preexec.FamilyPointerChase, Seed: 7})
+//	rep, _ := lab.RunCampaign(ctx, names, []preexec.Target{preexec.TargetP})
+//
 // # Migration from the pre-Lab API
 //
 // The package previously exposed free functions that re-prepared each
@@ -66,6 +76,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/program/gen"
 	"repro/internal/pthsel"
 	"repro/internal/trace"
 )
@@ -117,6 +128,21 @@ type (
 	// mutation realizing it.
 	AxisPoint = experiments.AxisPoint
 
+	// WorkloadSpec declares one generated synthetic workload: a memory-
+	// behaviour family, a seed, and knobs for working-set size, chain depth,
+	// problem-load count, branch mix and ILP width. Specs are pure values:
+	// equal specs always materialize bit-identical programs (see
+	// Lab.RegisterSpecs).
+	WorkloadSpec = gen.Spec
+	// WorkloadFamily names a generator memory-behaviour family.
+	WorkloadFamily = gen.Family
+	// WorkloadPoint is one generated workload participating in a sweep Grid
+	// (see Grid.Workloads).
+	WorkloadPoint = experiments.WorkloadPoint
+	// GenPoint is one point on a generator-knob axis: a label plus a spec
+	// mutation (see GenAxis).
+	GenPoint = experiments.GenPoint
+
 	// Report is a structured, JSON-marshalable experiment artifact with a
 	// Render method producing the human-readable table.
 	Report = experiments.Report
@@ -161,6 +187,38 @@ const (
 	SweepL2Size     = experiments.SweepL2Size
 )
 
+// Generator workload families (see WorkloadSpec).
+const (
+	FamilyPointerChase  = gen.PointerChase
+	FamilyHashProbe     = gen.HashProbe
+	FamilyTreeWalk      = gen.TreeWalk
+	FamilyBlockedStream = gen.BlockedStream
+	FamilyBranchyParser = gen.BranchyParser
+)
+
+// WorkloadFamilies lists every generator family.
+func WorkloadFamilies() []WorkloadFamily { return gen.Families() }
+
+// ParseWorkloadSpec parses the generator's CLI spec grammar,
+// family:seed[:knob=value,...] — e.g. "pointer-chase:7" or
+// "hash-probe:42:ws=131072,loads=2,branch=30" — as used by cmd/sweep's
+// -gen flag. Knob keys: ws, depth, loads, branch, ilp.
+func ParseWorkloadSpec(s string) (WorkloadSpec, error) { return gen.Parse(s) }
+
+// GenAxis expands a base workload spec through per-point mutations into the
+// Workloads dimension of a sweep Grid, so generator knobs sweep exactly like
+// configuration knobs:
+//
+//	g := preexec.Grid{
+//	        Workloads: preexec.GenAxis(preexec.WorkloadSpec{Family: preexec.FamilyPointerChase, Seed: 1},
+//	                preexec.GenPoint{Label: "d=500", Mutate: func(s *preexec.WorkloadSpec) { s.Depth = 500 }},
+//	                preexec.GenPoint{Label: "d=2000", Mutate: func(s *preexec.WorkloadSpec) { s.Depth = 2000 }}),
+//	        Axes: []preexec.Axis{preexec.GridAxis(preexec.SweepIdleFactor)},
+//	}
+func GenAxis(base WorkloadSpec, pts ...GenPoint) []WorkloadPoint {
+	return experiments.GenAxis(base, pts...)
+}
+
 // Preparation pipeline stages, in dependency order (see Lab.StagePrepares).
 const (
 	StageTrace    = experiments.StageTrace
@@ -196,10 +254,13 @@ func DefaultConfig() Config { return experiments.DefaultConfig() }
 // NewBuilder starts a custom workload program.
 func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
 
-// Benchmarks lists the nine SPEC2000-like synthetic workloads.
+// Benchmarks lists every registered workload, sorted by name: the nine
+// SPEC2000-like built-ins plus any generated workloads registered through
+// RegisterSpecs or sweep grids.
 func Benchmarks() []string { return program.Names() }
 
-// PaperBenchmarks returns the paper's benchmark list in its order.
+// PaperBenchmarks returns the paper's nine benchmarks in the paper's own
+// presentation order, independent of what else is registered.
 func PaperBenchmarks() []string { return experiments.PaperBenchmarks() }
 
 // ParseTarget parses a selection-target name (O, L, E, P, P2) as used in
@@ -266,6 +327,23 @@ func (l *Lab) Prepares() int64 { return l.run.Prepares() }
 // looks at (e.g. idle factor or memory latency for trace/profile/slices)
 // executes that stage exactly once per benchmark.
 func (l *Lab) StagePrepares(stage Stage) int64 { return l.run.StagePrepares(stage) }
+
+// RegisterSpecs materializes and registers generated workloads, returning
+// their canonical benchmark names in argument order. Registered names work
+// everywhere built-in names do — studies, campaigns, figures, sweep grids —
+// and their preparations flow through the same staged artifact store, keyed
+// by the spec's content fingerprint. Registration is global (the benchmark
+// registry is shared by every Lab) and idempotent: re-registering an
+// identical spec, even concurrently from campaign workers, is a no-op.
+//
+//	names, err := lab.RegisterSpecs(
+//	        preexec.WorkloadSpec{Family: preexec.FamilyPointerChase, Seed: 1},
+//	        preexec.WorkloadSpec{Family: preexec.FamilyHashProbe, Seed: 2, ProblemLoads: 2},
+//	)
+//	rep, err := lab.RunCampaign(ctx, names, []preexec.Target{preexec.TargetP})
+func (l *Lab) RegisterSpecs(specs ...WorkloadSpec) ([]string, error) {
+	return gen.Register(specs...)
+}
 
 // Benchmark builds a named synthetic workload on its Train input. Unknown
 // names return an error; use Benchmarks for the list.

@@ -71,9 +71,21 @@ func TestFacadeCustomProgram(t *testing.T) {
 
 func TestFacadeBenchmarkList(t *testing.T) {
 	lab := New()
-	names := Benchmarks()
-	if len(names) != 9 {
-		t.Fatalf("benchmarks = %v", names)
+	// Benchmarks() is the full name-sorted registry (built-ins plus any
+	// registered generated workloads); the paper's nine must all be present,
+	// and PaperBenchmarks() must stay exactly the pinned nine.
+	listed := map[string]bool{}
+	for _, n := range Benchmarks() {
+		listed[n] = true
+	}
+	paper := PaperBenchmarks()
+	if len(paper) != 9 {
+		t.Fatalf("paper benchmarks = %v", paper)
+	}
+	for _, n := range paper {
+		if !listed[n] {
+			t.Errorf("paper benchmark %s missing from Benchmarks()", n)
+		}
 	}
 	p, err := lab.Benchmark("mcf")
 	if err != nil {
