@@ -21,6 +21,12 @@
 // would print, without recomputing anything:
 //
 //	sweep -axis idle,mem -json | report -render -
+//
+// Daemon event streams work too: lines carrying a "kind" (progress events,
+// including kinds this build doesn't know) are skipped, and the embedded
+// artifact line renders as usual:
+//
+//	curl -sN localhost:8080/v1/jobs/j1/events | report -render -
 package main
 
 import (
@@ -143,7 +149,10 @@ func decoderFor(name string) func([]byte) (preexec.Report, error) {
 
 // renderStream decodes a JSON artifact stream (one {"artifact","report"}
 // object per line, as emitted by -json or by cmd/sweep -json) and renders
-// each artifact.
+// each artifact. Progress-event lines — objects carrying a "kind" and no
+// "artifact", as in a daemon job's NDJSON event stream — are skipped
+// without inspection of the kind, so streams from newer daemons with event
+// kinds this build has never heard of still render.
 func renderStream(path string) error {
 	var in io.Reader = os.Stdin
 	if path != "-" {
@@ -165,9 +174,13 @@ func renderStream(path string) error {
 		var env struct {
 			Artifact string          `json:"artifact"`
 			Report   json.RawMessage `json:"report"`
+			Kind     string          `json:"kind"`
 		}
 		if err := json.Unmarshal([]byte(line), &env); err != nil {
 			return fmt.Errorf("artifact stream line %d: %w", n+1, err)
+		}
+		if env.Artifact == "" && env.Kind != "" {
+			continue // progress event from a job stream; any kind, even unknown
 		}
 		decode := decoderFor(env.Artifact)
 		if decode == nil {

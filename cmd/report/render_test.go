@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeStream(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stream.ndjson")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sweepArtifactLine = `{"artifact":"sweep","report":{"Axes":["idle-energy-factor"],"Targets":["L"],"Points":[]}}`
+
+func TestRenderStreamSkipsEventLines(t *testing.T) {
+	path := writeStream(t,
+		`{"kind":"stage-start","bench":"gap","stage":"trace"}`,
+		`{"kind":"some-future-event-kind","whatever":1}`,
+		`{"kind":"point-done","bench":"gap","done":3,"total":3}`,
+		sweepArtifactLine,
+		`{"kind":"job-done"}`,
+	)
+	if err := renderStream(path); err != nil {
+		t.Fatalf("renderStream: %v", err)
+	}
+}
+
+func TestRenderStreamPureArtifacts(t *testing.T) {
+	if err := renderStream(writeStream(t, sweepArtifactLine)); err != nil {
+		t.Fatalf("renderStream: %v", err)
+	}
+}
+
+func TestRenderStreamErrors(t *testing.T) {
+	cases := map[string][]string{
+		"events only, no artifact": {
+			`{"kind":"stage-start"}`,
+			`{"kind":"job-done"}`,
+		},
+		"neither kind nor artifact": {`{"bench":"gap"}`},
+		"unknown artifact":          {`{"artifact":"nonesuch","report":{}}`},
+		"malformed json":            {`{"artifact":`},
+	}
+	for name, lines := range cases {
+		if err := renderStream(writeStream(t, lines...)); err == nil {
+			t.Errorf("%s: renderStream succeeded, want error", name)
+		}
+	}
+}

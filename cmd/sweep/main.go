@@ -21,6 +21,14 @@
 //
 // Benchmark names are validated by the Lab engine itself: unknown or
 // duplicated names fail fast with the valid set listed.
+//
+// With -addr the same sweep runs on a lab daemon (cmd/labd) instead of
+// in-process: the grid is submitted over HTTP, per-point progress streams
+// back live and prints identically to a local run, and the daemon's
+// persistent artifact store makes repeated and concurrent submissions share
+// every preparation stage — across clients and across daemon restarts:
+//
+//	sweep -addr http://localhost:8080 -axis idle -bench gap
 package main
 
 import (
@@ -42,13 +50,16 @@ func main() {
 	targetNames := flag.String("targets", "", "comma-separated selection targets (default: L,E,P)")
 	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit the JSON artifact instead of the rendered table")
+	addr := flag.String("addr", "", "submit to a lab daemon at this base URL instead of sweeping locally")
 	var workloads []preexec.WorkloadPoint
+	var genSpecs []string
 	flag.Func("gen", "generated workload spec family:seed[:knob=value,...] (repeatable)", func(text string) error {
 		spec, err := preexec.ParseWorkloadSpec(text)
 		if err != nil {
 			return err
 		}
 		workloads = append(workloads, preexec.WorkloadPoint{Label: text, Spec: spec})
+		genSpecs = append(genSpecs, text)
 		return nil
 	})
 	flag.Parse()
@@ -86,6 +97,25 @@ func main() {
 			}
 			targets = append(targets, tgt)
 		}
+	}
+
+	if *addr != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		var axes, targetList []string
+		for _, a := range strings.Split(*axisNames, ",") {
+			axes = append(axes, strings.TrimSpace(a))
+		}
+		if *targetNames != "" {
+			for _, t := range strings.Split(*targetNames, ",") {
+				targetList = append(targetList, strings.TrimSpace(t))
+			}
+		}
+		if err := runRemote(ctx, *addr, axes, names, genSpecs, targetList, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	lab := preexec.New(

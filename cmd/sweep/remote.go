@@ -1,0 +1,149 @@
+package main
+
+// Daemon client mode (-addr): submit the sweep to a running cmd/labd,
+// stream its NDJSON events, mirror the local progress output, and render
+// (or re-emit) the artifact exactly as a local run would.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	preexec "repro"
+	"repro/internal/labapi"
+)
+
+func runRemote(ctx context.Context, addr string, axes, benchmarks, genSpecs, targets []string, asJSON bool) error {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	req := labapi.SweepRequest{Axes: axes, Benchmarks: benchmarks, Workloads: genSpecs, Targets: targets}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	submit, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	submit.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(submit)
+	if err != nil {
+		return err
+	}
+	var sub labapi.SubmitResponse
+	submitErr := decodeOrError(resp, http.StatusAccepted, &sub)
+	if submitErr != nil {
+		return submitErr
+	}
+	fmt.Fprintf(os.Stderr, "sweep: submitted job %s to %s\n", sub.ID, base)
+
+	// An interrupt cancels the job daemon-side before this process exits,
+	// so ^C doesn't leave the daemon grinding through an abandoned grid.
+	go func() {
+		<-ctx.Done()
+		cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if del, err := http.NewRequestWithContext(cancelCtx, http.MethodDelete,
+			fmt.Sprintf("%s/v1/jobs/%s", base, sub.ID), nil); err == nil {
+			if resp, err := http.DefaultClient.Do(del); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	stream, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/events", base, sub.ID), nil)
+	if err != nil {
+		return err
+	}
+	events, err := http.DefaultClient.Do(stream)
+	if err != nil {
+		return err
+	}
+	defer events.Body.Close()
+	if events.StatusCode != http.StatusOK {
+		return fmt.Errorf("event stream: %s", responseError(events))
+	}
+
+	sc := bufio.NewScanner(events.Body)
+	sc.Buffer(make([]byte, 1<<20), 64<<20) // the artifact line carries the whole report
+	rendered := false
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var line labapi.StreamLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return fmt.Errorf("event stream: %w", err)
+		}
+		switch {
+		case line.Artifact != "":
+			if asJSON {
+				fmt.Println(string(raw))
+				rendered = true
+				continue
+			}
+			var rep preexec.SweepReport
+			if err := json.Unmarshal(line.Report, &rep); err != nil {
+				return fmt.Errorf("decode %s artifact: %w", line.Artifact, err)
+			}
+			fmt.Println(rep.Render())
+			rendered = true
+		case line.Kind == labapi.KindJobFailed:
+			return fmt.Errorf("job %s failed: %s", sub.ID, line.Err)
+		case line.Kind == labapi.KindJobDone:
+			// artifact already handled; stream is about to end
+		case line.Kind == labapi.KindLagging:
+			fmt.Fprintf(os.Stderr, "sweep: stream lagged, %d events dropped\n", line.Dropped)
+		case line.Kind == string(preexec.EventStageStart):
+			fmt.Fprintf(os.Stderr, "sweep: building %s/%s %s\n", line.Bench, line.Input, line.Stage)
+		case line.Kind == string(preexec.EventStageSpill):
+			fmt.Fprintf(os.Stderr, "sweep: loaded %s/%s %s from disk store\n", line.Bench, line.Input, line.Stage)
+		case line.Kind == string(preexec.EventPointDone):
+			fmt.Fprintf(os.Stderr, "sweep: point %d/%d %s@%s\n", line.Done, line.Total, line.Bench, line.Point)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted; job %s cancelled", sub.ID)
+		}
+		return fmt.Errorf("event stream: %w", err)
+	}
+	if !rendered {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted; job %s cancelled", sub.ID)
+		}
+		return fmt.Errorf("job %s stream ended without an artifact (re-fetch with: curl %s/v1/jobs/%s/events)",
+			sub.ID, base, sub.ID)
+	}
+	return nil
+}
+
+// decodeOrError decodes a JSON response body into out when the status
+// matches, and turns anything else into an error carrying the server's
+// message.
+func decodeOrError(resp *http.Response, want int, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s", responseError(resp))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseError extracts the daemon's {"error": ...} message, falling back
+// to the HTTP status.
+func responseError(resp *http.Response) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Sprintf("%s (%s)", e.Error, resp.Status)
+	}
+	return resp.Status
+}

@@ -1,0 +1,444 @@
+// Package artifactdisk is the on-disk, content-addressed spill tier behind
+// the in-memory singleflight artifact store: stage artifacts serialized
+// under their content fingerprints, one file per artifact.
+//
+// Guarantees:
+//
+//   - Writes are atomic and durable-before-visible: payloads go to a
+//     temporary file that is fsynced and then renamed into place, so a
+//     reader (or a crash) never observes a half-written artifact under its
+//     final name.
+//   - Loads are verified: every file carries its full key and a payload
+//     checksum; a truncated, bit-flipped or stale-format file is
+//     quarantined — deleted and counted, never fatal — and the caller
+//     rebuilds the artifact.
+//   - The store is byte-budgeted: when the artifact bytes exceed the
+//     budget, least-recently-used artifacts are evicted. Recency survives
+//     restarts approximately via file mtimes (loads touch their file).
+//
+// The store is safe for concurrent use by one process. Multiple processes
+// may share a directory: atomic renames keep files well-formed, and a file
+// evicted or quarantined under a concurrent reader simply loads as a miss.
+package artifactdisk
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one stored artifact: a pipeline stage's output for one
+// (benchmark, input) under the stage's chained content fingerprint.
+type Key struct {
+	Name  string `json:"name"`
+	Input string `json:"input"`
+	Stage string `json:"stage"`
+	FP    string `json:"fp"`
+}
+
+// Stats reports the store's cumulative counters and current footprint.
+type Stats struct {
+	Files int64 `json:"files"`
+	Bytes int64 `json:"bytes"`
+
+	Saves       int64 `json:"saves"`
+	SaveErrors  int64 `json:"save_errors"`
+	Loads       int64 `json:"loads"`
+	Misses      int64 `json:"misses"`
+	Quarantined int64 `json:"quarantined"`
+	Evicted     int64 `json:"evicted"`
+}
+
+// fileMagic identifies the artifact container format; bump on layout change
+// so stale files quarantine instead of misloading.
+const fileMagic = "LABART01"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// entry is one resident artifact in the LRU index.
+type entry struct {
+	path string
+	size int64
+	elem *list.Element // position in lru (front = most recent)
+}
+
+// Store is the on-disk spill tier rooted at one directory.
+type Store struct {
+	dir      string
+	maxBytes int64 // <= 0: unlimited
+
+	mu      sync.Mutex
+	entries map[string]*entry // keyed by file path
+	lru     *list.List        // of path strings
+	bytes   int64
+	files   int64
+
+	saves, saveErrors, loads, misses, quarantined, evicted atomic.Int64
+}
+
+// Open opens (creating if needed) a store rooted at dir with the given byte
+// budget (maxBytes <= 0 means unlimited). Existing artifacts are indexed by
+// file mtime so eviction order approximates LRU across restarts; leftover
+// temporary files from a crashed writer are removed.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("artifactdisk: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("artifactdisk: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+	}
+	type found struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var all []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, ".tmp") {
+			os.Remove(path)
+			return nil
+		}
+		if !strings.HasSuffix(path, ".art") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent eviction
+		}
+		all = append(all, found{path: path, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("artifactdisk: scan %s: %w", dir, err)
+	}
+	// Oldest first so the LRU front ends up the most recently used.
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		e := &entry{path: f.path, size: f.size}
+		e.elem = s.lru.PushFront(f.path)
+		s.entries[f.path] = e
+		s.bytes += f.size
+		s.files++
+	}
+	s.mu.Lock()
+	s.evictLocked(nil)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// pathFor derives the artifact file path: one subdirectory per stage, file
+// named by the key's collision-resistant hash. The stage subdirectory is
+// cosmetic (the hash covers the full key); unsafe stage strings fall back
+// to a generic bucket.
+func (s *Store) pathFor(k Key) string {
+	h := sha256.New()
+	for _, part := range []string{k.Name, k.Input, k.Stage, k.FP} {
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(part)))
+		h.Write(lenBuf[:])
+		io.WriteString(h, part)
+	}
+	sub := k.Stage
+	if sub == "" || strings.ContainsAny(sub, "/\\.") {
+		sub = "other"
+	}
+	return filepath.Join(s.dir, sub, hex.EncodeToString(h.Sum(nil)[:16])+".art")
+}
+
+// Load returns the payload stored under k, or ok=false when the artifact is
+// absent, was evicted, or failed verification (in which case the bad file
+// has been quarantined and the caller should rebuild).
+func (s *Store) Load(k Key) ([]byte, bool) {
+	path := s.pathFor(k)
+	s.mu.Lock()
+	e := s.entries[path]
+	if e != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := readArtifact(path, k)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Evicted (or removed by another process) between index lookup
+			// and read: a plain miss, not corruption.
+			s.forget(path)
+			s.misses.Add(1)
+			return nil, false
+		}
+		s.quarantinePath(path)
+		return nil, false
+	}
+	// Touch so restart-time LRU reconstruction sees the access.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	s.loads.Add(1)
+	return payload, true
+}
+
+// Quarantine removes the artifact stored under k (if any) and counts it as
+// quarantined. Callers use it when a payload that passed the container
+// checksum still fails semantic decoding.
+func (s *Store) Quarantine(k Key) {
+	s.quarantinePath(s.pathFor(k))
+}
+
+func (s *Store) quarantinePath(path string) {
+	os.Remove(path)
+	if s.forget(path) {
+		s.quarantined.Add(1)
+	}
+}
+
+// forget drops path from the index, reporting whether it was present.
+func (s *Store) forget(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[path]
+	if e == nil {
+		return false
+	}
+	delete(s.entries, path)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.size
+	s.files--
+	return true
+}
+
+// Save stores payload under k: written to a temporary file, fsynced, then
+// renamed into place so the artifact is never visible half-written. Saving
+// an already-present key refreshes its recency and is otherwise a no-op
+// (the store is content-addressed — equal keys hold equal payloads).
+func (s *Store) Save(k Key, payload []byte) error {
+	path := s.pathFor(k)
+	s.mu.Lock()
+	if e := s.entries[path]; e != nil {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	if err := s.writeArtifact(path, k, payload); err != nil {
+		s.saveErrors.Add(1)
+		return err
+	}
+	s.mu.Lock()
+	if e := s.entries[path]; e == nil {
+		e = &entry{path: path, size: artifactFileSize(k, payload)}
+		e.elem = s.lru.PushFront(path)
+		s.entries[path] = e
+		s.bytes += e.size
+		s.files++
+		s.evictLocked(e)
+	}
+	s.mu.Unlock()
+	s.saves.Add(1)
+	return nil
+}
+
+// evictLocked removes least-recently-used artifacts until the store fits
+// its byte budget. The just-saved entry keep (if non-nil) is never evicted:
+// a single artifact larger than the whole budget stays resident rather than
+// thrashing rebuild-evict-rebuild.
+func (s *Store) evictLocked(keep *entry) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		path := back.Value.(string)
+		e := s.entries[path]
+		if keep != nil && e == keep {
+			return
+		}
+		delete(s.entries, path)
+		s.lru.Remove(back)
+		s.bytes -= e.size
+		s.files--
+		os.Remove(path)
+		s.evicted.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the store's counters and footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	files, bytes := s.files, s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Files:       files,
+		Bytes:       bytes,
+		Saves:       s.saves.Load(),
+		SaveErrors:  s.saveErrors.Load(),
+		Loads:       s.loads.Load(),
+		Misses:      s.misses.Load(),
+		Quarantined: s.quarantined.Load(),
+		Evicted:     s.evicted.Load(),
+	}
+}
+
+// ------------------------------------------------------- file container --
+//
+// Layout: magic(8) | keyLen(u32) | key JSON | payloadLen(u64) |
+// crc32c(payload)(u32) | payload. The embedded key guards against hash
+// collisions and misdirected files; the checksum guards payload integrity.
+
+func headerSize(keyJSON []byte) int64 {
+	return int64(8 + 4 + len(keyJSON) + 8 + 4)
+}
+
+func artifactFileSize(k Key, payload []byte) int64 {
+	kj, _ := json.Marshal(k)
+	return headerSize(kj) + int64(len(payload))
+}
+
+func (s *Store) writeArtifact(path string, k Key, payload []byte) error {
+	kj, err := json.Marshal(k)
+	if err != nil {
+		return fmt.Errorf("artifactdisk: marshal key: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return fmt.Errorf("artifactdisk: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifactdisk: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [12]byte
+	if _, err := tmp.WriteString(fileMagic); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(kj)))
+	if _, err := tmp.Write(hdr[:4]); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(kj); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	if _, err := tmp.Write(hdr[:12]); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return err
+	}
+	// fsync before publish: after the rename below, the file must never be
+	// observable with partial contents, even across a crash.
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func readArtifact(path string, want Key) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	if string(magic[:]) != fileMagic {
+		return nil, fmt.Errorf("artifactdisk: bad magic %q", magic[:])
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(f, u32[:]); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	keyLen := binary.LittleEndian.Uint32(u32[:])
+	if keyLen > 1<<20 {
+		return nil, fmt.Errorf("artifactdisk: implausible key length %d", keyLen)
+	}
+	kj := make([]byte, keyLen)
+	if _, err := io.ReadFull(f, kj); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short key: %w", err)
+	}
+	var got Key
+	if err := json.Unmarshal(kj, &got); err != nil {
+		return nil, fmt.Errorf("artifactdisk: corrupt key: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("artifactdisk: key mismatch: file holds %+v", got)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(f, u64[:]); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	payloadLen := binary.LittleEndian.Uint64(u64[:])
+	if payloadLen > 1<<40 {
+		return nil, fmt.Errorf("artifactdisk: implausible payload length %d", payloadLen)
+	}
+	if _, err := io.ReadFull(f, u32[:]); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(u32[:])
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("artifactdisk: short payload: %w", err)
+	}
+	if extra, err := f.Read(make([]byte, 1)); err != io.EOF || extra != 0 {
+		return nil, errors.New("artifactdisk: trailing bytes after payload")
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != wantCRC {
+		return nil, fmt.Errorf("artifactdisk: checksum mismatch (%08x != %08x)", crc, wantCRC)
+	}
+	return payload, nil
+}

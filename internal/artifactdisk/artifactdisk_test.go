@@ -1,0 +1,241 @@
+package artifactdisk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(i byte) Key {
+	return Key{Name: "bench", Input: "train", Stage: "trace", FP: strings.Repeat(string(rune('a'+i)), 8)}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(0)
+	payload := bytes.Repeat([]byte("artifact"), 100)
+	if _, ok := s.Load(k); ok {
+		t.Fatal("load before save succeeded")
+	}
+	if err := s.Save(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(k)
+	if !ok {
+		t.Fatal("load after save missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload diverged")
+	}
+	st := s.Stats()
+	if st.Files != 1 || st.Saves != 1 || st.Loads != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes <= int64(len(payload)) {
+		t.Fatalf("bytes %d should include header", st.Bytes)
+	}
+	// Saving the same key again is a no-op.
+	if err := s.Save(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Files != 1 {
+		t.Fatalf("duplicate save changed file count: %+v", st)
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	if err := s.Save(k, []byte("survives restart")); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover temp file from a "crashed" writer must be cleaned on reopen.
+	tmp := filepath.Join(dir, "trace", "leftover.tmp")
+	if err := os.WriteFile(tmp, []byte("junk"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Load(k)
+	if !ok || string(got) != "survives restart" {
+		t.Fatalf("reopen load = %q, %v", got, ok)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("leftover .tmp not removed on reopen")
+	}
+	if st := s2.Stats(); st.Files != 1 {
+		t.Fatalf("reopen stats %+v", st)
+	}
+}
+
+// artifactPath finds the single .art file under dir (the tests store one
+// artifact when they need to corrupt it on disk).
+func artifactPath(t *testing.T, dir string) string {
+	t.Helper()
+	var paths []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".art") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if len(paths) != 1 {
+		t.Fatalf("found %d artifact files, want 1", len(paths))
+	}
+	return paths[0]
+}
+
+func TestCorruptionQuarantined(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bit flip":  func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"bad magic": func(b []byte) []byte { copy(b, "NOTMAGIC"); return b },
+		"trailing":  func(b []byte) []byte { return append(b, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(2)
+			if err := s.Save(k, []byte("precious bits")); err != nil {
+				t.Fatal(err)
+			}
+			path := artifactPath(t, dir)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Load(k); ok {
+				t.Fatal("corrupt load succeeded")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt file not deleted")
+			}
+			st := s.Stats()
+			if st.Quarantined != 1 || st.Files != 0 {
+				t.Fatalf("stats after quarantine: %+v", st)
+			}
+			// The slot is free again: save and load must work.
+			if err := s.Save(k, []byte("precious bits")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Load(k); !ok || string(got) != "precious bits" {
+				t.Fatalf("rebuild load = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestKeyMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(3)
+	if err := s.Save(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Misdirect: move the well-formed file onto another key's path.
+	other := Key{Name: "bench", Input: "train", Stage: "trace", FP: "different"}
+	src := artifactPath(t, dir)
+	if err := os.Rename(src, s.pathFor(other)); err != nil {
+		t.Fatal(err)
+	}
+	// Index still maps the old path; reopen so the misdirected file is indexed.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Load(other); ok {
+		t.Fatal("load of misdirected artifact succeeded")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits roughly three of the five artifacts saved below.
+	payload := bytes.Repeat([]byte("p"), 1024)
+	one := artifactFileSize(testKey(0), payload)
+	s, err := Open(dir, 3*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 5; i++ {
+		if err := s.Save(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evicted != 2 || st.Files != 3 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	// Oldest two are gone, newest three resident.
+	for i := byte(0); i < 5; i++ {
+		_, ok := s.Load(testKey(i))
+		if want := i >= 2; ok != want {
+			t.Errorf("key %d resident = %v, want %v", i, ok, want)
+		}
+	}
+	// A load refreshes recency: touch key 2, save two more, and key 2 must
+	// outlive keys 3 and 4.
+	if _, ok := s.Load(testKey(2)); !ok {
+		t.Fatal("key 2 missing")
+	}
+	for i := byte(5); i < 7; i++ {
+		if err := s.Save(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Load(testKey(2)); !ok {
+		t.Error("recently-loaded key 2 was evicted")
+	}
+	if _, ok := s.Load(testKey(3)); ok {
+		t.Error("stale key 3 survived eviction")
+	}
+}
+
+func TestOversizeArtifactStaysResident(t *testing.T) {
+	s, err := Open(t.TempDir(), 64) // budget smaller than any artifact
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(4)
+	payload := bytes.Repeat([]byte("big"), 100)
+	if err := s.Save(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); !ok {
+		t.Fatal("oversize artifact evicted immediately after save; rebuild loop")
+	}
+}
+
+func TestQuarantineAbsentKeyIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine(testKey(5))
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("quarantine of absent key counted: %+v", st)
+	}
+}

@@ -254,22 +254,38 @@ func assemblePrepared(name string, tr *trace.Trace, prof *profile.Profile, trees
 // --------------------------------------------------------- staged runner --
 
 // stage runs one pipeline stage through the content-addressed store,
-// emitting stage events and bumping the per-stage cold-execution counter.
+// emitting stage events and tallying the per-stage outcome counters. A cold
+// miss consults the disk spill tier before computing: the disk load happens
+// inside the singleflight slot, so concurrent requesters of one artifact
+// perform at most one load just as they perform at most one build, and a
+// freshly built artifact is spilled back before the slot completes.
 func (r *Runner) stage(ctx context.Context, name string, input program.InputClass,
 	st Stage, plan stagePlan, compute func() (any, error)) (any, error) {
 	key := artifactKey{name: name, input: input, stage: st, fp: plan.fps[st]}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
-		r.stageCount(st).Add(1)
-		r.emit(Event{Kind: EventStageStart, Bench: name, Input: input.String(), Stage: string(st)})
+		if v, ok := r.spillLoad(key); ok {
+			r.stageCount(st).spill.Add(1)
+			r.emit(ctx, Event{Kind: EventStageSpill, Bench: name, Input: input.String(), Stage: string(st)})
+			return v, nil
+		}
+		r.stageCount(st).cold.Add(1)
+		r.emit(ctx, Event{Kind: EventStageStart, Bench: name, Input: input.String(), Stage: string(st)})
 		v, cerr := compute()
-		r.emit(Event{Kind: EventStageDone, Bench: name, Input: input.String(), Stage: string(st), Err: cerr})
+		r.emit(ctx, Event{Kind: EventStageDone, Bench: name, Input: input.String(), Stage: string(st), Err: cerr})
+		if cerr == nil {
+			r.spillSave(key, v)
+		}
 		return v, cerr
 	})
 	if err != nil {
 		return nil, err
 	}
-	if outcome == storeHit {
-		r.emit(Event{Kind: EventStageCached, Bench: name, Input: input.String(), Stage: string(st)})
+	switch outcome {
+	case storeHit:
+		r.stageCount(st).hit.Add(1)
+		r.emit(ctx, Event{Kind: EventStageCached, Bench: name, Input: input.String(), Stage: string(st)})
+	case storeShared:
+		r.stageCount(st).shared.Add(1)
 	}
 	return val, nil
 }

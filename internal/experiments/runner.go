@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifactdisk"
 	"repro/internal/program"
 	"repro/internal/pthsel"
 )
@@ -25,6 +26,7 @@ const (
 	EventStageStart    EventKind = "stage-start"    // a cold pipeline stage began (Stage names it)
 	EventStageDone     EventKind = "stage-done"     // a cold pipeline stage finished
 	EventStageCached   EventKind = "stage-cached"   // the artifact store satisfied a pipeline stage
+	EventStageSpill    EventKind = "stage-spill"    // the disk tier satisfied a pipeline stage
 	EventRunStart      EventKind = "run-start"      // one (benchmark, target) measurement began
 	EventRunDone       EventKind = "run-done"       // one (benchmark, target) measurement finished
 	EventBenchDone     EventKind = "bench-done"     // one campaign benchmark finished (Done/Total track progress)
@@ -51,6 +53,27 @@ type Event struct {
 	// EventRunDone (0 otherwise), so observers can stream substrate health
 	// alongside progress.
 	SimCyclesPerSec float64
+
+	// Tag carries the submission tag threaded through the context (see
+	// WithEventTag), so a shared observer can attribute events from
+	// concurrent entry points — the daemon routes them to jobs with it.
+	Tag string
+}
+
+// eventTagKey is the context key behind WithEventTag.
+type eventTagKey struct{}
+
+// WithEventTag returns a context whose Runner events carry tag, letting one
+// observer demultiplex concurrent Sweeps, Campaigns and Prepares over a
+// shared engine. Events emitted from inside a shared singleflight build
+// carry the computing caller's tag.
+func WithEventTag(ctx context.Context, tag string) context.Context {
+	return context.WithValue(ctx, eventTagKey{}, tag)
+}
+
+func eventTag(ctx context.Context) string {
+	tag, _ := ctx.Value(eventTagKey{}).(string)
+	return tag
 }
 
 // Runner is the experiment engine behind the public Lab façade. It owns the
@@ -66,9 +89,18 @@ type Runner struct {
 	obsMu sync.Mutex // serializes observer callbacks
 
 	store *artifactStore
+	disk  *artifactdisk.Store // optional spill tier (see AttachDiskStore)
 
-	prepares   atomic.Int64   // whole-config preparations assembled cold
-	stageColds []atomic.Int64 // cold executions per pipeline stage, indexed by stageIndex
+	prepares   atomic.Int64    // whole-config preparations assembled cold
+	stageStats []stageCounters // per-stage request outcomes, indexed by stageIndex
+}
+
+// stageCounters tallies one stage's artifact-store request outcomes.
+type stageCounters struct {
+	cold   atomic.Int64 // this engine executed the stage
+	hit    atomic.Int64 // served from a completed in-memory entry
+	shared atomic.Int64 // waited on another caller's in-flight build
+	spill  atomic.Int64 // satisfied by a disk-tier load
 }
 
 // NewRunner creates an engine over cfg. parallelism bounds concurrent
@@ -83,7 +115,7 @@ func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
 		parallelism: parallelism,
 		observe:     observe,
 		store:       newArtifactStore(),
-		stageColds:  make([]atomic.Int64, len(stageIndex)),
+		stageStats:  make([]stageCounters, len(stageIndex)),
 	}
 }
 
@@ -106,31 +138,33 @@ var stageIndex = func() map[Stage]int {
 	return m
 }()
 
-func (r *Runner) stageCount(st Stage) *atomic.Int64 {
+func (r *Runner) stageCount(st Stage) *stageCounters {
 	i, ok := stageIndex[st]
 	if !ok {
 		panic(fmt.Sprintf("experiments: unknown pipeline stage %q", st))
 	}
-	return &r.stageColds[i]
+	return &r.stageStats[i]
 }
 
 // StagePrepares reports how many cold executions of one pipeline stage the
 // engine has performed, across all benchmarks and configurations — the
 // observable behind the per-stage reuse guarantee (a 3-point sweep along an
-// axis a stage never reads executes that stage once per benchmark).
-// StagePrepares(StagePrepared) equals Prepares().
+// axis a stage never reads executes that stage once per benchmark). A stage
+// satisfied by the disk spill tier is not a cold execution; StoreStats
+// breaks out every outcome. StagePrepares(StagePrepared) equals Prepares().
 func (r *Runner) StagePrepares(st Stage) int64 {
 	i, ok := stageIndex[st]
 	if !ok {
 		return 0
 	}
-	return r.stageColds[i].Load()
+	return r.stageStats[i].cold.Load()
 }
 
-func (r *Runner) emit(ev Event) {
+func (r *Runner) emit(ctx context.Context, ev Event) {
 	if r.observe == nil {
 		return
 	}
+	ev.Tag = eventTag(ctx)
 	r.obsMu.Lock()
 	defer r.obsMu.Unlock()
 	r.observe(ev)
@@ -161,17 +195,21 @@ func (r *Runner) Prepare(ctx context.Context, name string, input program.InputCl
 	key := artifactKey{name: name, input: input, stage: StagePrepared, fp: fp}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
 		r.prepares.Add(1)
-		r.stageCount(StagePrepared).Add(1)
-		r.emit(Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
+		r.stageCount(StagePrepared).cold.Add(1)
+		r.emit(ctx, Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
 		p, perr := r.stagedPrepare(ctx, name, input, cfg)
-		r.emit(Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: perr})
+		r.emit(ctx, Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: perr})
 		return p, perr
 	})
 	if err != nil {
 		return nil, err
 	}
-	if outcome == storeHit {
-		r.emit(Event{Kind: EventPrepareCached, Bench: name, Input: input.String()})
+	switch outcome {
+	case storeHit:
+		r.stageCount(StagePrepared).hit.Add(1)
+		r.emit(ctx, Event{Kind: EventPrepareCached, Bench: name, Input: input.String()})
+	case storeShared:
+		r.stageCount(StagePrepared).shared.Add(1)
 	}
 	return val.(*Prepared), nil
 }
@@ -248,13 +286,13 @@ func (r *Runner) runBench(ctx context.Context, name string, targets []pthsel.Tar
 	}
 	br := &BenchResult{Name: name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
 	for _, tgt := range targets {
-		r.emit(Event{Kind: EventRunStart, Bench: name, Target: tgt.String()})
+		r.emit(ctx, Event{Kind: EventRunStart, Bench: name, Target: tgt.String()})
 		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
 		ev := Event{Kind: EventRunDone, Bench: name, Target: tgt.String(), Err: err}
 		if err == nil {
 			ev.SimCyclesPerSec = run.SimCyclesPerSec()
 		}
-		r.emit(ev)
+		r.emit(ctx, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +350,7 @@ func (r *Runner) Campaign(ctx context.Context, names []string, targets []pthsel.
 				entries[i].Runs = append(entries[i].Runs, runReport(br.Runs[tgt]))
 			}
 		}
-		r.emit(Event{Kind: EventBenchDone, Bench: name, Err: err,
+		r.emit(ctx, Event{Kind: EventBenchDone, Bench: name, Err: err,
 			Done: int(done.Add(1)), Total: len(names)})
 	})
 	if ctxErr := ctx.Err(); ctxErr != nil {

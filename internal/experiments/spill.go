@@ -1,0 +1,213 @@
+package experiments
+
+// The disk spill tier: an optional artifactdisk.Store behind the in-memory
+// singleflight store. Stage artifacts are serialized under the same content
+// fingerprints that key the in-memory store, so a fresh Runner pointed at a
+// populated directory satisfies every heavy stage with a disk load instead
+// of a rebuild — the restart-warm path behind the lab daemon.
+//
+// The tier is strictly best-effort: save failures are counted and ignored,
+// and any load that fails verification or decoding quarantines the file and
+// falls through to a cold compute. A corrupt spill directory can cost time,
+// never correctness.
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"repro/internal/artifactdisk"
+	"repro/internal/cpu"
+	"repro/internal/critpath"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/pthsel"
+	"repro/internal/slicer"
+	"repro/internal/trace"
+)
+
+// stageCodec (de)serializes one stage's artifact for the disk tier. decode
+// receives the artifact's benchmark identity because trace decoding rebuilds
+// the (unserialized) program from the registry.
+type stageCodec struct {
+	encode func(v any) ([]byte, error)
+	decode func(name string, input program.InputClass, data []byte) (any, error)
+}
+
+func jsonCodec[T any]() stageCodec {
+	return stageCodec{
+		encode: func(v any) ([]byte, error) { return json.Marshal(v.(T)) },
+		decode: func(_ string, _ program.InputClass, data []byte) (any, error) {
+			var out T
+			if err := json.Unmarshal(data, &out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// stageCodecs maps each spillable stage to its codec. StagePrepared is
+// deliberately absent: the assembled view is cheap to rebuild from spilled
+// stages and holds cross-stage pointers that do not serialize meaningfully.
+// Trace, profile and slices use the dedicated binary codecs (a warm trace
+// load is a straight column read); the remaining artifacts are plain
+// exported data and go through JSON.
+var stageCodecs = map[Stage]stageCodec{
+	StageTrace: {
+		encode: func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := v.(*trace.Trace).EncodeBinary(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		decode: func(name string, input program.InputClass, data []byte) (any, error) {
+			bm, err := program.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			return trace.DecodeBinary(bytes.NewReader(data), bm.Build(input))
+		},
+	},
+	StageProfile: {
+		encode: func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := v.(*profile.Profile).EncodeBinary(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		decode: func(_ string, _ program.InputClass, data []byte) (any, error) {
+			return profile.DecodeBinary(bytes.NewReader(data))
+		},
+	},
+	StageSlices: {
+		encode: func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := slicer.EncodeTrees(&buf, v.([]*slicer.Tree)); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		decode: func(_ string, _ program.InputClass, data []byte) (any, error) {
+			return slicer.DecodeTrees(bytes.NewReader(data))
+		},
+	},
+	StageProblems: jsonCodec[[]*profile.LoadStats](),
+	StageCurves:   jsonCodec[map[int32]critpath.Curve](),
+	StageBaseline: jsonCodec[*cpu.Result](),
+	StageParams:   jsonCodec[pthsel.Params](),
+}
+
+// AttachDiskStore opens (creating if needed) an on-disk spill tier at dir
+// with the given byte budget (maxBytes <= 0 means unlimited) and attaches it
+// to the engine. Attach before the first Prepare; the tier is consulted
+// inside cold singleflight computations, so concurrent requesters of one
+// artifact perform at most one disk load just as they perform at most one
+// build.
+func (r *Runner) AttachDiskStore(dir string, maxBytes int64) error {
+	disk, err := artifactdisk.Open(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	r.disk = disk
+	return nil
+}
+
+// DiskStats reports the attached spill tier's counters, or nil when no disk
+// store is attached.
+func (r *Runner) DiskStats() *artifactdisk.Stats {
+	if r.disk == nil {
+		return nil
+	}
+	st := r.disk.Stats()
+	return &st
+}
+
+func diskKey(key artifactKey) artifactdisk.Key {
+	return artifactdisk.Key{
+		Name:  key.name,
+		Input: key.input.String(),
+		Stage: string(key.stage),
+		FP:    key.fp,
+	}
+}
+
+// spillLoad tries to satisfy a stage from the disk tier. A payload that
+// passes the container checksum but fails stage decoding is quarantined —
+// deleted and counted — and the caller falls through to a cold compute.
+func (r *Runner) spillLoad(key artifactKey) (any, bool) {
+	if r.disk == nil {
+		return nil, false
+	}
+	codec, ok := stageCodecs[key.stage]
+	if !ok {
+		return nil, false
+	}
+	dk := diskKey(key)
+	data, ok := r.disk.Load(dk)
+	if !ok {
+		return nil, false
+	}
+	v, err := codec.decode(key.name, key.input, data)
+	if err != nil {
+		r.disk.Quarantine(dk)
+		return nil, false
+	}
+	return v, true
+}
+
+// spillSave writes a freshly built stage artifact to the disk tier,
+// best-effort: an artifact that cannot be serialized or persisted is simply
+// rebuilt by the next cold process.
+func (r *Runner) spillSave(key artifactKey, v any) {
+	if r.disk == nil {
+		return
+	}
+	codec, ok := stageCodecs[key.stage]
+	if !ok {
+		return
+	}
+	data, err := codec.encode(v)
+	if err != nil {
+		return
+	}
+	r.disk.Save(diskKey(key), data)
+}
+
+// StageStoreStats is one pipeline stage's view of the artifact store: how
+// many requests executed the stage cold, were served from a completed
+// in-memory entry, shared another caller's in-flight build, or were
+// satisfied by a disk-tier load.
+type StageStoreStats struct {
+	Hit        int64 `json:"hit"`
+	Shared     int64 `json:"shared"`
+	Cold       int64 `json:"cold"`
+	SpillLoads int64 `json:"spill_loads"`
+}
+
+// StoreStats is the artifact store's full observability surface: per-stage
+// request outcomes plus the disk tier's counters when one is attached.
+type StoreStats struct {
+	Stages map[Stage]StageStoreStats `json:"stages"`
+	Disk   *artifactdisk.Stats       `json:"disk,omitempty"`
+}
+
+// StoreStats snapshots the engine's artifact-store counters. The per-stage
+// cold counts are the same observable as StagePrepares; disk loads are
+// counted separately (a restart-warm stage is neither a cold build nor an
+// in-memory hit).
+func (r *Runner) StoreStats() StoreStats {
+	out := StoreStats{Stages: make(map[Stage]StageStoreStats, len(stageIndex))}
+	for st, i := range stageIndex {
+		c := &r.stageStats[i]
+		out.Stages[st] = StageStoreStats{
+			Hit:        c.hit.Load(),
+			Shared:     c.shared.Load(),
+			Cold:       c.cold.Load(),
+			SpillLoads: c.spill.Load(),
+		}
+	}
+	out.Disk = r.DiskStats()
+	return out
+}

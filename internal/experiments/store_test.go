@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/program"
+)
+
+func storeTestKey() artifactKey {
+	return artifactKey{name: "bench", input: program.Train, stage: StageTrace, fp: "fp"}
+}
+
+// TestStoreRetiresPoisonedEntry pins the poisoned-entry contract: a compute
+// that failed because its caller's context was cancelled is retired from the
+// store, and the next requester recomputes under its own context instead of
+// inheriting someone else's cancellation.
+func TestStoreRetiresPoisonedEntry(t *testing.T) {
+	s := newArtifactStore()
+	key := storeTestKey()
+	var builds atomic.Int64
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, outcome, err := s.get(cancelled, key, func() (any, error) {
+		return nil, cancelled.Err()
+	})
+	if outcome != storeCold || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compute: outcome %v err %v", outcome, err)
+	}
+
+	val, outcome, err := s.get(context.Background(), key, func() (any, error) {
+		builds.Add(1)
+		return 42, nil
+	})
+	if err != nil || val != 42 || outcome != storeCold {
+		t.Fatalf("retry after poison: val %v outcome %v err %v", val, outcome, err)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("retry built %d times, want 1", builds.Load())
+	}
+
+	val, outcome, err = s.get(context.Background(), key, func() (any, error) {
+		builds.Add(1)
+		return 0, errors.New("should not recompute")
+	})
+	if err != nil || val != 42 || outcome != storeHit {
+		t.Fatalf("post-recovery get: val %v outcome %v err %v", val, outcome, err)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("successful entry was recomputed (%d builds)", builds.Load())
+	}
+}
+
+// TestStoreCachesGenuineErrors pins the other half of the contract: a
+// computation that failed on its own merits stays cached — an artifact that
+// cannot build will not build on retry — rather than being retried forever.
+func TestStoreCachesGenuineErrors(t *testing.T) {
+	s := newArtifactStore()
+	key := storeTestKey()
+	var builds atomic.Int64
+	boom := errors.New("boom")
+
+	for i := 0; i < 3; i++ {
+		_, _, err := s.get(context.Background(), key, func() (any, error) {
+			builds.Add(1)
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("get %d: err %v, want boom", i, err)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("genuine error recomputed: %d builds, want 1", builds.Load())
+	}
+}
+
+// TestStorePoisonRetirementConcurrent hammers the retire-and-retry loop from
+// many goroutines under the race detector: callers with cancelled contexts
+// poison entries while live callers race to retire and recompute them. Every
+// live caller must see the value, and exactly one successful build may
+// happen per key lifetime (once a good entry lands it is never replaced).
+func TestStorePoisonRetirementConcurrent(t *testing.T) {
+	s := newArtifactStore()
+	key := storeTestKey()
+	var goodBuilds atomic.Int64
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A quarter of the workers carry a dead context and may poison
+			// the slot; the rest must always come away with the value.
+			ctx := context.Background()
+			poisoner := i%4 == 0
+			if poisoner {
+				ctx = cancelled
+			}
+			val, _, err := s.get(ctx, key, func() (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				goodBuilds.Add(1)
+				return 42, nil
+			})
+			if poisoner {
+				return // may legitimately see context.Canceled or the value
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if val != 42 {
+				errs[i] = errors.New("wrong value")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if n := goodBuilds.Load(); n != 1 {
+		t.Errorf("%d successful builds, want exactly 1", n)
+	}
+	val, outcome, err := s.get(context.Background(), key, func() (any, error) {
+		return nil, errors.New("should not recompute")
+	})
+	if err != nil || val != 42 || outcome != storeHit {
+		t.Errorf("final get: val %v outcome %v err %v", val, outcome, err)
+	}
+}

@@ -221,7 +221,7 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 			point.Workload = j.wl
 			rep.Points[i] = point
 		}
-		r.emit(Event{Kind: EventPointDone, Bench: j.bench,
+		r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
 			Point: strings.Join(j.pt.labels, ","), Err: perr,
 			Done: int(done.Add(1)), Total: len(jobs)})
 	})
@@ -242,13 +242,13 @@ func (r *Runner) sweepPoint(ctx context.Context, bench string, pt gridPoint, tar
 	}
 	point := SweepPointReport{Bench: bench, Labels: pt.labels}
 	for _, tgt := range targets {
-		r.emit(Event{Kind: EventRunStart, Bench: bench, Target: tgt.String()})
+		r.emit(ctx, Event{Kind: EventRunStart, Bench: bench, Target: tgt.String()})
 		run, err := RunTarget(ctx, prep, prep, tgt, pt.cfg)
 		ev := Event{Kind: EventRunDone, Bench: bench, Target: tgt.String(), Err: err}
 		if err == nil {
 			ev.SimCyclesPerSec = run.SimCyclesPerSec()
 		}
-		r.emit(ev)
+		r.emit(ctx, ev)
 		if err != nil {
 			return SweepPointReport{}, err
 		}

@@ -1,0 +1,101 @@
+// Package labapi defines the wire types of the lab daemon's HTTP+JSON API,
+// shared by the server (internal/labd, cmd/labd) and its clients
+// (cmd/sweep -addr). Everything on the wire is plain JSON; job event
+// streams are NDJSON — one StreamLine per line.
+package labapi
+
+import (
+	"encoding/json"
+
+	"repro/internal/experiments"
+)
+
+// SweepRequest submits a declarative sweep grid: the body of POST /v1/sweep.
+// Axes name sensitivity axes ("idle", "mem", "l2" or their canonical
+// names); Benchmarks name registered workloads; Workloads carry generator
+// specs in the CLI grammar family:seed[:knob=value,...], registered on
+// submission; Targets name selection targets (O, L, E, P, P2; empty means
+// the paper's L, E, P). Clients resolve their own benchmark defaults — the
+// daemon sweeps exactly what the request names.
+type SweepRequest struct {
+	Axes       []string `json:"axes,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	Targets    []string `json:"targets,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission with the new job's ID.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job states. Running jobs transition to exactly one terminal state.
+const (
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s != JobRunning }
+
+// Job describes one submitted sweep: GET /v1/jobs returns a list of these,
+// GET /v1/jobs/{id} one. Done/Total track grid-point progress.
+type Job struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+}
+
+// Stream line kinds beyond the engine's own event kinds.
+const (
+	// KindLagging marks a gap in a client's event stream: the client fell
+	// behind its bounded queue and Dropped events were discarded rather
+	// than blocking the engine.
+	KindLagging = "lagging"
+	// KindJobDone and KindJobFailed terminate every event stream, after
+	// the artifact line (if any).
+	KindJobDone   = "job-done"
+	KindJobFailed = "job-failed"
+)
+
+// StreamLine is one line of a job's NDJSON event stream
+// (GET /v1/jobs/{id}/events). Progress lines carry Kind (an
+// experiments.EventKind, or one of the Kind* constants above) and whichever
+// event fields apply. The job's result artifact is streamed as a line with
+// Artifact and Report set and no Kind — byte-compatible with the envelope
+// `sweep -json` prints and `report -render -` consumes.
+type StreamLine struct {
+	Kind            string  `json:"kind,omitempty"`
+	Bench           string  `json:"bench,omitempty"`
+	Input           string  `json:"input,omitempty"`
+	Stage           string  `json:"stage,omitempty"`
+	Target          string  `json:"target,omitempty"`
+	Point           string  `json:"point,omitempty"`
+	Done            int     `json:"done,omitempty"`
+	Total           int     `json:"total,omitempty"`
+	Err             string  `json:"err,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+
+	// Dropped counts the events discarded before this line (KindLagging).
+	Dropped int64 `json:"dropped,omitempty"`
+
+	// Artifact + Report form the job's result envelope.
+	Artifact string          `json:"artifact,omitempty"`
+	Report   json.RawMessage `json:"report,omitempty"`
+}
+
+// Stats is the daemon's observability surface: GET /v1/stats. Store is the
+// engine's artifact-store view — per-stage request outcomes plus the disk
+// spill tier's counters — the probe behind the daemon's build-once and
+// restart-warm guarantees.
+type Stats struct {
+	Jobs  []Job                  `json:"jobs"`
+	Store experiments.StoreStats `json:"store"`
+}

@@ -1,0 +1,484 @@
+// Package labd implements the persistent lab daemon: one long-lived Lab
+// engine — in-memory singleflight artifact store backed by the on-disk
+// spill tier — behind an HTTP+JSON API (see internal/labapi for the wire
+// types):
+//
+//	POST   /v1/sweep            submit a sweep grid; returns {"id": ...}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        one job
+//	GET    /v1/jobs/{id}/events NDJSON event stream (replay + live)
+//	DELETE /v1/jobs/{id}        cancel a running job
+//	GET    /v1/stats            jobs + artifact-store counters
+//
+// Because every job runs through one engine, concurrent submissions that
+// overlap share in-flight builds (one trace, one baseline per unique
+// fingerprint, whatever the client count), and the disk tier makes the
+// sharing survive daemon restarts.
+//
+// Event streams fan out through per-client bounded queues: a client that
+// cannot keep up has events dropped and is told so with a {"kind":
+// "lagging", "dropped": N} line rather than ever back-pressuring the
+// engine.
+package labd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	preexec "repro"
+	"repro/internal/labapi"
+)
+
+// Config parameterizes a daemon server.
+type Config struct {
+	// Dir is the disk store's root directory (required).
+	Dir string
+	// MaxStoreBytes is the disk store's byte budget (<= 0: unlimited).
+	MaxStoreBytes int64
+	// Parallelism bounds the engine's worker pool (<= 0: GOMAXPROCS).
+	Parallelism int
+	// QueueLen is each event subscriber's bounded queue length
+	// (<= 0: 1024). Tests shrink it to exercise the lagging path.
+	QueueLen int
+	// ReplayLen bounds each job's event replay buffer — the lines a late
+	// subscriber receives before going live (<= 0: 8192). Older lines are
+	// dropped and reported via a lagging line at stream start.
+	ReplayLen int
+}
+
+// Server is the daemon: a shared Lab engine plus the job registry. Create
+// with New, serve with (net/http).Server{Handler: srv}.
+type Server struct {
+	lab      *preexec.Lab
+	mux      *http.ServeMux
+	queueLen int
+	replay   int
+
+	// base is the parent of every job context; cancelling it (Close)
+	// cancels all running jobs.
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+}
+
+// job is one submitted sweep and its event history.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    labapi.JobState
+	errMsg   string
+	done     int
+	total    int
+	lines    []json.RawMessage // encoded StreamLines, replay for late subscribers
+	lost     int64             // replay lines dropped to the buffer bound
+	subs     map[*subscriber]struct{}
+	finished bool // terminal: lines is complete, subs are closed
+}
+
+// subscriber is one client's bounded event queue. The publisher never
+// blocks on it: when the queue is full the event is counted in dropped and
+// discarded, and the streaming handler surfaces the count as a lagging
+// line.
+type subscriber struct {
+	ch      chan json.RawMessage
+	dropped atomic.Int64
+}
+
+// New creates a daemon server, opening (or creating) the disk store at
+// cfg.Dir. The error is the disk store's: a daemon that cannot persist
+// artifacts refuses to start rather than silently running uncached.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.ReplayLen <= 0 {
+		cfg.ReplayLen = 8192
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		mux:      http.NewServeMux(),
+		queueLen: cfg.QueueLen,
+		replay:   cfg.ReplayLen,
+		base:     base,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+	}
+	s.lab = preexec.New(
+		preexec.WithParallelism(cfg.Parallelism),
+		preexec.WithObserver(s.observe),
+		preexec.WithDiskStore(cfg.Dir, cfg.MaxStoreBytes),
+	)
+	if err := s.lab.DiskStoreErr(); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running job. In-flight streams terminate with their
+// jobs; the HTTP server's own shutdown is the caller's.
+func (s *Server) Close() { s.cancel() }
+
+// ---------------------------------------------------------------- events --
+
+// observe is the Lab's observer: it routes every engine event to the job
+// named by its context tag. Events without a tag (none, once every entry
+// point threads WithEventTag) are dropped.
+func (s *Server) observe(ev preexec.Event) {
+	if ev.Tag == "" {
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[ev.Tag]
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	line := labapi.StreamLine{
+		Kind:            string(ev.Kind),
+		Bench:           ev.Bench,
+		Input:           ev.Input,
+		Stage:           ev.Stage,
+		Target:          ev.Target,
+		Point:           ev.Point,
+		Done:            ev.Done,
+		Total:           ev.Total,
+		SimCyclesPerSec: ev.SimCyclesPerSec,
+	}
+	if ev.Err != nil {
+		line.Err = ev.Err.Error()
+	}
+	if ev.Kind == preexec.EventPointDone {
+		j.mu.Lock()
+		j.done, j.total = ev.Done, ev.Total
+		j.mu.Unlock()
+	}
+	j.publish(s.replay, line)
+}
+
+// publish appends one line to the job's replay buffer and fans it out to
+// every subscriber, never blocking: a full queue counts a drop instead.
+func (j *job) publish(replayLen int, line labapi.StreamLine) {
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return
+	}
+	j.lines = append(j.lines, raw)
+	if len(j.lines) > replayLen {
+		drop := len(j.lines) - replayLen
+		j.lines = append([]json.RawMessage(nil), j.lines[drop:]...)
+		j.lost += int64(drop)
+	}
+	for sub := range j.subs {
+		select {
+		case sub.ch <- raw:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// finish publishes the job's terminal lines, marks it finished and closes
+// every subscriber queue (after the final lines are enqueued, so a live
+// client sees artifact then job-done then EOF).
+func (j *job) finish(replayLen int, state labapi.JobState, errMsg string, final ...labapi.StreamLine) {
+	for _, line := range final {
+		j.publish(replayLen, line)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = true
+	for sub := range j.subs {
+		close(sub.ch)
+	}
+	j.subs = nil
+}
+
+// subscribe atomically snapshots the replay buffer and registers a live
+// queue, so the subscriber sees every line exactly once: the snapshot
+// covers all lines published before registration, the queue all lines
+// after. For finished jobs the returned subscriber is nil — the replay is
+// the whole stream.
+func (j *job) subscribe(queueLen int) (replay []json.RawMessage, lost int64, sub *subscriber) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay, lost = j.lines, j.lost
+	if j.finished {
+		return replay, lost, nil
+	}
+	sub = &subscriber{ch: make(chan json.RawMessage, queueLen)}
+	j.subs[sub] = struct{}{}
+	return replay, lost, sub
+}
+
+func (j *job) unsubscribe(sub *subscriber) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.finished {
+		delete(j.subs, sub)
+	}
+}
+
+func (j *job) snapshot() labapi.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return labapi.Job{ID: j.id, State: j.state, Error: j.errMsg, Done: j.done, Total: j.total}
+}
+
+// ------------------------------------------------------------- handlers --
+
+// buildGrid turns a wire request into an engine grid, resolving axis,
+// workload-spec and target names exactly as cmd/sweep does locally.
+func buildGrid(req labapi.SweepRequest) (preexec.Grid, error) {
+	var g preexec.Grid
+	for _, name := range req.Axes {
+		axis, err := preexec.ParseSweepAxis(strings.TrimSpace(name))
+		if err != nil {
+			return g, err
+		}
+		g.Axes = append(g.Axes, preexec.GridAxis(axis))
+	}
+	g.Benchmarks = req.Benchmarks
+	for _, spec := range req.Workloads {
+		parsed, err := preexec.ParseWorkloadSpec(spec)
+		if err != nil {
+			return g, err
+		}
+		g.Workloads = append(g.Workloads, preexec.WorkloadPoint{Label: spec, Spec: parsed})
+	}
+	for _, t := range req.Targets {
+		tgt, err := preexec.ParseTarget(strings.TrimSpace(t))
+		if err != nil {
+			return g, err
+		}
+		g.Targets = append(g.Targets, tgt)
+	}
+	return g, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req labapi.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	grid, err := buildGrid(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(grid.Benchmarks) == 0 && len(grid.Workloads) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("request names no benchmarks or workloads"))
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.base)
+	j := &job{state: labapi.JobRunning, cancel: cancel, subs: map[*subscriber]struct{}{}}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("j%d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go s.runSweep(ctx, j, grid)
+	writeJSON(w, http.StatusAccepted, labapi.SubmitResponse{ID: j.id})
+}
+
+// runSweep executes one job on the shared engine and terminates its stream:
+// artifact line then job-done on success, job-failed (or cancelled) with
+// the error otherwise.
+func (s *Server) runSweep(ctx context.Context, j *job, grid preexec.Grid) {
+	defer j.cancel()
+	rep, err := s.lab.Sweep(preexec.WithEventTag(ctx, j.id), grid)
+	if err != nil {
+		state := labapi.JobFailed
+		if errors.Is(err, context.Canceled) {
+			state = labapi.JobCancelled
+		}
+		j.finish(s.replay, state, err.Error(), labapi.StreamLine{Kind: labapi.KindJobFailed, Err: err.Error()})
+		return
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		j.finish(s.replay, labapi.JobFailed, err.Error(), labapi.StreamLine{Kind: labapi.KindJobFailed, Err: err.Error()})
+		return
+	}
+	j.finish(s.replay, labapi.JobDone, "",
+		labapi.StreamLine{Artifact: "sweep", Report: raw},
+		labapi.StreamLine{Kind: labapi.KindJobDone})
+}
+
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]labapi.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	// Job IDs are j1, j2, ...: sort by numeric suffix for stable listings.
+	sort.Slice(out, func(a, b int) bool {
+		return len(out[a].ID) < len(out[b].ID) ||
+			(len(out[a].ID) == len(out[b].ID) && out[a].ID < out[b].ID)
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobByID(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	stats := labapi.Stats{Jobs: make([]labapi.Job, len(jobs)), Store: s.lab.StoreStats()}
+	for i, j := range jobs {
+		stats.Jobs[i] = j.snapshot()
+	}
+	sort.Slice(stats.Jobs, func(a, b int) bool {
+		return len(stats.Jobs[a].ID) < len(stats.Jobs[b].ID) ||
+			(len(stats.Jobs[a].ID) == len(stats.Jobs[b].ID) && stats.Jobs[a].ID < stats.Jobs[b].ID)
+	})
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleEvents streams a job's events as NDJSON: the replay buffer first
+// (prefixed by a lagging line when the buffer overflowed before this
+// client arrived), then live events until the job finishes or the client
+// disconnects. Every line is flushed immediately — clients render progress
+// in real time.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	replay, lost, sub := j.subscribe(s.queueLen)
+	if sub != nil {
+		defer j.unsubscribe(sub)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(raw json.RawMessage) bool {
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	marshalLine := func(line labapi.StreamLine) json.RawMessage {
+		raw, _ := json.Marshal(line)
+		return raw
+	}
+
+	if lost > 0 {
+		if !writeLine(marshalLine(labapi.StreamLine{Kind: labapi.KindLagging, Dropped: lost})) {
+			return
+		}
+	}
+	for _, raw := range replay {
+		if !writeLine(raw) {
+			return
+		}
+	}
+	if sub == nil {
+		return // finished job: the replay was the whole stream
+	}
+	for {
+		// Surface queue overflow as soon as it is observed, so the gap is
+		// marked in-stream where it happened.
+		if n := sub.dropped.Swap(0); n > 0 {
+			if !writeLine(marshalLine(labapi.StreamLine{Kind: labapi.KindLagging, Dropped: n})) {
+				return
+			}
+		}
+		select {
+		case raw, ok := <-sub.ch:
+			if !ok {
+				// Queue closed with drops pending means the tail of the
+				// stream (possibly the artifact line) was lost; mark the
+				// gap so the client knows to re-fetch the finished job.
+				if n := sub.dropped.Swap(0); n > 0 {
+					writeLine(marshalLine(labapi.StreamLine{Kind: labapi.KindLagging, Dropped: n}))
+				}
+				return
+			}
+			if !writeLine(raw) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------- helpers --
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

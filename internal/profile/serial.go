@@ -1,0 +1,181 @@
+package profile
+
+// Binary (de)serialization of mined profiles for the on-disk artifact spill
+// tier. The per-dynamic-instruction Levels column — the profile's bulk — is
+// written as one raw byte run; loads are sorted by PC so the encoding is
+// deterministic for identical profiles.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+const serialMagic = "PXPRF001"
+
+var serialOrder = binary.LittleEndian
+
+// EncodeBinary writes the profile in the spill-tier format.
+func (p *Profile) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		serialOrder.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeI64 := func(v int64) error {
+		serialOrder.PutUint64(scratch[:8], uint64(v))
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := writeI64(p.TotalInsts); err != nil {
+		return err
+	}
+	if err := writeI64(p.TotalL2); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(p.ExecCounts))); err != nil {
+		return err
+	}
+	for _, c := range p.ExecCounts {
+		if err := writeI64(c); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(p.Levels))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(p.Levels); err != nil {
+		return err
+	}
+	pcs := make([]int32, 0, len(p.Loads))
+	for pc := range p.Loads {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	if err := writeU32(uint32(len(pcs))); err != nil {
+		return err
+	}
+	for _, pc := range pcs {
+		ls := p.Loads[pc]
+		if err := writeU32(uint32(ls.PC)); err != nil {
+			return err
+		}
+		for _, v := range []int64{ls.Execs, ls.L1Misses, ls.L2Misses} {
+			if err := writeI64(v); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(uint32(len(ls.MissDynIx))); err != nil {
+			return err
+		}
+		for _, ix := range ls.MissDynIx {
+			if err := writeI64(ix); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary reads a profile in the spill-tier format. Decode errors mean
+// corruption (or a stale format); callers quarantine and rebuild.
+func DecodeBinary(r io.Reader) (*Profile, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, fmt.Errorf("profile: decode header: %w", err)
+	}
+	if string(scratch[:8]) != serialMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", scratch[:8])
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return serialOrder.Uint32(scratch[:4]), nil
+	}
+	readI64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return int64(serialOrder.Uint64(scratch[:8])), nil
+	}
+	p := &Profile{Loads: make(map[int32]*LoadStats)}
+	var err error
+	if p.TotalInsts, err = readI64(); err != nil {
+		return nil, fmt.Errorf("profile: decode totals: %w", err)
+	}
+	if p.TotalL2, err = readI64(); err != nil {
+		return nil, fmt.Errorf("profile: decode totals: %w", err)
+	}
+	nExec, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("profile: decode exec counts: %w", err)
+	}
+	if nExec > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible exec-count length %d", nExec)
+	}
+	p.ExecCounts = make([]int64, nExec)
+	for i := range p.ExecCounts {
+		if p.ExecCounts[i], err = readI64(); err != nil {
+			return nil, fmt.Errorf("profile: decode exec counts: %w", err)
+		}
+	}
+	nLevels, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("profile: decode levels: %w", err)
+	}
+	if int64(nLevels) != p.TotalInsts {
+		return nil, fmt.Errorf("profile: levels length %d != total instructions %d", nLevels, p.TotalInsts)
+	}
+	p.Levels = make([]uint8, nLevels)
+	if _, err := io.ReadFull(br, p.Levels); err != nil {
+		return nil, fmt.Errorf("profile: decode levels: %w", err)
+	}
+	nLoads, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("profile: decode loads: %w", err)
+	}
+	if nLoads > nExec {
+		return nil, fmt.Errorf("profile: %d loads for %d static instructions", nLoads, nExec)
+	}
+	for i := uint32(0); i < nLoads; i++ {
+		pc, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("profile: decode loads: %w", err)
+		}
+		ls := &LoadStats{PC: int32(pc)}
+		for _, dst := range []*int64{&ls.Execs, &ls.L1Misses, &ls.L2Misses} {
+			if *dst, err = readI64(); err != nil {
+				return nil, fmt.Errorf("profile: decode load %d: %w", pc, err)
+			}
+		}
+		nIx, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("profile: decode load %d: %w", pc, err)
+		}
+		if int64(nIx) > p.TotalInsts {
+			return nil, fmt.Errorf("profile: load %d has %d miss indices for %d instructions", pc, nIx, p.TotalInsts)
+		}
+		if nIx > 0 {
+			ls.MissDynIx = make([]int64, nIx)
+			for j := range ls.MissDynIx {
+				if ls.MissDynIx[j], err = readI64(); err != nil {
+					return nil, fmt.Errorf("profile: decode load %d: %w", pc, err)
+				}
+			}
+		}
+		p.Loads[ls.PC] = ls
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("profile: trailing bytes after last load")
+	}
+	return p, nil
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// strideLoop walks a large array with a cache-hostile stride so the profile
+// has real L1/L2 misses and a non-empty problem-load set.
+func strideLoop(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := isa.NewBuilder("serial-profile")
+	const words = 1 << 14
+	mem := make([]int64, words)
+	const (
+		rI   = isa.Reg(1)
+		rN   = isa.Reg(2)
+		rAdr = isa.Reg(3)
+		rV   = isa.Reg(4)
+		rC   = isa.Reg(5)
+	)
+	b.MovI(rI, 0)
+	b.MovI(rN, words/8)
+	b.Label("top")
+	b.ShlI(rAdr, rI, 6) // stride 64 bytes: a new line every access
+	b.Load(rV, rAdr, 0)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return trace.MustRun(b.MustBuild())
+}
+
+func smallHier() Config {
+	return Config{
+		L1D: cache.Config{SizeBytes: 1 << 10, Ways: 2, BlockBytes: 64, HitLatency: 2},
+		L2:  cache.Config{SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64, HitLatency: 12},
+	}
+}
+
+func TestProfileSerialRoundTrip(t *testing.T) {
+	tr := strideLoop(t)
+	p := Collect(tr, smallHier())
+	if p.TotalL2 == 0 || len(p.Loads) == 0 {
+		t.Fatal("workload produced no L2 misses; profile round trip untested")
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Error("profile round trip diverged")
+	}
+	var buf2 bytes.Buffer
+	if err := got.EncodeBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding a decoded profile changed the bytes")
+	}
+}
+
+func TestProfileSerialRejectsCorruption(t *testing.T) {
+	tr := strideLoop(t)
+	p := Collect(tr, smallHier())
+	var buf bytes.Buffer
+	if err := p.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOTPROFL"), raw[8:]...),
+		"truncated": raw[:len(raw)-7],
+		"trailing":  append(append([]byte(nil), raw...), 1),
+	} {
+		if _, err := DecodeBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package slicer
+
+// Binary (de)serialization of slice trees for the on-disk artifact spill
+// tier. Each tree's nodes are flattened in depth-first preorder with parent
+// indices, which both preserves the original child order (selection walks
+// children in insertion order) and makes the encoding deterministic.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/profile"
+)
+
+const serialMagic = "PXSLC001"
+
+var serialOrder = binary.LittleEndian
+
+// EncodeTrees writes the slice trees in the spill-tier format.
+func EncodeTrees(w io.Writer, trees []*Tree) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		serialOrder.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeI64 := func(v int64) error {
+		serialOrder.PutUint64(scratch[:8], uint64(v))
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := writeU32(uint32(len(trees))); err != nil {
+		return err
+	}
+	for _, t := range trees {
+		if err := writeU32(uint32(t.TargetPC)); err != nil {
+			return err
+		}
+		ls := t.Load
+		if ls == nil {
+			ls = &profile.LoadStats{}
+		}
+		if err := writeU32(uint32(ls.PC)); err != nil {
+			return err
+		}
+		for _, v := range []int64{ls.Execs, ls.L1Misses, ls.L2Misses} {
+			if err := writeI64(v); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(uint32(len(ls.MissDynIx))); err != nil {
+			return err
+		}
+		for _, ix := range ls.MissDynIx {
+			if err := writeI64(ix); err != nil {
+				return err
+			}
+		}
+		if err := writeI64(t.Sampled); err != nil {
+			return err
+		}
+		if err := writeI64(int64(math.Float64bits(t.Scale))); err != nil {
+			return err
+		}
+		// Flatten: preorder walk assigning indices; each node records its
+		// parent's index (root's parent is ^uint32(0)).
+		var flat []*Node
+		index := map[*Node]uint32{}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			index[n] = uint32(len(flat))
+			flat = append(flat, n)
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(t.Root)
+		if err := writeU32(uint32(len(flat))); err != nil {
+			return err
+		}
+		for _, n := range flat {
+			parent := ^uint32(0)
+			if n.Parent != nil {
+				parent = index[n.Parent]
+			}
+			if err := writeU32(parent); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(n.PC)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(n.Depth)); err != nil {
+				return err
+			}
+			for _, v := range []int64{n.DCtrig, n.DCptcm, n.DistSum} {
+				if err := writeI64(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTrees reads slice trees in the spill-tier format. Decode errors
+// mean corruption (or a stale format); callers quarantine and rebuild.
+func DecodeTrees(r io.Reader) ([]*Tree, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, fmt.Errorf("slicer: decode header: %w", err)
+	}
+	if string(scratch[:8]) != serialMagic {
+		return nil, fmt.Errorf("slicer: bad magic %q", scratch[:8])
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return serialOrder.Uint32(scratch[:4]), nil
+	}
+	readI64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return int64(serialOrder.Uint64(scratch[:8])), nil
+	}
+	nTrees, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("slicer: decode tree count: %w", err)
+	}
+	if nTrees > 1<<20 {
+		return nil, fmt.Errorf("slicer: implausible tree count %d", nTrees)
+	}
+	trees := make([]*Tree, 0, nTrees)
+	for ti := uint32(0); ti < nTrees; ti++ {
+		targetPC, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d: %w", ti, err)
+		}
+		ls := &profile.LoadStats{}
+		pc, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d load: %w", ti, err)
+		}
+		ls.PC = int32(pc)
+		for _, dst := range []*int64{&ls.Execs, &ls.L1Misses, &ls.L2Misses} {
+			if *dst, err = readI64(); err != nil {
+				return nil, fmt.Errorf("slicer: decode tree %d load: %w", ti, err)
+			}
+		}
+		nIx, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d load: %w", ti, err)
+		}
+		if nIx > 1<<28 {
+			return nil, fmt.Errorf("slicer: implausible miss-index count %d", nIx)
+		}
+		if nIx > 0 {
+			ls.MissDynIx = make([]int64, nIx)
+			for j := range ls.MissDynIx {
+				if ls.MissDynIx[j], err = readI64(); err != nil {
+					return nil, fmt.Errorf("slicer: decode tree %d load: %w", ti, err)
+				}
+			}
+		}
+		t := &Tree{TargetPC: int32(targetPC), Load: ls}
+		if t.Sampled, err = readI64(); err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d: %w", ti, err)
+		}
+		bits, err := readI64()
+		if err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d: %w", ti, err)
+		}
+		t.Scale = math.Float64frombits(uint64(bits))
+		nNodes, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("slicer: decode tree %d nodes: %w", ti, err)
+		}
+		if nNodes == 0 || nNodes > 1<<24 {
+			return nil, fmt.Errorf("slicer: implausible node count %d in tree %d", nNodes, ti)
+		}
+		flat := make([]*Node, nNodes)
+		for ni := uint32(0); ni < nNodes; ni++ {
+			parent, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("slicer: decode tree %d node %d: %w", ti, ni, err)
+			}
+			n := &Node{}
+			pc, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("slicer: decode tree %d node %d: %w", ti, ni, err)
+			}
+			n.PC = int32(pc)
+			depth, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("slicer: decode tree %d node %d: %w", ti, ni, err)
+			}
+			n.Depth = int(depth)
+			for _, dst := range []*int64{&n.DCtrig, &n.DCptcm, &n.DistSum} {
+				if *dst, err = readI64(); err != nil {
+					return nil, fmt.Errorf("slicer: decode tree %d node %d: %w", ti, ni, err)
+				}
+			}
+			flat[ni] = n
+			switch {
+			case parent == ^uint32(0):
+				if ni != 0 {
+					return nil, fmt.Errorf("slicer: tree %d has a second root at node %d", ti, ni)
+				}
+				t.Root = n
+			case parent >= ni:
+				// Preorder guarantees parents precede children; a forward
+				// reference is corruption (and would otherwise nil-deref).
+				return nil, fmt.Errorf("slicer: tree %d node %d references parent %d out of order", ti, ni, parent)
+			default:
+				n.Parent = flat[parent]
+				n.Parent.Children = append(n.Parent.Children, n)
+			}
+		}
+		if t.Root == nil {
+			return nil, fmt.Errorf("slicer: tree %d has no root", ti)
+		}
+		trees = append(trees, t)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("slicer: trailing bytes after last tree")
+	}
+	return trees, nil
+}

@@ -1,0 +1,86 @@
+package slicer
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// stripLinks nulls the Parent back-pointers so reflect.DeepEqual can compare
+// two trees without chasing the (cyclic) parent links; child order — the
+// part selection depends on — is still compared in full.
+func stripLinks(trees []*Tree) {
+	for _, t := range trees {
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			n.Parent = nil
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(t.Root)
+	}
+}
+
+func TestTreesSerialRoundTrip(t *testing.T) {
+	trees, _, _ := buildTestTrees(t, paperLoop(3000), DefaultConfig())
+	var buf bytes.Buffer
+	if err := EncodeTrees(&buf, trees); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrees(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trees) {
+		t.Fatalf("tree count %d, want %d", len(got), len(trees))
+	}
+	// Parent links must be consistent before we strip them for comparison.
+	for ti, tree := range got {
+		tree.Walk(func(n *Node) {
+			if n.Parent == nil {
+				t.Fatalf("tree %d: non-root node with nil parent", ti)
+			}
+			found := false
+			for _, c := range n.Parent.Children {
+				if c == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tree %d: node missing from its parent's children", ti)
+			}
+		})
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeTrees(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding decoded trees changed the bytes")
+	}
+	stripLinks(trees)
+	stripLinks(got)
+	if !reflect.DeepEqual(trees, got) {
+		t.Error("tree round trip diverged")
+	}
+}
+
+func TestTreesSerialRejectsCorruption(t *testing.T) {
+	trees, _, _ := buildTestTrees(t, paperLoop(3000), DefaultConfig())
+	var buf bytes.Buffer
+	if err := EncodeTrees(&buf, trees); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOTTREES"), raw[8:]...),
+		"truncated": raw[:len(raw)-5],
+		"trailing":  append(append([]byte(nil), raw...), 7),
+	} {
+		if _, err := DecodeTrees(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package trace
+
+// Binary (de)serialization of the chunked structure-of-arrays trace, the
+// format the on-disk artifact spill tier stores traces in. The columns are
+// written in their native layout — each chunk's pc/prod1/prod2/addr/val
+// columns and the branch bitset as contiguous little-endian words — so a
+// warm load is a straight sequence of column reads into freshly allocated
+// chunks, with no per-entry decoding.
+//
+// The program itself is deliberately NOT serialized: the caller supplies it
+// on decode (the disk store rebuilds it from the benchmark registry, which
+// the store key's content fingerprint already covers). The header carries
+// the program's shape (name, instruction count, memory size) so a stale or
+// mismatched file is detected as corruption instead of producing a trace
+// whose PCs silently index a different program.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// serialMagic identifies the trace column format; bump the trailing digits
+// on any layout change so old spill files quarantine instead of misloading.
+const serialMagic = "PXTRC001"
+
+var serialOrder = binary.LittleEndian
+
+// EncodeBinary writes the trace in the spill-tier column format.
+func (t *Trace) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		serialOrder.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeI64 := func(v int64) error {
+		serialOrder.PutUint64(scratch[:8], uint64(v))
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	// Header: program shape, entry count, delta limit, final registers.
+	if err := writeStr(t.Prog.Name); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.Prog.Insts))); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.Prog.InitMem))); err != nil {
+		return err
+	}
+	if err := writeI64(int64(t.n)); err != nil {
+		return err
+	}
+	if err := writeU32(t.deltaLimit); err != nil {
+		return err
+	}
+	for _, r := range t.FinalRegs {
+		if err := writeI64(r); err != nil {
+			return err
+		}
+	}
+	// Overflow maps, sorted by consumer index for deterministic bytes.
+	for _, over := range []map[int64]int64{t.over1, t.over2} {
+		keys := make([]int64, 0, len(over))
+		for k := range over {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if err := writeU32(uint32(len(keys))); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := writeI64(k); err != nil {
+				return err
+			}
+			if err := writeI64(over[k]); err != nil {
+				return err
+			}
+		}
+	}
+	// Chunk columns, filled prefix only.
+	buf := make([]byte, chunkLen*8)
+	for ci := range t.chunks {
+		c := &t.chunks[ci]
+		filled := t.n - ci<<chunkBits
+		if filled > chunkLen {
+			filled = chunkLen
+		}
+		if err := writeI32Col(bw, buf, c.pc[:filled]); err != nil {
+			return err
+		}
+		if err := writeU32Col(bw, buf, c.prod1[:filled]); err != nil {
+			return err
+		}
+		if err := writeU32Col(bw, buf, c.prod2[:filled]); err != nil {
+			return err
+		}
+		if err := writeI64Col(bw, buf, c.addr[:filled]); err != nil {
+			return err
+		}
+		if err := writeI64Col(bw, buf, c.val[:filled]); err != nil {
+			return err
+		}
+		if err := writeU64Col(bw, buf, c.taken[:(filled+63)/64]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeI32Col(w io.Writer, buf []byte, col []int32) error {
+	for i, v := range col {
+		serialOrder.PutUint32(buf[i*4:], uint32(v))
+	}
+	_, err := w.Write(buf[:len(col)*4])
+	return err
+}
+
+func writeU32Col(w io.Writer, buf []byte, col []uint32) error {
+	for i, v := range col {
+		serialOrder.PutUint32(buf[i*4:], v)
+	}
+	_, err := w.Write(buf[:len(col)*4])
+	return err
+}
+
+func writeI64Col(w io.Writer, buf []byte, col []int64) error {
+	for i, v := range col {
+		serialOrder.PutUint64(buf[i*8:], uint64(v))
+	}
+	_, err := w.Write(buf[:len(col)*8])
+	return err
+}
+
+func writeU64Col(w io.Writer, buf []byte, col []uint64) error {
+	for i, v := range col {
+		serialOrder.PutUint64(buf[i*8:], v)
+	}
+	_, err := w.Write(buf[:len(col)*8])
+	return err
+}
+
+// DecodeBinary reads a trace in the spill-tier column format, attaching the
+// given program. Any structural mismatch — wrong magic, a program shape
+// that differs from the one the trace was encoded against, short data — is
+// an error; callers treat decode errors as corruption (quarantine and
+// rebuild), never as fatal.
+func DecodeBinary(r io.Reader, prog *isa.Program) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if string(scratch[:8]) != serialMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", scratch[:8])
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return serialOrder.Uint32(scratch[:4]), nil
+	}
+	readI64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return int64(serialOrder.Uint64(scratch[:8])), nil
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible program name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	nInsts, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	nMem, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if string(name) != prog.Name || int(nInsts) != len(prog.Insts) || int(nMem) != len(prog.InitMem) {
+		return nil, fmt.Errorf("trace: encoded for program %q (%d insts, %d mem words), got %q (%d, %d)",
+			name, nInsts, nMem, prog.Name, len(prog.Insts), len(prog.InitMem))
+	}
+	n64, err := readI64()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	const maxEntries = int64(1) << 40 // far beyond any interpreter bound
+	if n64 < 0 || n64 > maxEntries {
+		return nil, fmt.Errorf("trace: implausible entry count %d", n64)
+	}
+	t := &Trace{Prog: prog, n: int(n64)}
+	if t.deltaLimit, err = readU32(); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	for i := range t.FinalRegs {
+		if t.FinalRegs[i], err = readI64(); err != nil {
+			return nil, fmt.Errorf("trace: decode registers: %w", err)
+		}
+	}
+	for _, over := range []*map[int64]int64{&t.over1, &t.over2} {
+		cnt, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: decode overflow map: %w", err)
+		}
+		if cnt > uint32(minInt64(n64, 1<<31)) {
+			return nil, fmt.Errorf("trace: implausible overflow count %d for %d entries", cnt, n64)
+		}
+		if cnt > 0 {
+			m := make(map[int64]int64, cnt)
+			for i := uint32(0); i < cnt; i++ {
+				k, err := readI64()
+				if err != nil {
+					return nil, fmt.Errorf("trace: decode overflow map: %w", err)
+				}
+				v, err := readI64()
+				if err != nil {
+					return nil, fmt.Errorf("trace: decode overflow map: %w", err)
+				}
+				m[k] = v
+			}
+			*over = m
+		}
+	}
+	numChunks := (t.n + chunkLen - 1) >> chunkBits
+	t.chunks = make([]chunk, numChunks)
+	buf := make([]byte, chunkLen*8)
+	for ci := 0; ci < numChunks; ci++ {
+		filled := t.n - ci<<chunkBits
+		if filled > chunkLen {
+			filled = chunkLen
+		}
+		c := newChunk()
+		if err := readI32Col(br, buf, c.pc[:filled]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d pc column: %w", ci, err)
+		}
+		if err := readU32Col(br, buf, c.prod1[:filled]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d prod1 column: %w", ci, err)
+		}
+		if err := readU32Col(br, buf, c.prod2[:filled]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d prod2 column: %w", ci, err)
+		}
+		if err := readI64Col(br, buf, c.addr[:filled]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d addr column: %w", ci, err)
+		}
+		if err := readI64Col(br, buf, c.val[:filled]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d val column: %w", ci, err)
+		}
+		if err := readU64Col(br, buf, c.taken[:(filled+63)/64]); err != nil {
+			return nil, fmt.Errorf("trace: chunk %d taken column: %w", ci, err)
+		}
+		// PCs must index the supplied program; a wild PC here would
+		// otherwise crash a consumer much later.
+		for _, pc := range c.pc[:filled] {
+			if pc < 0 || int(pc) >= len(prog.Insts) {
+				return nil, fmt.Errorf("trace: chunk %d holds pc %d outside program (%d insts)", ci, pc, len(prog.Insts))
+			}
+		}
+		t.chunks[ci] = c
+	}
+	// The payload must end exactly at the last column.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing bytes after last chunk")
+	}
+	return t, nil
+}
+
+func readI32Col(r io.Reader, buf []byte, col []int32) error {
+	if _, err := io.ReadFull(r, buf[:len(col)*4]); err != nil {
+		return err
+	}
+	for i := range col {
+		col[i] = int32(serialOrder.Uint32(buf[i*4:]))
+	}
+	return nil
+}
+
+func readU32Col(r io.Reader, buf []byte, col []uint32) error {
+	if _, err := io.ReadFull(r, buf[:len(col)*4]); err != nil {
+		return err
+	}
+	for i := range col {
+		col[i] = serialOrder.Uint32(buf[i*4:])
+	}
+	return nil
+}
+
+func readI64Col(r io.Reader, buf []byte, col []int64) error {
+	if _, err := io.ReadFull(r, buf[:len(col)*8]); err != nil {
+		return err
+	}
+	for i := range col {
+		col[i] = int64(serialOrder.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+func readU64Col(r io.Reader, buf []byte, col []uint64) error {
+	if _, err := io.ReadFull(r, buf[:len(col)*8]); err != nil {
+		return err
+	}
+	for i := range col {
+		col[i] = serialOrder.Uint64(buf[i*8:])
+	}
+	return nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// serialProgram builds a small workload with loads, stores and branches,
+// looping long enough that the trace exercises several branch-bitset words.
+func serialProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("serial")
+	const words = 64
+	mem := make([]int64, words)
+	for i := range mem {
+		mem[i] = int64(i*3 + 1)
+	}
+	const (
+		rI   = isa.Reg(1)
+		rN   = isa.Reg(2)
+		rAdr = isa.Reg(3)
+		rV   = isa.Reg(4)
+		rC   = isa.Reg(5)
+	)
+	b.MovI(rI, 0)
+	b.MovI(rN, words)
+	b.Label("top")
+	b.ShlI(rAdr, rI, 3)
+	b.Load(rV, rAdr, 0)
+	b.Add(rV, rV, rV)
+	b.Store(rAdr, 0, rV)
+	b.AddI(rI, rI, 1)
+	b.CmpLT(rC, rI, rN)
+	b.BrNZ(rC, "top")
+	b.Halt()
+	b.SetMem(mem)
+	return b.MustBuild()
+}
+
+func tracesEqual(t *testing.T, a, b *Trace) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("len %d != %d", a.Len(), b.Len())
+	}
+	if a.FinalRegs != b.FinalRegs {
+		t.Fatalf("final registers diverge")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.PC(i) != b.PC(i) || a.Prod1(i) != b.Prod1(i) || a.Prod2(i) != b.Prod2(i) ||
+			a.Addr(i) != b.Addr(i) || a.Val(i) != b.Val(i) || a.Taken(i) != b.Taken(i) {
+			t.Fatalf("entry %d diverges: (%d %d %d %d %d %v) vs (%d %d %d %d %d %v)", i,
+				a.PC(i), a.Prod1(i), a.Prod2(i), a.Addr(i), a.Val(i), a.Taken(i),
+				b.PC(i), b.Prod1(i), b.Prod2(i), b.Addr(i), b.Val(i), b.Taken(i))
+		}
+	}
+}
+
+func TestSerialRoundTrip(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+
+	// Deterministic bytes: re-encoding either trace yields identical output.
+	var buf2 bytes.Buffer
+	if err := got.EncodeBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding a decoded trace changed the bytes")
+	}
+}
+
+// TestSerialRoundTripEscapedDeltas exercises the overflow-map path: with a
+// tiny DeltaLimit, long-range producer links go through over1/over2 and must
+// survive the round trip.
+func TestSerialRoundTripEscapedDeltas(t *testing.T) {
+	prog := serialProgram(t)
+	it := Interpreter{DeltaLimit: 4}
+	tr, err := it.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.over1) == 0 && len(tr.over2) == 0 {
+		t.Fatal("test workload produced no escaped deltas; lower DeltaLimit")
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+}
+
+func TestSerialDecodeRejectsCorruption(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOTTRACE"), raw[8:]...),
+		"truncated": raw[:len(raw)/2],
+		"trailing":  append(append([]byte(nil), raw...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(data), prog); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+
+	// A different program shape must be rejected even with intact bytes.
+	other := isa.NewBuilder("other")
+	other.Halt()
+	op := other.MustBuild()
+	if _, err := DecodeBinary(bytes.NewReader(raw), op); err == nil {
+		t.Error("decode against a different program succeeded, want error")
+	}
+}

@@ -72,6 +72,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/artifactdisk"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/isa"
@@ -127,6 +128,14 @@ type (
 	// AxisPoint is one point on an Axis: a label plus the configuration
 	// mutation realizing it.
 	AxisPoint = experiments.AxisPoint
+	// StoreStats is a Lab's artifact-store observability snapshot: per-stage
+	// request outcomes plus, when a disk store is attached, the spill tier's
+	// counters (see Lab.StoreStats).
+	StoreStats = experiments.StoreStats
+	// StageStoreStats is one pipeline stage's request-outcome counters.
+	StageStoreStats = experiments.StageStoreStats
+	// DiskStoreStats is the on-disk spill tier's counter snapshot.
+	DiskStoreStats = artifactdisk.Stats
 
 	// WorkloadSpec declares one generated synthetic workload: a memory-
 	// behaviour family, a seed, and knobs for working-set size, chain depth,
@@ -231,6 +240,10 @@ const (
 	StagePrepared = experiments.StagePrepared
 )
 
+// Stages lists every preparation pipeline stage in dependency order,
+// StagePrepared last — the key set of Lab.StoreStats().Stages.
+func Stages() []Stage { return experiments.Stages() }
+
 // Observer event kinds.
 const (
 	EventPrepareStart  = experiments.EventPrepareStart
@@ -239,6 +252,7 @@ const (
 	EventStageStart    = experiments.EventStageStart
 	EventStageDone     = experiments.EventStageDone
 	EventStageCached   = experiments.EventStageCached
+	EventStageSpill    = experiments.EventStageSpill
 	EventRunStart      = experiments.EventRunStart
 	EventRunDone       = experiments.EventRunDone
 	EventBenchDone     = experiments.EventBenchDone
@@ -288,6 +302,31 @@ func WithParallelism(n int) Option { return func(l *Lab) { l.parallelism = n } }
 // serialized (never concurrently) but from worker goroutines.
 func WithObserver(fn func(Event)) Option { return func(l *Lab) { l.observe = fn } }
 
+// WithDiskStore attaches an on-disk content-addressed spill tier at dir
+// behind the engine's in-memory artifact store, with a byte budget
+// (maxBytes <= 0: unlimited; least-recently-used artifacts are evicted over
+// budget). Stage artifacts are persisted under their content fingerprints,
+// so a fresh Lab pointed at a populated directory satisfies every heavy
+// preparation stage with a verified disk load instead of a rebuild — the
+// restart-warm guarantee behind the lab daemon. Corrupt files are
+// quarantined and rebuilt, never fatal. A directory that cannot be opened
+// surfaces through Lab.DiskStoreErr (the Lab still works, uncached).
+func WithDiskStore(dir string, maxBytes int64) Option {
+	return func(l *Lab) {
+		l.diskDir = dir
+		l.diskMax = maxBytes
+		l.diskSet = true
+	}
+}
+
+// WithEventTag returns a context whose engine events carry tag, letting one
+// observer attribute events from concurrent entry points over a shared Lab
+// (the daemon routes events to jobs with it). Events emitted from inside a
+// build shared between concurrent callers carry the computing caller's tag.
+func WithEventTag(ctx context.Context, tag string) context.Context {
+	return experiments.WithEventTag(ctx, tag)
+}
+
 // Lab is the experiment engine: it owns the artifact store (one preparation
 // per benchmark × input × configuration, shared by every figure, sweep,
 // study and campaign run through it) and the bounded worker pool. A Lab is
@@ -297,6 +336,11 @@ type Lab struct {
 	parallelism int
 	observe     func(Event)
 	run         *experiments.Runner
+
+	diskDir string
+	diskMax int64
+	diskSet bool
+	diskErr error
 }
 
 // New creates a Lab engine.
@@ -306,8 +350,17 @@ func New(opts ...Option) *Lab {
 		opt(l)
 	}
 	l.run = experiments.NewRunner(l.cfg, l.parallelism, l.observe)
+	if l.diskSet {
+		l.diskErr = l.run.AttachDiskStore(l.diskDir, l.diskMax)
+	}
 	return l
 }
+
+// DiskStoreErr reports whether WithDiskStore's directory could be opened;
+// nil when no disk store was requested. A Lab with a failed disk store
+// still works — every preparation is simply cold — so servers check this at
+// startup to fail loudly instead of silently running uncached.
+func (l *Lab) DiskStoreErr() error { return l.diskErr }
 
 // Config returns the engine's configuration.
 func (l *Lab) Config() Config { return l.cfg }
@@ -327,6 +380,15 @@ func (l *Lab) Prepares() int64 { return l.run.Prepares() }
 // looks at (e.g. idle factor or memory latency for trace/profile/slices)
 // executes that stage exactly once per benchmark.
 func (l *Lab) StagePrepares(stage Stage) int64 { return l.run.StagePrepares(stage) }
+
+// StoreStats snapshots the engine's artifact-store counters, generalizing
+// StagePrepares: per stage, how many requests executed it cold, were served
+// from a completed in-memory entry, shared another caller's in-flight
+// build, or were satisfied by a disk-tier load — plus the disk store's own
+// counters when one is attached. The cold counts are the observable behind
+// the build-once guarantee; the spill-load counts behind the restart-warm
+// guarantee.
+func (l *Lab) StoreStats() StoreStats { return l.run.StoreStats() }
 
 // RegisterSpecs materializes and registers generated workloads, returning
 // their canonical benchmark names in argument order. Registered names work
