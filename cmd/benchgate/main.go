@@ -14,7 +14,12 @@
 //   - a warm 3-point sweep grid must not perform more heavy stage builds
 //     (trace/profile/slice-tree executions) than the baseline's
 //     MaxWarmGridStageBuilds (0 since the staged-pipeline tentpole: warm
-//     sweep points reuse every cached upstream artifact).
+//     sweep points reuse every cached upstream artifact), and
+//   - the batched engine's paired speedup at width 4 (BenchmarkSimBatched/
+//     speedup4, which interleaves four serial runs against one width-4 batch
+//     per workload so machine-speed drift cancels out of the ratio) must
+//     stay at or above the baseline's MinBatchSpeedupK4 (machine-independent
+//     > 1.0: four batched runs must beat four serial runs).
 //
 // Usage:
 //
@@ -49,6 +54,20 @@ type Report struct {
 	EventBytesPerOp   float64 // steady-state bytes allocated per full-suite op
 	FigureSuiteSec    float64 // BenchmarkFigureSuite seconds per full suite (0 when skipped)
 
+	// Batched engine columns (BenchmarkSimBatched): aggregate sim-cycles/s
+	// across all instances of a batch, per width (informational — measured
+	// at different times, so the ratios carry machine drift). The gated
+	// column is BatchSpeedupK4, the paired speedup4 sub-benchmark's ratio:
+	// four serial runs and one width-4 batch interleaved per workload, so
+	// drift cancels. BatchAllocsPerOp is the k4 loop's steady-state
+	// allocation rate (0 under batch-simulator reuse).
+	BatchK1CyclesPerSec float64
+	BatchK2CyclesPerSec float64
+	BatchK4CyclesPerSec float64
+	BatchK8CyclesPerSec float64
+	BatchSpeedupK4      float64
+	BatchAllocsPerOp    float64
+
 	// Sweep grid columns (BenchmarkSweepGrid): seconds per 3-point
 	// single-axis sweep, cold (fresh engine) vs warm (every stage
 	// artifact cached), plus the heavy stage executions (trace + profile
@@ -77,7 +96,11 @@ type Baseline struct {
 	// (machine-independent; 0 = warm sweep points must reuse every cached
 	// upstream artifact — the staged-pipeline contract).
 	MaxWarmGridStageBuilds float64
-	Note                   string `json:",omitempty"`
+	// MinBatchSpeedupK4 is the required paired serial/batched wall-clock
+	// ratio at width 4 (machine-independent; > 1.0 = a width-4 batch must
+	// beat four serial runs of the same workloads).
+	MinBatchSpeedupK4 float64
+	Note              string `json:",omitempty"`
 }
 
 func main() {
@@ -90,7 +113,12 @@ func main() {
 	flag.Parse()
 
 	rep := Report{}
-	hot, err := runBench("BenchmarkSimHotLoop", *benchtime)
+	// Ratio-gated columns (event/scan, k4/k1) are measured -count 3 and
+	// aggregated best-of per column: on shared runners a single sample of
+	// either side can swing ±20% from CPU steal, which would trip (or mask)
+	// a ratio gate; the best observed throughput of each column is the
+	// standard noise-resistant estimator.
+	hot, err := runBench("BenchmarkSimHotLoop", *benchtime, 3)
 	if err != nil {
 		fatal("hot loop benchmark: %v", err)
 	}
@@ -104,7 +132,33 @@ func main() {
 	rep.EventAllocsPerOp = event.allocsPerOp
 	rep.EventBytesPerOp = event.bytesPerOp
 
-	grid, err := runBench("BenchmarkSweepGrid", "1x")
+	batched, err := runBench("BenchmarkSimBatched/(k1|k2|k4|k8)", *benchtime, 3)
+	if err != nil {
+		fatal("batched benchmark: %v", err)
+	}
+	k4 := batched["BenchmarkSimBatched/k4"]
+	rep.BatchK1CyclesPerSec = batched["BenchmarkSimBatched/k1"].metric
+	rep.BatchK2CyclesPerSec = batched["BenchmarkSimBatched/k2"].metric
+	rep.BatchK4CyclesPerSec = k4.metric
+	rep.BatchK8CyclesPerSec = batched["BenchmarkSimBatched/k8"].metric
+	if rep.BatchK1CyclesPerSec <= 0 || rep.BatchK4CyclesPerSec <= 0 {
+		fatal("missing sim-cycles/s metrics in batched benchmark output")
+	}
+	rep.BatchAllocsPerOp = k4.allocsPerOp
+	// The gated ratio comes from the paired sub-benchmark, not the k4/k1
+	// columns above: pairing serial and batched timings per workload within
+	// each iteration is what makes a 1.0 threshold meaningful on machines
+	// whose clock drifts more than the batching win.
+	paired, err := runBench("BenchmarkSimBatched/speedup4", "2x", 3)
+	if err != nil {
+		fatal("paired batch speedup benchmark: %v", err)
+	}
+	rep.BatchSpeedupK4 = paired["BenchmarkSimBatched/speedup4"].batchSpeedup
+	if rep.BatchSpeedupK4 <= 0 {
+		fatal("missing batch-speedup-k4 metric in paired benchmark output")
+	}
+
+	grid, err := runBench("BenchmarkSweepGrid", "1x", 1)
 	if err != nil {
 		fatal("sweep grid benchmark: %v", err)
 	}
@@ -123,7 +177,7 @@ func main() {
 	}
 
 	if !*skipSuite {
-		suite, err := runBench("BenchmarkFigureSuite", "1x")
+		suite, err := runBench("BenchmarkFigureSuite", "1x", 1)
 		if err != nil {
 			fatal("figure suite benchmark: %v", err)
 		}
@@ -139,6 +193,9 @@ func main() {
 		rep.EventCyclesPerSec, rep.EventAllocsPerOp, rep.EventBytesPerOp, rep.ScanCyclesPerSec, rep.Speedup)
 	fmt.Printf("benchgate: sweep grid cold %.2fs (%.0f stage builds), warm %.2fs (%.0f stage builds)\n",
 		rep.SweepColdSec, rep.ColdGridStageBuilds, rep.SweepWarmSec, rep.WarmGridStageBuilds)
+	fmt.Printf("benchgate: batched k1 %.0f, k2 %.0f, k4 %.0f, k8 %.0f sim-cycles/s; paired k4 speedup %.2fx (%.0f allocs/op)\n",
+		rep.BatchK1CyclesPerSec, rep.BatchK2CyclesPerSec, rep.BatchK4CyclesPerSec,
+		rep.BatchK8CyclesPerSec, rep.BatchSpeedupK4, rep.BatchAllocsPerOp)
 
 	if *update {
 		b := Baseline{
@@ -147,6 +204,7 @@ func main() {
 			MaxEventAllocsPerOp:    rep.EventAllocsPerOp,
 			MaxEventBytesPerOp:     rep.EventBytesPerOp,
 			MaxWarmGridStageBuilds: rep.WarmGridStageBuilds,
+			MinBatchSpeedupK4:      1.0,
 			Note:                   "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
 		}
 		braw, _ := json.MarshalIndent(b, "", "  ")
@@ -192,23 +250,31 @@ func main() {
 		fatal("stage-reuse regression: warm sweep grid performed %.0f heavy stage builds > allowed %.0f (warm points must reuse cached trace/profile/slices)",
 			rep.WarmGridStageBuilds, base.MaxWarmGridStageBuilds)
 	}
-	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds)\n",
-		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds)
+	if base.MinBatchSpeedupK4 > 0 && rep.BatchSpeedupK4 < base.MinBatchSpeedupK4 {
+		fatal("batch speedup regression: paired k4 %.2fx < required %.2fx (a width-4 batch must beat four serial runs)",
+			rep.BatchSpeedupK4, base.MinBatchSpeedupK4)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds, min batch speedup %.2fx)\n",
+		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds, base.MinBatchSpeedupK4)
 }
 
 type benchLine struct {
 	nsPerOp         float64
 	metric          float64 // the benchmark's custom sim-cycles/s metric, if reported
+	batchSpeedup    float64 // BenchmarkSimBatched/speedup4's paired batch-speedup-k4 ratio
 	gridStageBuilds float64 // BenchmarkSweepGrid's grid-stage-builds metric
 	bytesPerOp      float64 // -benchmem B/op
 	allocsPerOp     float64 // -benchmem allocs/op
 }
 
 // runBench executes one `go test -bench` selection and parses its result
-// lines into name -> {ns/op, sim-cycles/s, B/op, allocs/op}.
-func runBench(pattern, benchtime string) (map[string]benchLine, error) {
+// lines into name -> {ns/op, sim-cycles/s, B/op, allocs/op}. With count >
+// 1, repeated lines per benchmark are folded best-of for the speed columns
+// (max throughput, min ns/op) and worst-of for the gated allocation and
+// stage-build columns.
+func runBench(pattern, benchtime string, count int) (map[string]benchLine, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^"+pattern+"$",
-		"-benchtime", benchtime, "-benchmem", ".")
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem", ".")
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
@@ -236,6 +302,8 @@ func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 				bl.nsPerOp = v
 			case "sim-cycles/s":
 				bl.metric = v
+			case "batch-speedup-k4":
+				bl.batchSpeedup = v
 			case "grid-stage-builds":
 				bl.gridStageBuilds = v
 			case "B/op":
@@ -243,6 +311,14 @@ func runBench(pattern, benchtime string) (map[string]benchLine, error) {
 			case "allocs/op":
 				bl.allocsPerOp = v
 			}
+		}
+		if prev, ok := res[name]; ok {
+			bl.metric = max(bl.metric, prev.metric)
+			bl.batchSpeedup = max(bl.batchSpeedup, prev.batchSpeedup)
+			bl.nsPerOp = min(bl.nsPerOp, prev.nsPerOp)
+			bl.allocsPerOp = max(bl.allocsPerOp, prev.allocsPerOp)
+			bl.bytesPerOp = max(bl.bytesPerOp, prev.bytesPerOp)
+			bl.gridStageBuilds = max(bl.gridStageBuilds, prev.gridStageBuilds)
 		}
 		res[name] = bl
 	}

@@ -8,8 +8,14 @@
 //	sweep -axis idle,mem -bench vortex      # 3×3 cartesian grid
 //	sweep -axis l2 -all                     # all nine benchmarks
 //	sweep -axis mem -targets L,P2           # custom target set
+//	sweep -axis mem -batch 4                # batch same-trace measurements
+//	sweep -axis mem -engine scan            # reference scan engine
 //	sweep -axis mem -json                   # machine-readable artifact
 //	                                        # (render with: report -render -)
+//
+// With -batch k (or -engine batched), measurements whose grid points share
+// one prepared trace ride a single streaming pass in batches of up to k —
+// bit-identical results, fewer passes over the trace columns.
 //
 // Generated workloads join the sweep through the repeatable -gen flag,
 // taking the generator spec grammar family:seed[:knob=value,...]. With -gen
@@ -26,7 +32,11 @@
 // in-process: the grid is submitted over HTTP, per-point progress streams
 // back live and prints identically to a local run, and the daemon's
 // persistent artifact store makes repeated and concurrent submissions share
-// every preparation stage — across clients and across daemon restarts:
+// every preparation stage — across clients and across daemon restarts.
+// Every locally checkable flag (-axis, -targets, -gen, -engine) is
+// validated client-side before anything is submitted; -engine and -batch
+// configure local runs only (a daemon's own -engine/-batch govern its
+// jobs):
 //
 //	sweep -addr http://localhost:8080 -axis idle -bench gap
 package main
@@ -34,6 +44,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,83 +54,120 @@ import (
 	preexec "repro"
 )
 
-func main() {
-	axisNames := flag.String("axis", "idle", "comma-separated sweep axes: idle, mem, l2 (multiple = cartesian grid)")
-	bench := flag.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the first axis)")
-	all := flag.Bool("all", false, "sweep every benchmark")
-	targetNames := flag.String("targets", "", "comma-separated selection targets (default: L,E,P)")
-	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
-	asJSON := flag.Bool("json", false, "emit the JSON artifact instead of the rendered table")
-	addr := flag.String("addr", "", "submit to a lab daemon at this base URL instead of sweeping locally")
-	var workloads []preexec.WorkloadPoint
-	var genSpecs []string
-	flag.Func("gen", "generated workload spec family:seed[:knob=value,...] (repeatable)", func(text string) error {
+// cli is the parsed, validated flag set of one sweep invocation.
+type cli struct {
+	axes        []preexec.Axis
+	axisNames   []string
+	names       []string
+	workloads   []preexec.WorkloadPoint
+	genSpecs    []string
+	targets     []preexec.Target
+	targetNames []string
+	engine      preexec.Engine
+	batch       int
+	parallelism int
+	asJSON      bool
+	addr        string
+}
+
+// parseCLI parses and validates the full flag set. Everything locally
+// checkable — -axis, -targets, every -gen spec and -engine — is validated
+// here, before main chooses between the local and remote paths, so a bad
+// flag is rejected client-side instead of being submitted to a daemon.
+func parseCLI(args []string) (*cli, error) {
+	c := &cli{}
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	axisNames := fs.String("axis", "idle", "comma-separated sweep axes: idle, mem, l2 (multiple = cartesian grid)")
+	bench := fs.String("bench", "", "comma-separated benchmarks (default: the paper's triple for the first axis)")
+	all := fs.Bool("all", false, "sweep every benchmark")
+	targetNames := fs.String("targets", "", "comma-separated selection targets (default: L,E,P)")
+	engineName := fs.String("engine", "", "simulation engine: event, scan or batched (local sweeps; a daemon uses its own -engine)")
+	fs.IntVar(&c.batch, "batch", 0, "batch width k: run up to k same-trace measurements per streaming pass (local sweeps; 0/1 = serial)")
+	fs.IntVar(&c.parallelism, "j", 0, "worker-pool bound (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.asJSON, "json", false, "emit the JSON artifact instead of the rendered table")
+	fs.StringVar(&c.addr, "addr", "", "submit to a lab daemon at this base URL instead of sweeping locally")
+	fs.Func("gen", "generated workload spec family:seed[:knob=value,...] (repeatable)", func(text string) error {
 		spec, err := preexec.ParseWorkloadSpec(text)
 		if err != nil {
 			return err
 		}
-		workloads = append(workloads, preexec.WorkloadPoint{Label: text, Spec: spec})
-		genSpecs = append(genSpecs, text)
+		c.workloads = append(c.workloads, preexec.WorkloadPoint{Label: text, Spec: spec})
+		c.genSpecs = append(c.genSpecs, text)
 		return nil
 	})
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
-	var axes []preexec.Axis
 	var first preexec.SweepAxis
 	for i, name := range strings.Split(*axisNames, ",") {
-		axis, err := preexec.ParseSweepAxis(strings.TrimSpace(name))
+		name = strings.TrimSpace(name)
+		axis, err := preexec.ParseSweepAxis(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		if i == 0 {
 			first = axis
 		}
-		axes = append(axes, preexec.GridAxis(axis))
+		c.axes = append(c.axes, preexec.GridAxis(axis))
+		c.axisNames = append(c.axisNames, name)
 	}
 
-	names := preexec.Figure5Benchmarks(first)
+	c.names = preexec.Figure5Benchmarks(first)
 	if *all {
-		names = preexec.PaperBenchmarks()
+		c.names = preexec.PaperBenchmarks()
 	} else if *bench != "" {
-		names = strings.Split(*bench, ",")
-	} else if len(workloads) > 0 {
-		names = nil // -gen alone sweeps only the generated workloads
+		c.names = strings.Split(*bench, ",")
+	} else if len(c.workloads) > 0 {
+		c.names = nil // -gen alone sweeps only the generated workloads
 	}
 
-	var targets []preexec.Target
 	if *targetNames != "" {
 		for _, t := range strings.Split(*targetNames, ",") {
-			tgt, err := preexec.ParseTarget(strings.TrimSpace(t))
+			t = strings.TrimSpace(t)
+			tgt, err := preexec.ParseTarget(t)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
+				return nil, err
 			}
-			targets = append(targets, tgt)
+			c.targets = append(c.targets, tgt)
+			c.targetNames = append(c.targetNames, t)
 		}
 	}
 
-	if *addr != "" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
-		var axes, targetList []string
-		for _, a := range strings.Split(*axisNames, ",") {
-			axes = append(axes, strings.TrimSpace(a))
+	var err error
+	if c.engine, err = preexec.ParseEngine(*engineName); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func main() {
+	c, err := parseCLI(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
 		}
-		if *targetNames != "" {
-			for _, t := range strings.Split(*targetNames, ",") {
-				targetList = append(targetList, strings.TrimSpace(t))
-			}
-		}
-		if err := runRemote(ctx, *addr, axes, names, genSpecs, targetList, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if c.addr != "" {
+		if err := runRemote(ctx, c.addr, c.axisNames, c.names, c.genSpecs, c.targetNames, c.asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	cfg := preexec.DefaultConfig()
+	cfg.CPU.Engine = c.engine
 	lab := preexec.New(
-		preexec.WithParallelism(*parallelism),
+		preexec.WithConfig(cfg),
+		preexec.WithParallelism(c.parallelism),
+		preexec.WithBatchWidth(c.batch),
 		preexec.WithObserver(func(ev preexec.Event) {
 			switch ev.Kind {
 			case preexec.EventStageStart:
@@ -130,15 +178,12 @@ func main() {
 		}),
 	)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	rep, err := lab.Sweep(ctx, preexec.Grid{Axes: axes, Benchmarks: names, Workloads: workloads, Targets: targets})
+	rep, err := lab.Sweep(ctx, preexec.Grid{Axes: c.axes, Benchmarks: c.names, Workloads: c.workloads, Targets: c.targets})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	if *asJSON {
+	if c.asJSON {
 		raw, err := json.Marshal(rep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)

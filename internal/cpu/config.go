@@ -19,6 +19,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/energy"
@@ -62,14 +64,45 @@ type Config struct {
 	// engine bit-for-bit (see TestEnginesAgree) and as the benchmark
 	// comparison point for BenchmarkSimHotLoop. Both engines produce
 	// identical Results on every workload.
-	Engine string
+	Engine Engine
 }
+
+// Engine names a simulation engine. The zero value is EngineEvent, so the
+// default Config keeps selecting the event-driven scheduler. It is a typed
+// string (not an int enum) so existing JSON fingerprints and configs that
+// spelled the engine as a string keep their byte representation.
+type Engine string
 
 // Simulation engines.
 const (
-	EngineEvent = ""     // event-driven wakeup scheduler (default)
-	EngineScan  = "scan" // reference per-cycle window rescan
+	// EngineEvent is the event-driven wakeup scheduler (the default).
+	EngineEvent Engine = ""
+	// EngineScan is the reference per-cycle window rescan.
+	EngineScan Engine = "scan"
+	// EngineBatched is the event engine driven through a BatchSimulator:
+	// K config instances advance over one shared streaming pass of the
+	// trace's column chunks. A single Simulator rejects it (batching is a
+	// scheduling property, not a per-instance one); the experiments layer
+	// normalizes it to EngineEvent per instance and enables batch
+	// scheduling in sweeps.
+	EngineBatched Engine = "batched"
 )
+
+// ParseEngine resolves an engine name from user input (flags, wire
+// requests). It accepts the canonical constant values plus the spelled-out
+// alias "event" for the default engine. Unknown names return one error
+// listing every valid engine instead of silently defaulting.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "event":
+		return EngineEvent, nil
+	case "scan":
+		return EngineScan, nil
+	case "batched":
+		return EngineBatched, nil
+	}
+	return "", fmt.Errorf("cpu: unknown engine %q (valid engines: event, scan, batched)", s)
+}
 
 // DefaultConfig returns the paper's processor configuration.
 func DefaultConfig() Config {

@@ -30,12 +30,13 @@ func TestResetReuseMatchesFreshSimulator(t *testing.T) {
 	}
 	sort.Strings(wlNames)
 	type job struct {
-		cfgName, wlName, engine string
+		cfgName, wlName string
+		engine          Engine
 	}
 	var jobs []job
 	for _, cfgName := range cfgNames {
 		for _, wlName := range wlNames {
-			for _, engine := range []string{EngineEvent, EngineScan} {
+			for _, engine := range []Engine{EngineEvent, EngineScan} {
 				jobs = append(jobs, job{cfgName, wlName, engine})
 			}
 		}

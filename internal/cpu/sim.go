@@ -54,6 +54,12 @@ type Simulator struct {
 	cfg  Config
 	tr   *trace.Trace
 	prog *isa.Program
+	// vw, when non-nil, is a shared flat decoded mirror of tr installed by
+	// a BatchSimulator: the hot stages read trace columns and per-entry
+	// static predicates through it instead of the chunked accessors. The
+	// batch guarantees every entry a stage can touch is decoded before the
+	// instance runs. Serial runs leave it nil (Reset clears it).
+	vw   *trace.DecodedView
 	hier *cache.Hierarchy
 	bp   *bpred.Predictor
 	// bpCfg remembers the raw requested predictor configuration so Reset can
@@ -63,6 +69,12 @@ type Simulator struct {
 
 	now int64
 	n   int
+
+	// lastCommit is the cycle of the most recent main-thread commit; the
+	// no-progress deadlock guard measures from it. It lives on the
+	// Simulator (not as a run-loop local) so a batched run can pause an
+	// instance at a chunk boundary and resume it later bit-identically.
+	lastCommit int64
 
 	// Main-thread front end.
 	fetchIdx        int
@@ -80,11 +92,17 @@ type Simulator struct {
 	rsUsed          int
 	physUsed        int
 
-	// Dispatch-time architectural state (correct path).
-	specRegs   [isa.NumRegs]int64
-	lastWriter [isa.NumRegs]int64
-	mem        []int64
-	inflightSt []int32 // per memory word: dispatched, uncommitted stores
+	// Dispatch-time architectural state (correct path). When the simulator
+	// runs as a batch instance, shared points at its oracle group: the
+	// batch's spawn oracle then owns specRegs/lastWriter/mem maintenance
+	// (one program-order replay for all instances) and spawns consume
+	// precomputed records via spawnCursor instead of re-executing bodies.
+	specRegs    [isa.NumRegs]int64
+	lastWriter  [isa.NumRegs]int64
+	mem         []int64
+	inflightSt  []int32 // per memory word: dispatched, uncommitted stores
+	shared      *oracleGroup
+	spawnCursor int
 
 	// Pre-execution. Triggers are a per-PC intrusive list over the installed
 	// p-threads (trigHead[pc] -> first index, trigNext chains in install
@@ -99,6 +117,12 @@ type Simulator struct {
 	rrCtx       int // round-robin fetch arbitration pointer
 	spawnUseful []bool
 	spawnStatic []int32 // spawnID -> stat index
+
+	// Per-PC static summaries, rebuilt on Reset (the program is tens of
+	// instructions): predicate bytes and functional-unit latencies, so hot
+	// stages test flag bits instead of re-running isa.Inst's Op switches.
+	pcFlags []uint8
+	pcLats  []uint8
 
 	// Event engine state; ev is nil under the reference scan engine, evMem
 	// keeps the allocated structures alive across engine switches.
@@ -143,7 +167,9 @@ func grow[T any](s []T, n int) []T {
 // returned by this simulator is invalidated (see Simulator doc).
 func (s *Simulator) Reset(cfg Config, tr *trace.Trace, pthreads []*PThread) error {
 	if cfg.Engine != EngineEvent && cfg.Engine != EngineScan {
-		return fmt.Errorf("cpu: unknown engine %q (want %q or %q)", cfg.Engine, EngineEvent, EngineScan)
+		// EngineBatched is a scheduling property of a BatchSimulator (or a
+		// sweep), not of a single instance; it is rejected here too.
+		return fmt.Errorf("cpu: unknown engine %q for a single simulator (valid engines: event, scan)", cfg.Engine)
 	}
 	for _, pt := range pthreads {
 		if err := pt.Validate(); err != nil {
@@ -160,7 +186,14 @@ func (s *Simulator) Reset(cfg Config, tr *trace.Trace, pthreads []*PThread) erro
 	s.cfg = cfg
 	s.tr = tr
 	s.prog = tr.Prog
+	s.vw = nil // serial by default; BatchSimulator re-installs its view
 	s.n = n
+	s.pcFlags = grow(s.pcFlags, len(s.prog.Insts))
+	s.pcLats = grow(s.pcLats, len(s.prog.Insts))
+	for i, in := range s.prog.Insts {
+		s.pcFlags[i] = in.Flags()
+		s.pcLats[i] = uint8(in.ExecLatency())
+	}
 
 	if s.hier == nil || s.hier.Config() != cfg.Hier {
 		s.hier = cache.NewHierarchy(cfg.Hier)
@@ -175,6 +208,7 @@ func (s *Simulator) Reset(cfg Config, tr *trace.Trace, pthreads []*PThread) erro
 	}
 
 	s.now = 0
+	s.lastCommit = 0
 	s.fetchIdx = 0
 	s.fetchResumeAt = 0
 	s.stalledOnBranch = -1
@@ -206,6 +240,8 @@ func (s *Simulator) Reset(cfg Config, tr *trace.Trace, pthreads []*PThread) erro
 	for r := range s.lastWriter {
 		s.lastWriter[r] = -1
 	}
+	s.shared = nil // serial by default; BatchSimulator re-installs its group
+	s.spawnCursor = 0
 	memWords := len(tr.Prog.InitMem)
 	s.mem = grow(s.mem, memWords)
 	copy(s.mem, tr.Prog.InitMem)
@@ -332,7 +368,81 @@ func (s *Simulator) maxCycles() int64 {
 	return defaultMaxCycles
 }
 
-func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.tr.PC(int(d))] }
+func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.trPC(int(d))] }
+
+// Trace-column accessors for the pipeline stages: reads go through the
+// batch-shared decoded view when one is installed (flat columns, producer
+// indices and predicate bytes already materialized) and fall back to the
+// trace's chunked accessors for serial runs. Both paths return identical
+// values, so engine results do not depend on how an instance is driven.
+
+func (s *Simulator) trPC(i int) int32 {
+	if v := s.vw; v != nil {
+		return v.PC[i]
+	}
+	return s.tr.PC(i)
+}
+
+func (s *Simulator) trAddr(i int) int64 {
+	if v := s.vw; v != nil {
+		return v.Addr[i]
+	}
+	return s.tr.Addr(i)
+}
+
+func (s *Simulator) trVal(i int) int64 {
+	if v := s.vw; v != nil {
+		return v.Val[i]
+	}
+	return s.tr.Val(i)
+}
+
+func (s *Simulator) trProd1(i int) int64 {
+	if v := s.vw; v != nil {
+		return v.Prod1[i]
+	}
+	return s.tr.Prod1(i)
+}
+
+func (s *Simulator) trProd2(i int) int64 {
+	if v := s.vw; v != nil {
+		return v.Prod2[i]
+	}
+	return s.tr.Prod2(i)
+}
+
+func (s *Simulator) trTaken(i int) bool {
+	if v := s.vw; v != nil {
+		return v.Taken[i]
+	}
+	return s.tr.Taken(i)
+}
+
+// trFlags returns the entry's static-predicate byte (isa.Inst.Flags); pc
+// must be the entry's static index, already loaded by the caller.
+func (s *Simulator) trFlags(i int, pc int32) uint8 {
+	if v := s.vw; v != nil {
+		return v.Flags[i]
+	}
+	return s.pcFlags[pc]
+}
+
+// trFlagsAt is trFlags for callers that have not already loaded the
+// entry's PC.
+func (s *Simulator) trFlagsAt(i int) uint8 {
+	if v := s.vw; v != nil {
+		return v.Flags[i]
+	}
+	return s.pcFlags[s.tr.PC(i)]
+}
+
+// trLat returns the entry's functional-unit latency (isa.Inst.ExecLatency).
+func (s *Simulator) trLat(i int, pc int32) uint8 {
+	if v := s.vw; v != nil {
+		return v.Lat[i]
+	}
+	return s.pcLats[pc]
+}
 
 // ---------------------------------------------------------------- commit --
 
@@ -343,18 +453,18 @@ func (s *Simulator) commitStage() int {
 		if s.state[d]&fIssued == 0 || s.completeAt[d] > s.now {
 			break
 		}
-		in := s.inst(d)
+		fl := s.trFlagsAt(int(d))
 		if s.state[d]&fRSFreed == 0 {
 			s.rsUsed--
 			s.state[d] |= fRSFreed
 		}
-		if in.IsStore() {
-			addr := s.tr.Addr(int(d))
+		if fl&isa.FlagStore != 0 {
+			addr := s.trAddr(int(d))
 			s.hier.StoreCommit(addr, s.now)
 			s.memMainAcc++
 			s.inflightSt[addr>>3]--
 		}
-		if in.HasDst() {
+		if fl&isa.FlagHasDst != 0 {
 			s.physUsed--
 		}
 		s.robHead = (s.robHead + 1) % s.cfg.ROBSize
@@ -409,14 +519,14 @@ func (s *Simulator) ready(prod int64) bool {
 // the caller keeps the instruction in the ready set and retries next cycle.
 // mshrFull reports the rejection case.
 func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, mshrFull bool) {
-	pc := s.tr.PC(int(d))
-	in := s.prog.Insts[pc]
+	pc := s.trPC(int(d))
+	fl := s.trFlags(int(d), pc)
 	switch {
-	case in.IsLoad():
+	case fl&isa.FlagLoad != 0:
 		if *loadBudget == 0 {
 			return false, false
 		}
-		addr := s.tr.Addr(int(d))
+		addr := s.trAddr(int(d))
 		if s.inflightSt[addr>>3] > 0 {
 			// Store-to-load forwarding through the LSQ.
 			s.completeAt[d] = s.now + int64(s.cfg.Hier.L1D.HitLatency)
@@ -443,16 +553,16 @@ func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, ms
 			}
 		}
 		*loadBudget--
-	case in.IsStore():
+	case fl&isa.FlagStore != 0:
 		if *storeBudget == 0 {
 			return false, false
 		}
 		s.completeAt[d] = s.now + 1 // address generation
 		*storeBudget--
 	default:
-		lat := int64(in.ExecLatency())
+		lat := int64(s.trLat(int(d), pc))
 		s.completeAt[d] = s.now + lat
-		if in.IsALU() {
+		if fl&isa.FlagALU != 0 {
 			s.aluMain++
 		}
 	}
@@ -589,12 +699,12 @@ func (s *Simulator) dispatchStage() bool {
 			break
 		}
 		d := fe.dyn
-		pc := s.tr.PC(int(d))
-		in := s.prog.Insts[pc]
+		pc := s.trPC(int(d))
+		fl := s.trFlags(int(d), pc)
 		if s.robLen >= s.cfg.ROBSize || s.rsUsed >= s.cfg.RSSize {
 			break
 		}
-		if in.HasDst() && s.physUsed >= s.cfg.PhysRegs {
+		if fl&isa.FlagHasDst != 0 && s.physUsed >= s.cfg.PhysRegs {
 			break
 		}
 		// Spawn p-threads before the trigger's own register update: the
@@ -608,26 +718,31 @@ func (s *Simulator) dispatchStage() bool {
 		s.robLen++
 		s.state[d] |= fDispatched
 		s.rsUsed++
-		if in.HasDst() {
+		if fl&isa.FlagHasDst != 0 {
 			s.physUsed++
-			s.specRegs[in.Dst] = s.tr.Val(int(d))
-			s.lastWriter[in.Dst] = int64(d)
+			if s.shared == nil {
+				dst := s.prog.Insts[pc].Dst
+				s.specRegs[dst] = s.trVal(int(d))
+				s.lastWriter[dst] = int64(d)
+			}
 		}
-		if in.IsStore() {
-			addr := s.tr.Addr(int(d))
-			s.mem[addr>>3] = s.tr.Val(int(d))
+		if fl&isa.FlagStore != 0 {
+			addr := s.trAddr(int(d))
+			if s.shared == nil {
+				s.mem[addr>>3] = s.trVal(int(d))
+			}
 			s.inflightSt[addr>>3]++
 		}
 		s.instsMain++
-		if in.IsBranch() {
+		if fl&isa.FlagBranch != 0 {
 			s.branchesMain++
 		}
 		if s.ev != nil {
 			// Subscribe to incomplete producers; an instruction with none
 			// enters the ready queue directly (it has the largest dynamic
 			// index in flight, so appending keeps the queue sorted).
-			w1 := s.watch(s.tr.Prod1(int(d)), d)
-			w2 := s.watch(s.tr.Prod2(int(d)), d)
+			w1 := s.watch(s.trProd1(int(d)), d)
+			w2 := s.watch(s.trProd2(int(d)), d)
 			if !w1 && !w2 {
 				s.ev.readyQ = append(s.ev.readyQ, d)
 			}
@@ -679,6 +794,14 @@ func (s *Simulator) spawn(ti int32) {
 	pt := s.pthreads[ti]
 	si := s.statOf[ti]
 	stat := &s.pthStats[si]
+	// A batch instance consumes the next shared spawn record whether or not
+	// the spawn lands: the oracle emits one record per trigger site, and a
+	// drop is per-instance context pressure, not a property of the record.
+	var rec *spawnRec
+	if g := s.shared; g != nil {
+		rec = &g.recs[s.spawnCursor]
+		s.spawnCursor++
+	}
 	var ctx *pctx
 	for c := range s.ctxs {
 		if !s.ctxs[c].active {
@@ -694,7 +817,14 @@ func (s *Simulator) spawn(ti int32) {
 	spawnID := int32(len(s.spawnUseful))
 	s.spawnUseful = append(s.spawnUseful, false)
 	s.spawnStatic = append(s.spawnStatic, si)
-	ctx.init(pt, spawnID, si, s)
+	if rec != nil {
+		ctx.initShared(pt, spawnID, si, s.now, rec, s.shared.masks[ti])
+		if rec.abortAt < len(pt.Body) {
+			stat.Aborted++
+		}
+	} else {
+		ctx.init(pt, spawnID, si, s)
+	}
 	s.liveCtxs++
 	s.res.Spawns++
 	stat.Spawns++
@@ -729,7 +859,7 @@ func (s *Simulator) fetchStage() bool {
 	}
 	// I-cache access for the block containing the next PC. Instruction
 	// addresses live in their own space at 8 bytes per instruction.
-	iaddr := int64(s.tr.PC(s.fetchIdx)) * 8
+	iaddr := int64(s.trPC(s.fetchIdx)) * 8
 	done := s.hier.FetchBlock(iaddr, s.now, false)
 	if done > s.now+int64(s.cfg.Hier.L1I.HitLatency) {
 		s.fetchResumeAt = done // i-cache miss: stall until fill
@@ -741,14 +871,14 @@ func (s *Simulator) fetchStage() bool {
 	}
 	for w := 0; w < width && s.fetchIdx < s.n; w++ {
 		d := int32(s.fetchIdx)
-		pc := s.tr.PC(s.fetchIdx)
-		in := s.prog.Insts[pc]
+		pc := s.trPC(s.fetchIdx)
+		fl := s.trFlags(s.fetchIdx, pc)
 		s.fetchQ[(s.fqHead+s.fqLen)%s.cfg.FetchQCap] = fetchEnt{dyn: d, availAt: s.now + int64(s.cfg.FrontEndDepth)}
 		s.fqLen++
 		s.fetchIdx++
-		if in.IsBranch() {
-			taken := s.tr.Taken(int(d))
-			pred, btbHit := s.bp.PredictAndUpdate(int64(pc), taken, int64(in.Target))
+		if fl&isa.FlagBranch != 0 {
+			taken := s.trTaken(int(d))
+			pred, btbHit := s.bp.PredictAndUpdate(int64(pc), taken, int64(s.prog.Insts[pc].Target))
 			if pred != taken {
 				s.state[d] |= fMispred
 				s.stalledOnBranch = d
@@ -760,8 +890,8 @@ func (s *Simulator) fetchStage() bool {
 				}
 				break // redirect: stop fetching this cycle
 			}
-		} else if in.IsJump() {
-			if !s.bp.PredictJump(int64(pc), int64(in.Target)) {
+		} else if fl&isa.FlagJump != 0 {
+			if !s.bp.PredictJump(int64(pc), int64(s.prog.Insts[pc].Target)) {
 				s.fetchResumeAt = s.now + 2
 			}
 			break

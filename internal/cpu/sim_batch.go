@@ -1,0 +1,201 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// BatchSimulator advances K independent config instances over one streaming
+// pass of a shared trace: a struct-of-simulators that walks the trace's
+// column chunks once per run via a trace.SharedCursor and, within each
+// chunk, advances every live instance through batchWindow-sized
+// sub-windows before touching the next. The instances share nothing but
+// the read-only trace —
+// each keeps its own calendar, ROB, caches, and branch-predictor state —
+// so per-instance Results are bit-identical to serial Simulator runs; the
+// win is purely cache locality: K instances stream each chunk's columns
+// while they are hot instead of each re-streaming the whole trace.
+//
+// Like Simulator, a BatchSimulator is reusable: Reset retains every
+// per-instance pool (the instances themselves are a grow-only pool), so
+// steady-state reuse performs no allocation. The Result and error slices
+// returned by Run/RunContext borrow batch-owned memory and are valid only
+// until the next Reset; Clone Results that must outlive the reuse cycle.
+//
+// Only the event engine can batch: it is resumable at chunk boundaries
+// (see Simulator.runEventUntil). Configs selecting EngineBatched are
+// normalized to the event engine per instance; EngineScan is rejected —
+// callers fall back to serial runs for the reference engine.
+type BatchSimulator struct {
+	sims     []*Simulator // grow-only instance pool; sims[:k] active
+	k        int
+	tr       *trace.Trace
+	vw       *trace.DecodedView // shared flat decode of tr's columns
+	oracle   *spawnOracle       // shared dispatch-time architectural replay
+	maxFetch int                // widest instance FetchWidth (replay overshoot bound)
+	errs     []error
+	results  []*Result
+}
+
+// batchWindow is the synchronization grain, in trace entries: within each
+// column chunk, every live instance is advanced batchWindow fetches before
+// any instance touches the next sub-window. Finer than the 32Ki-entry
+// chunk so one sub-window's columns plus K instances' hot state fit in L2;
+// purely a locality knob — Results are identical at any grain.
+const batchWindow = 1 << 15
+
+// NewBatchSimulator returns an empty batch; Reset installs a run.
+func NewBatchSimulator() *BatchSimulator { return &BatchSimulator{} }
+
+// Reset reinitializes the batch for one run of tr under cfgs[i] with
+// pthreads[i] installed in instance i's trigger table. pthreads may be nil
+// (every instance runs an unoptimized baseline) or one slice per config.
+// Instance pools from previous runs are retained, so steady-state reuse
+// allocates nothing.
+func (b *BatchSimulator) Reset(cfgs []Config, tr *trace.Trace, pthreads [][]*PThread) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("cpu: batch needs at least one config")
+	}
+	if pthreads != nil && len(pthreads) != len(cfgs) {
+		return fmt.Errorf("cpu: batch has %d configs but %d p-thread sets", len(cfgs), len(pthreads))
+	}
+	for len(b.sims) < len(cfgs) {
+		b.sims = append(b.sims, &Simulator{})
+	}
+	b.k = len(cfgs)
+	b.tr = tr
+	b.errs = grow(b.errs, len(cfgs))
+	b.results = grow(b.results, len(cfgs))
+	for i, cfg := range cfgs {
+		b.errs[i] = nil
+		b.results[i] = nil
+		switch cfg.Engine {
+		case EngineEvent, EngineBatched:
+			cfg.Engine = EngineEvent
+		default:
+			return fmt.Errorf("cpu: engine %q cannot batch (valid engines in a batch: event, batched); run it serially", cfg.Engine)
+		}
+		var pts []*PThread
+		if pthreads != nil {
+			pts = pthreads[i]
+		}
+		if err := b.sims[i].Reset(cfg, tr, pts); err != nil {
+			return fmt.Errorf("cpu: batch config %d: %w", i, err)
+		}
+	}
+	// One decoded view of the trace columns is shared by every instance:
+	// decoding (absolute producers, unpacked branch bits, per-entry
+	// predicate bytes) happens once per chunk per batch instead of being
+	// re-derived per access per instance. Resetting to a trace the view
+	// has already decoded keeps it verbatim.
+	if b.vw == nil {
+		b.vw = trace.NewDecodedView()
+	}
+	b.vw.Reset(tr)
+	b.maxFetch = 0
+	for i := 0; i < b.k; i++ {
+		b.sims[i].vw = b.vw
+		if w := b.sims[i].cfg.FetchWidth; w > b.maxFetch {
+			b.maxFetch = w
+		}
+	}
+	// The spawn oracle replays the dispatch-time architectural state once
+	// for the whole batch and precomputes spawn records per distinct
+	// p-thread set; instances alias the records and skip their own
+	// register/memory bookkeeping at dispatch. A width-1 batch keeps the
+	// serial spawn path: replaying for a single consumer would walk the
+	// trace twice for no shared work.
+	if b.k > 1 {
+		if b.oracle == nil {
+			b.oracle = &spawnOracle{}
+		}
+		b.oracle.reset(tr, b.vw, b.sims[:b.k])
+	}
+	return nil
+}
+
+// Run simulates the batch to completion. See RunContext.
+func (b *BatchSimulator) Run() ([]*Result, []error, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunContext simulates every instance to completion in one chunk-ordered
+// pass over the shared trace. It returns one Result and one error slot per
+// config: results[i] is non-nil exactly when errs[i] is nil, and a failed
+// instance (deadlock guard, cycle cap) never disturbs the others. The
+// batch-level error is non-nil only for whole-batch aborts (context
+// cancellation), in which case the slices are nil. Returned slices and
+// Results borrow batch-owned memory, valid until the next Reset.
+func (b *BatchSimulator) RunContext(ctx context.Context) ([]*Result, []error, error) {
+	if b.k == 0 {
+		return nil, nil, fmt.Errorf("cpu: batch not reset")
+	}
+	sc := b.tr.SharedCursor()
+	for sc.Next() {
+		lo, hi := sc.Window()
+		// Decode through the next chunk, not just this one: a fetch cycle
+		// beginning inside the window may overshoot the boundary by up to
+		// FetchWidth-1 entries before the pause check at the loop top sees
+		// the stop index.
+		b.vw.EnsureDecoded(hi + 1)
+		for at := lo; at < hi; at += batchWindow {
+			stop := at + batchWindow
+			if stop >= hi {
+				stop = hi
+			}
+			if stop >= b.tr.Len() {
+				stop = -1 // final window: drain in-flight work to completion
+			}
+			// Replay the shared architectural state past the window stop by
+			// the widest fetch overshoot: dispatch never passes fetch, so
+			// every spawn record an instance can consume this window exists
+			// before any instance runs.
+			if b.k > 1 {
+				replayTo := b.tr.Len()
+				if stop >= 0 && stop+b.maxFetch < replayTo {
+					replayTo = stop + b.maxFetch
+				}
+				b.oracle.replay(replayTo)
+			}
+			for i := 0; i < b.k; i++ {
+				if b.errs[i] != nil {
+					continue
+				}
+				if err := b.sims[i].runEventUntil(ctx, stop); err != nil {
+					if ctx.Err() != nil {
+						return nil, nil, err
+					}
+					b.errs[i] = err
+					if g := b.sims[i].shared; g != nil {
+						g.dropMember(b.sims[i])
+					}
+				}
+			}
+			if b.k > 1 {
+				b.oracle.reclaim()
+			}
+		}
+	}
+	for i := 0; i < b.k; i++ {
+		if b.errs[i] != nil {
+			continue
+		}
+		s := b.sims[i]
+		if !s.done() {
+			// Empty trace (no chunk windows): nothing to stream, but the
+			// run must still complete and finalize.
+			if err := s.runEventUntil(ctx, -1); err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, err
+				}
+				b.errs[i] = err
+				continue
+			}
+		}
+		s.finalize()
+		b.results[i] = &s.res
+	}
+	return b.results, b.errs, nil
+}

@@ -1,0 +1,188 @@
+package cpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestBatchMatchesSerialUnit runs a heterogeneous batch — every
+// engine-stress config at once — over each differential workload and
+// requires every instance's Result to be deeply equal and byte-identical
+// (marshaled) to a serial event-engine run of the same config.
+func TestBatchMatchesSerialUnit(t *testing.T) {
+	configs := engineConfigs()
+	var cfgNames []string
+	for name := range configs {
+		cfgNames = append(cfgNames, name)
+	}
+	sort.Strings(cfgNames)
+
+	bs := NewBatchSimulator()
+	for wlName, wl := range engineWorkloads(t) {
+		cfgs := make([]Config, len(cfgNames))
+		pts := make([][]*PThread, len(cfgNames))
+		for i, name := range cfgNames {
+			cfgs[i] = configs[name]
+			cfgs[i].Engine = EngineEvent
+			pts[i] = wl.pts
+		}
+		if err := bs.Reset(cfgs, wl.tr, pts); err != nil {
+			t.Fatalf("%s: batch reset: %v", wlName, err)
+		}
+		results, errs, err := bs.Run()
+		if err != nil {
+			t.Fatalf("%s: batch run: %v", wlName, err)
+		}
+		for i, name := range cfgNames {
+			if errs[i] != nil {
+				t.Fatalf("%s/%s: batched instance failed: %v", wlName, name, errs[i])
+			}
+			serial, err := Run(cfgs[i], wl.tr, wl.pts)
+			if err != nil {
+				t.Fatalf("%s/%s: serial run: %v", wlName, name, err)
+			}
+			if !reflect.DeepEqual(results[i], serial) {
+				t.Errorf("%s/%s: batched Result diverges from serial", wlName, name)
+			}
+			a, err := json.Marshal(results[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: marshaled Results not byte-identical", wlName, name)
+			}
+		}
+	}
+}
+
+// TestBatchSteadyStateAllocationFree extends the 0-alloc pin to the batched
+// hot loop: after one warm-up, Reset + Run of a K=4 batch must not allocate.
+func TestBatchSteadyStateAllocationFree(t *testing.T) {
+	p, inducPC, loadPC := strideWalk(200, 8)
+	tr := trace.MustRun(p)
+	pts := []*PThread{stridePThread(inducPC, loadPC, 12)}
+	cfg := noPrefConfig()
+	cfgs := []Config{cfg, cfg, cfg, cfg}
+	pthreads := [][]*PThread{pts, pts, pts, pts}
+
+	bs := NewBatchSimulator()
+	if err := bs.Reset(cfgs, tr, pthreads); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bs.Run(); err != nil {
+		t.Fatal(err) // warm-up grows every per-instance pool
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := bs.Reset(cfgs, tr, pthreads); err != nil {
+			t.Fatal(err)
+		}
+		results, errs, err := bs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range errs {
+			if errs[i] != nil || results[i] == nil {
+				t.Fatal("batched instance failed in steady state")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state batched Reset+Run allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBatchRejectsScanEngine pins the fallback rule: the reference scan
+// engine cannot batch, and the error says so listing the batchable engines.
+func TestBatchRejectsScanEngine(t *testing.T) {
+	p, _, _ := strideWalk(50, 4)
+	tr := trace.MustRun(p)
+	cfg := noPrefConfig()
+	cfg.Engine = EngineScan
+	err := NewBatchSimulator().Reset([]Config{cfg}, tr, nil)
+	if err == nil {
+		t.Fatal("scan-engine batch Reset succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "event, batched") {
+		t.Errorf("error %q does not list the batchable engines", err)
+	}
+}
+
+// TestBatchNormalizesBatchedEngine verifies EngineBatched configs are
+// accepted per instance (normalized to the event engine) and still match a
+// serial event run.
+func TestBatchNormalizesBatchedEngine(t *testing.T) {
+	p, inducPC, loadPC := strideWalk(120, 6)
+	tr := trace.MustRun(p)
+	pts := []*PThread{stridePThread(inducPC, loadPC, 8)}
+	cfg := noPrefConfig()
+	cfg.Engine = EngineBatched
+	bs := NewBatchSimulator()
+	if err := bs.Reset([]Config{cfg, cfg}, tr, [][]*PThread{pts, pts}); err != nil {
+		t.Fatal(err)
+	}
+	results, errs, err := bs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := cfg
+	serialCfg.Engine = EngineEvent
+	serial, err := Run(serialCfg, tr, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("instance %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], serial) {
+			t.Errorf("instance %d diverges from serial event run", i)
+		}
+	}
+}
+
+// TestBatchIsolatesInstanceFailure pins per-instance error isolation: a
+// config that trips the cycle cap must not disturb its batchmates.
+func TestBatchIsolatesInstanceFailure(t *testing.T) {
+	p, inducPC, loadPC := strideWalk(300, 12)
+	tr := trace.MustRun(p)
+	pts := []*PThread{stridePThread(inducPC, loadPC, 12)}
+	good := noPrefConfig()
+	bad := good
+	bad.MaxCycles = 10 // far below the run length: deterministic abort
+	bs := NewBatchSimulator()
+	if err := bs.Reset([]Config{good, bad, good}, tr, [][]*PThread{pts, pts, pts}); err != nil {
+		t.Fatal(err)
+	}
+	results, errs, err := bs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[1] == nil {
+		t.Fatal("capped instance succeeded, want cycle-cap error")
+	}
+	if results[1] != nil {
+		t.Error("failed instance has a Result")
+	}
+	serial, err := Run(good, tr, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("instance %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], serial) {
+			t.Errorf("instance %d diverges from serial after batchmate failure", i)
+		}
+	}
+}

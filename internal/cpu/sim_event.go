@@ -80,23 +80,43 @@ func (ev *evState) reset(n, robSize int) {
 // condition for the earliest cycle anything can happen and jumps there,
 // attributing the skipped span to the same CPI-stack category in bulk.
 func (s *Simulator) runEvent(ctx context.Context) (*Result, error) {
+	if err := s.runEventUntil(ctx, -1); err != nil {
+		return nil, err
+	}
+	s.finalize()
+	return &s.res, nil
+}
+
+// runEventUntil advances the event engine until the run completes or, when
+// stopFetch >= 0, until the main-thread fetch index reaches stopFetch. The
+// pause check sits between cycles (at the top of the loop), and all loop
+// state — current cycle, deadlock watermark, cancellation poll — lives on
+// the Simulator, so a paused run resumed by a later call executes exactly
+// the cycles an uninterrupted run would: segmentation is invisible to the
+// Result. BatchSimulator uses this to advance K instances chunk-window by
+// chunk-window over one streaming pass of the trace columns. The caller
+// owns finalize; a completed run (s.done()) must be finalized exactly once.
+func (s *Simulator) runEventUntil(ctx context.Context, stopFetch int) error {
 	maxCycles := s.maxCycles()
-	lastCommit := int64(0)
+	lastCommit := s.lastCommit
 	ev := s.ev
 	for !s.done() {
+		if stopFetch >= 0 && s.fetchIdx >= stopFetch {
+			break
+		}
 		if s.now >= ev.nextPoll {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
 			ev.nextPoll = s.now + ctxCheckMask + 1
 		}
 		if s.now >= maxCycles {
-			return nil, fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
+			return fmt.Errorf("cpu: exceeded %d cycles (deadlock?)", maxCycles)
 		}
 		if s.now-lastCommit > noCommitLimit {
-			return nil, fmt.Errorf("cpu: no commit in 1M cycles at cycle %d (deadlock): %s", s.now, s.debugState())
+			return fmt.Errorf("cpu: no commit in 1M cycles at cycle %d (deadlock): %s", s.now, s.debugState())
 		}
 		s.processEvents()
 		committed := s.commitStage()
@@ -127,8 +147,8 @@ func (s *Simulator) runEvent(ctx context.Context) (*Result, error) {
 		}
 		s.now++
 	}
-	s.finalize()
-	return &s.res, nil
+	s.lastCommit = lastCommit
+	return nil
 }
 
 // processEvents delivers every completion due this cycle: main-thread

@@ -1,0 +1,257 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// The spawn oracle is the batch-side owner of the main thread's
+// dispatch-time architectural state. In a serial run every Simulator
+// maintains its own speculative register file, last-writer table and
+// program-order memory image at dispatch, solely to feed p-thread spawns
+// (pctx.init); all three evolve in dispatch order, which is program order,
+// so they are a pure function of the trace prefix — identical across every
+// instance in a batch regardless of per-config timing. The oracle replays
+// that state once per sub-window for the whole batch and precomputes one
+// read-only spawn record per trigger site per distinct p-thread set;
+// batched instances alias the records (pctx.initShared) and skip their own
+// architectural bookkeeping entirely.
+//
+// All storage is grow-only; steady-state reuse performs no allocation.
+
+// spawnRec is one precomputed spawn attempt: the functional pre-execution
+// of a p-thread body at a trigger's dispatch point. Read-only once
+// appended; every member instance of the owning group consumes the same
+// record (a dropped spawn still consumes it, since the drop decision is
+// per-instance context pressure).
+type spawnRec struct {
+	d       int64 // trigger dynamic index (for debugging; order carries it)
+	ti      int32 // installed p-thread index within the group's set
+	abortAt int
+	vals    []int64
+	addrs   []int64
+	dep1    []depRef
+	dep2    []depRef
+}
+
+// oracleGroup holds the shared spawn records for one distinct p-thread
+// set. The representative member's trigger tables define which entries
+// spawn and in what per-PC chain order — identical for every member, since
+// installPThreads is deterministic in the shared set's install order.
+type oracleGroup struct {
+	rep     *Simulator
+	members []*Simulator
+
+	// Static per-installed-p-thread prefetch-target masks, shared by every
+	// spawn of that p-thread (the mask depends only on the body).
+	masks     [][]bool
+	maskArena []bool
+
+	// Spawn records in program order, plus the arenas their slices carve.
+	// Arena regrowth abandons the old backing array to records still
+	// unconsumed — they stay valid (read-only) until reclaim drops them.
+	recs     []spawnRec
+	valArena []int64
+	depArena []depRef
+}
+
+// install points the group at a new representative and rebuilds the static
+// masks. Record storage keeps its capacity.
+func (g *oracleGroup) install(rep *Simulator) {
+	g.rep = rep
+	g.members = g.members[:0]
+	g.recs = g.recs[:0]
+	g.valArena = g.valArena[:0]
+	g.depArena = g.depArena[:0]
+	total := 0
+	for _, pt := range rep.pthreads {
+		total += len(pt.Body)
+	}
+	g.maskArena = grow(g.maskArena, total)
+	for i := range g.maskArena {
+		g.maskArena[i] = false
+	}
+	g.masks = g.masks[:0]
+	off := 0
+	for _, pt := range rep.pthreads {
+		n := len(pt.Body)
+		m := g.maskArena[off : off+n : off+n]
+		for _, t := range pt.Targets {
+			m[t] = true
+		}
+		g.masks = append(g.masks, m)
+		off += n
+	}
+}
+
+// addRec precomputes the spawn record for p-thread ti triggering at
+// dynamic index d, against the oracle's current (pre-d) architectural
+// state.
+func (g *oracleGroup) addRec(o *spawnOracle, d int64, ti int32) {
+	pt := g.rep.pthreads[ti]
+	n := len(pt.Body)
+	vb := len(g.valArena)
+	g.valArena = growKeep(g.valArena, vb+2*n)
+	db := len(g.depArena)
+	g.depArena = growKeep(g.depArena, db+2*n)
+	vals := g.valArena[vb : vb+n : vb+n]
+	addrs := g.valArena[vb+n : vb+2*n : vb+2*n]
+	dep1 := g.depArena[db : db+n : db+n]
+	dep2 := g.depArena[db+n : db+2*n : db+2*n]
+	abortAt := execBody(pt.Body, &o.specRegs, o.lastWriter[:], o.mem,
+		vals, addrs, dep1, dep2)
+	g.recs = append(g.recs, spawnRec{
+		d: d, ti: ti, abortAt: abortAt,
+		vals: vals, addrs: addrs, dep1: dep1, dep2: dep2,
+	})
+}
+
+// dropMember removes a failed instance so its stalled cursor never blocks
+// reclaim.
+func (g *oracleGroup) dropMember(s *Simulator) {
+	for i, m := range g.members {
+		if m == s {
+			g.members[i] = g.members[len(g.members)-1]
+			g.members = g.members[:len(g.members)-1]
+			return
+		}
+	}
+}
+
+// spawnOracle replays the batch's shared architectural state over the
+// trace, one linear pass regardless of batch width or how many distinct
+// p-thread sets ride it.
+type spawnOracle struct {
+	prog *isa.Program
+	vw   *trace.DecodedView
+
+	specRegs   [isa.NumRegs]int64
+	lastWriter [isa.NumRegs]int64
+	mem        []int64
+	pos        int // entries [0, pos) replayed
+
+	groups []*oracleGroup // grow-only pool; groups[:n] active
+	n      int
+}
+
+// reset rewinds the oracle for one batch run and partitions sims into
+// groups by p-thread set, wiring each instance's shared-group pointer.
+func (o *spawnOracle) reset(tr *trace.Trace, vw *trace.DecodedView, sims []*Simulator) {
+	o.prog = tr.Prog
+	o.vw = vw
+	o.specRegs = [isa.NumRegs]int64{}
+	for r := range o.lastWriter {
+		o.lastWriter[r] = -1
+	}
+	o.mem = grow(o.mem, len(tr.Prog.InitMem))
+	copy(o.mem, tr.Prog.InitMem)
+	o.pos = 0
+	o.n = 0
+	for _, s := range sims {
+		g := o.groupFor(s)
+		g.members = append(g.members, s)
+		s.shared = g
+		s.spawnCursor = 0
+	}
+}
+
+// groupFor finds the active group whose set matches s's, or installs a new
+// one with s as representative.
+func (o *spawnOracle) groupFor(s *Simulator) *oracleGroup {
+	for _, g := range o.groups[:o.n] {
+		if samePThreadSet(g.rep.pthreads, s.pthreads) {
+			return g
+		}
+	}
+	if o.n == len(o.groups) {
+		o.groups = append(o.groups, &oracleGroup{})
+	}
+	g := o.groups[o.n]
+	o.n++
+	g.install(s)
+	return g
+}
+
+// replay advances the shared architectural state through entries [pos, hi)
+// — the same updates dispatchStage would perform, in the same program
+// order, with spawn records computed before the trigger's own register
+// update exactly as dispatch spawns before renaming the trigger. The view
+// must be decoded through hi.
+func (o *spawnOracle) replay(hi int) {
+	vw := o.vw
+	insts := o.prog.Insts
+	for i := o.pos; i < hi; i++ {
+		pc := vw.PC[i]
+		for gi := 0; gi < o.n; gi++ {
+			g := o.groups[gi]
+			for ti := g.rep.trigHead[pc]; ti >= 0; ti = g.rep.trigNext[ti] {
+				g.addRec(o, int64(i), ti)
+			}
+		}
+		fl := vw.Flags[i]
+		if fl&isa.FlagHasDst != 0 {
+			dst := insts[pc].Dst
+			o.specRegs[dst] = vw.Val[i]
+			o.lastWriter[dst] = int64(i)
+		}
+		if fl&isa.FlagStore != 0 {
+			o.mem[vw.Addr[i]>>3] = vw.Val[i]
+		}
+	}
+	o.pos = hi
+}
+
+// reclaim resets a group's record storage once every member has consumed
+// all of it — normally after each sub-window, since all members advance
+// through the same stop. A member lagging by in-flight fetch-queue backlog
+// just defers the reclaim one window.
+func (o *spawnOracle) reclaim() {
+	for _, g := range o.groups[:o.n] {
+		n := len(g.recs)
+		if n == 0 {
+			continue
+		}
+		min := n
+		for _, m := range g.members {
+			if m.spawnCursor < min {
+				min = m.spawnCursor
+			}
+		}
+		if min < n {
+			continue
+		}
+		g.recs = g.recs[:0]
+		g.valArena = g.valArena[:0]
+		g.depArena = g.depArena[:0]
+		for _, m := range g.members {
+			m.spawnCursor = 0
+		}
+	}
+}
+
+// samePThreadSet reports whether two installs share the identical p-thread
+// set: same length, same pointers, same order. Pointer identity is the
+// sharing contract — the sweep layer hands the same selection artifact to
+// every point batched together.
+func samePThreadSet(a, b []*PThread) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// growKeep returns a slice of length n preserving current contents,
+// reusing capacity when possible.
+func growKeep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n, 2*n)
+	copy(ns, s)
+	return ns
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/program/gen"
+	"repro/internal/pthsel"
+	"repro/internal/trace"
+)
+
+// TestBatchedMatchesSerial is the batched engine's differential suite:
+// every paper benchmark (with its L-target p-threads installed) and every
+// spec of the 20-spec generated corpus, simulated serially and through
+// batches of K ∈ {2, 4, 8} identical instances, must produce byte-identical
+// Result JSON in every batch slot.
+func TestBatchedMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultConfig()
+	r := NewRunner(cfg, 0, nil)
+
+	type workload struct {
+		name string
+		tr   *trace.Trace
+		pts  []*cpu.PThread
+	}
+	var workloads []workload
+	for _, name := range program.PaperNames() {
+		prep, err := r.Prepare(ctx, name, cfg.MeasureInput, cfg)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", name, err)
+		}
+		sel := pthsel.Select(prep.Trace, prep.Prof, prep.Trees, prep.Params, pthsel.TargetL)
+		workloads = append(workloads, workload{name, prep.Trace, sel.PThreads})
+	}
+	corpus := gen.CorpusSpecs()
+	if len(corpus) < 20 {
+		t.Fatalf("gen corpus has %d specs, want >= 20", len(corpus))
+	}
+	for _, spec := range corpus {
+		bm, err := spec.Benchmark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Run(bm.Build(program.Train))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, workload{spec.Name(), tr, nil})
+	}
+
+	ks := []int{2, 4, 8}
+	if testing.Short() {
+		ks = []int{4}
+	}
+	bs := cpu.NewBatchSimulator()
+	for _, wl := range workloads {
+		serial, err := Simulate(ctx, cfg.CPU, wl.tr, wl.pts)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", wl.name, err)
+		}
+		want, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
+			cfgs := make([]cpu.Config, k)
+			pthreads := make([][]*cpu.PThread, k)
+			for i := range cfgs {
+				cfgs[i] = cfg.CPU
+				pthreads[i] = wl.pts
+			}
+			if err := bs.Reset(cfgs, wl.tr, pthreads); err != nil {
+				t.Fatalf("%s k=%d: reset: %v", wl.name, k, err)
+			}
+			results, errs, err := bs.RunContext(ctx)
+			if err != nil {
+				t.Fatalf("%s k=%d: run: %v", wl.name, k, err)
+			}
+			for i := 0; i < k; i++ {
+				if errs[i] != nil {
+					t.Fatalf("%s k=%d slot %d: %v", wl.name, k, i, errs[i])
+				}
+				got, err := json.Marshal(results[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s k=%d slot %d: batched Result JSON diverges from serial", wl.name, k, i)
+				}
+			}
+		}
+	}
+}
+
+// stripThroughput zeroes the wall-clock throughput column (a substrate
+// health metric that varies run to run) so reports can be compared
+// byte-for-byte.
+func stripThroughput(rep *SweepReport) {
+	for i := range rep.Points {
+		for j := range rep.Points[i].Runs {
+			rep.Points[i].Runs[j].SimCyclesPerSec = 0
+		}
+	}
+}
+
+// stripSweepBatching clears the scheduling-provenance fields the batched
+// path adds, so batched and serial reports can be compared byte-for-byte
+// on the result payload.
+func stripSweepBatching(rep *SweepReport) {
+	for i := range rep.Points {
+		rep.Points[i].Batched = false
+		rep.Points[i].BatchWidth = 0
+	}
+}
+
+// TestSweepBatchedMatchesSerial pins the sweep-level contract: a batched
+// multi-axis grid produces exactly the serial report — same point order,
+// same runs, same numbers — modulo throughput and the Batched/BatchWidth
+// provenance fields, and it marks every event-engine point as batched.
+func TestSweepBatchedMatchesSerial(t *testing.T) {
+	grid := Grid{
+		Axes:       []Axis{GridAxis(SweepIdleFactor), GridAxis(SweepMemLatency)},
+		Benchmarks: []string{"gap", "mcf"},
+	}
+	if testing.Short() {
+		grid.Axes = grid.Axes[:1]
+	}
+	cfg := DefaultConfig()
+
+	serialRunner := NewRunner(cfg, 4, nil)
+	want, err := serialRunner.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := NewRunner(cfg, 4, nil)
+	batched.SetBatchWidth(4)
+	got, err := batched.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range got.Points {
+		if !got.Points[i].Batched {
+			t.Errorf("point %d (%s@%s) not marked batched", i, got.Points[i].Bench, got.Points[i].Point())
+		}
+		if got.Points[i].BatchWidth != 4 {
+			t.Errorf("point %d BatchWidth = %d, want 4", i, got.Points[i].BatchWidth)
+		}
+	}
+	stripThroughput(want)
+	stripThroughput(got)
+	stripSweepBatching(got)
+	a, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("batched sweep report diverges from serial:\nserial:  %s\nbatched: %s", a, b)
+	}
+}
+
+// TestSweepBatchedStageReuse verifies batching leaves the staged store's
+// guarantees untouched: the batched phase split performs exactly the same
+// stage builds as the serial path.
+func TestSweepBatchedStageReuse(t *testing.T) {
+	grid := Grid{Axes: []Axis{GridAxis(SweepIdleFactor)}, Benchmarks: []string{"gap"}}
+	count := func(width int) map[Stage]int64 {
+		r := NewRunner(DefaultConfig(), 2, nil)
+		r.SetBatchWidth(width)
+		if _, err := r.Sweep(context.Background(), grid); err != nil {
+			t.Fatal(err)
+		}
+		got := map[Stage]int64{}
+		for _, st := range Stages() {
+			got[st] = r.StagePrepares(st)
+		}
+		return got
+	}
+	serial, batched := count(0), count(4)
+	for _, st := range Stages() {
+		if serial[st] != batched[st] {
+			t.Errorf("stage %s: batched sweep built %d, serial %d", st, batched[st], serial[st])
+		}
+	}
+}
+
+// TestSweepBatchedScanFallback pins the fallback rule: a scan-engine base
+// configuration sweeps serially (no point marked batched) even with a
+// batch width installed, and still matches the event engine's numbers.
+func TestSweepBatchedScanFallback(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"gap"}}
+	scanCfg := DefaultConfig()
+	scanCfg.CPU.Engine = cpu.EngineScan
+	r := NewRunner(scanCfg, 2, nil)
+	r.SetBatchWidth(4)
+	rep, err := r.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Points {
+		if rep.Points[i].Batched {
+			t.Errorf("scan-engine point %d marked batched", i)
+		}
+	}
+
+	ev := NewRunner(DefaultConfig(), 2, nil)
+	ev.SetBatchWidth(4)
+	evRep, err := ev.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripThroughput(rep)
+	stripThroughput(evRep)
+	stripSweepBatching(rep)
+	stripSweepBatching(evRep)
+	a, _ := json.Marshal(rep.Points)
+	b, _ := json.Marshal(evRep.Points)
+	if !bytes.Equal(a, b) {
+		t.Errorf("scan fallback sweep diverges from event engine:\nscan:  %s\nevent: %s", a, b)
+	}
+}
+
+// TestSweepBatchedEngineDefaultWidth verifies a base configuration
+// selecting cpu.EngineBatched batches at DefaultBatchWidth without an
+// explicit SetBatchWidth, sharing every artifact with a serial event sweep.
+func TestSweepBatchedEngineDefaultWidth(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"gap"}}
+	cfg := DefaultConfig()
+	cfg.CPU.Engine = cpu.EngineBatched
+	r := NewRunner(cfg, 2, nil)
+	rep, err := r.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(rep.Points))
+	}
+	if !rep.Points[0].Batched || rep.Points[0].BatchWidth != DefaultBatchWidth {
+		t.Errorf("point = {Batched: %v, BatchWidth: %d}, want {true, %d}",
+			rep.Points[0].Batched, rep.Points[0].BatchWidth, DefaultBatchWidth)
+	}
+
+	want, err := NewRunner(DefaultConfig(), 2, nil).Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripThroughput(rep)
+	stripThroughput(want)
+	stripSweepBatching(rep)
+	a, _ := json.Marshal(rep.Points)
+	b, _ := json.Marshal(want.Points)
+	if !bytes.Equal(a, b) {
+		t.Errorf("EngineBatched sweep diverges from serial event sweep:\nbatched: %s\nserial:  %s", a, b)
+	}
+}
+
+// TestUnknownEngineFailsFast pins the typed-engine redesign at the
+// experiments layer: an out-of-enum engine is rejected with one error
+// listing the valid engines, before any stage executes.
+func TestUnknownEngineFailsFast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPU.Engine = "bogus"
+	r := NewRunner(cfg, 1, nil)
+	_, err := r.Prepare(context.Background(), "gap", cfg.MeasureInput, cfg)
+	if err == nil {
+		t.Fatal("Prepare accepted an unknown engine")
+	}
+	for _, wantSub := range []string{"bogus", "event, scan, batched"} {
+		if !contains(err.Error(), wantSub) {
+			t.Errorf("error %q missing %q", err, wantSub)
+		}
+	}
+	if r.Prepares() != 0 {
+		t.Errorf("invalid engine still assembled %d preparations", r.Prepares())
+	}
+	if _, err := PrepareTrace(context.Background(), "x", nil, cfg); err == nil {
+		t.Error("PrepareTrace accepted an unknown engine")
+	}
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}
+
+// TestSweepBatchedConcurrent is the batched race probe: concurrent batched
+// sweeps over one shared engine — batch workers, the singleflight store and
+// the batch-simulator pool all exercised together — must agree with each
+// other byte-for-byte. Run with -race in CI.
+func TestSweepBatchedConcurrent(t *testing.T) {
+	r := NewRunner(DefaultConfig(), 8, nil)
+	r.SetBatchWidth(3)
+	grid := Grid{Axes: []Axis{GridAxis(SweepIdleFactor)}, Benchmarks: []string{"gap", "twolf"}}
+
+	const callers = 4
+	reports := make([]*SweepReport, callers)
+	errs := make([]error, callers)
+	donec := make(chan int, callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			reports[c], errs[c] = r.Sweep(context.Background(), grid)
+			donec <- c
+		}(c)
+	}
+	for i := 0; i < callers; i++ {
+		<-donec
+	}
+	var want []byte
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		stripThroughput(reports[c])
+		raw, err := json.Marshal(reports[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 0 {
+			want = raw
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			t.Errorf("caller %d report diverges under concurrency", c)
+		}
+	}
+	if got := fmt.Sprint(r.StagePrepares(StageTrace)); got != "2" {
+		t.Errorf("concurrent batched sweeps built trace stage %s times, want 2", got)
+	}
+}

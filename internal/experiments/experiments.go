@@ -32,9 +32,37 @@ import (
 // freshly-constructed state (pinned by the golden and reuse tests).
 var simPool sync.Pool
 
+// normalizeEngine maps EngineBatched to the event engine it denotes per
+// instance: batching is a sweep-scheduling property (see Runner.Sweep), so a
+// single simulation under a batched configuration is exactly an event-engine
+// run.
+func normalizeEngine(e cpu.Engine) cpu.Engine {
+	if e == cpu.EngineBatched {
+		return cpu.EngineEvent
+	}
+	return e
+}
+
+// validateEngine rejects engines outside the typed enum with one error
+// listing the valid set, so entry points fail fast instead of surfacing the
+// simulator's rejection deep inside a prepared run.
+func validateEngine(e cpu.Engine) error {
+	switch e {
+	case cpu.EngineEvent, cpu.EngineScan, cpu.EngineBatched:
+		return nil
+	}
+	return fmt.Errorf("experiments: unknown engine %q (valid engines: event, scan, batched)", e)
+}
+
+// ValidateEngine exposes the engine-enum check to the public API layer, so
+// a Lab can reject an out-of-enum engine at construction with the same
+// single error every other entry point produces.
+func ValidateEngine(e cpu.Engine) error { return validateEngine(e) }
+
 // Simulate runs one timing simulation through the simulator pool and
 // returns an owned (cloned) Result.
 func Simulate(ctx context.Context, cfg cpu.Config, tr *trace.Trace, pthreads []*cpu.PThread) (*cpu.Result, error) {
+	cfg.Engine = normalizeEngine(cfg.Engine)
 	s, _ := simPool.Get().(*cpu.Simulator)
 	if s == nil {
 		s = new(cpu.Simulator)

@@ -116,8 +116,8 @@ func TestGenSelectedPThreadsEnginesAgree(t *testing.T) {
 		if len(sel.PThreads) == 0 {
 			t.Fatalf("%s: selector found no p-threads; spec does not exercise pre-execution", name)
 		}
-		results := map[string]*cpu.Result{}
-		for _, engine := range []string{cpu.EngineEvent, cpu.EngineScan} {
+		results := map[cpu.Engine]*cpu.Result{}
+		for _, engine := range []cpu.Engine{cpu.EngineEvent, cpu.EngineScan} {
 			cfg := DefaultConfig().CPU
 			cfg.Engine = engine
 			res, err := Simulate(ctx, cfg, prep.Trace, sel.PThreads)

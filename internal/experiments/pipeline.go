@@ -81,8 +81,11 @@ type stagePlan struct {
 // influence simulated behaviour: the energy parameters are accounting-only
 // (they are read exactly once, after the last cycle, to convert event counts
 // into energy), so baselines are keyed — and simulated — without them.
+// EngineBatched normalizes to the event engine it denotes per instance, so
+// batched sweep points share cached baselines with their serial twins.
 func timingConfig(c cpu.Config) cpu.Config {
 	c.Energy = energy.Params{}
+	c.Engine = normalizeEngine(c.Engine)
 	return c
 }
 
@@ -110,6 +113,9 @@ func deriveConfig(cfg Config) pthsel.DeriveConfig {
 // (e.g. a sweep mutation smuggling in a NaN) is reported as an error instead
 // of panicking from inside the artifact store.
 func planFor(cfg Config, workloadFP string) (stagePlan, error) {
+	if err := validateEngine(cfg.CPU.Engine); err != nil {
+		return stagePlan{}, err
+	}
 	p := stagePlan{
 		profileCfg:  profile.ConfigFromHier(cfg.CPU.Hier),
 		problemsCfg: problemsConfig{Coverage: cfg.ProblemCoverage, MinMisses: cfg.MinMisses},

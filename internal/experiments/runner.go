@@ -86,6 +86,12 @@ type Runner struct {
 	parallelism int
 	observe     func(Event)
 
+	// batchWidth is the sweep batching knob (see SetBatchWidth): at >= 2,
+	// Sweep measures event-engine points through cpu.BatchSimulator in
+	// groups of up to batchWidth sharing one trace pass. It is scheduling
+	// state, deliberately outside Config so it never reaches a fingerprint.
+	batchWidth int
+
 	obsMu sync.Mutex // serializes observer callbacks
 
 	store *artifactStore
@@ -121,6 +127,19 @@ func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
 
 // Config returns the engine's base configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// DefaultBatchWidth is the batch width a sweep uses when the base
+// configuration selects cpu.EngineBatched without an explicit width.
+const DefaultBatchWidth = 4
+
+// SetBatchWidth sets the sweep batch width: k >= 2 makes Sweep advance up
+// to k event-engine grid points per shared trace pass (bit-identical to
+// serial runs; see Runner.Sweep), k <= 1 restores the serial path. Batch
+// width is a scheduling property, not a configuration input: it never
+// enters an artifact fingerprint, so toggling it shares every cached
+// stage with serial runs. Call it before issuing work; it is not
+// synchronized with in-flight sweeps.
+func (r *Runner) SetBatchWidth(k int) { r.batchWidth = k }
 
 // Prepares reports how many whole-config preparations the engine has
 // assembled cold — the probe behind the O(benchmarks) preparation
@@ -181,6 +200,9 @@ func (r *Runner) emit(ctx context.Context, ev Event) {
 // when the failure was a context cancellation, which is the waiting
 // caller's problem, not the artifact's.
 func (r *Runner) Prepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
+	if err := validateEngine(cfg.CPU.Engine); err != nil {
+		return nil, err
+	}
 	// The outer key needs only the whole-config fingerprint chained through
 	// the workload fingerprint; the full stage plan is computed once, on a
 	// cold miss, inside stagedPrepare.

@@ -71,7 +71,7 @@ func TestEscapePathResultsIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, engine := range []string{cpu.EngineEvent, cpu.EngineScan} {
+		for _, engine := range []cpu.Engine{cpu.EngineEvent, cpu.EngineScan} {
 			cfg := DefaultConfig().CPU
 			cfg.Engine = engine
 			run := func(tr *trace.Trace) []byte {

@@ -159,6 +159,14 @@ func (g Grid) points(base Config) ([]gridPoint, error) {
 // EventPointDone events. The report's points are ordered benchmark-major,
 // then row-major across the axes (first axis slowest), independent of
 // worker scheduling.
+//
+// With a batch width of k >= 2 installed (SetBatchWidth, or a base
+// configuration selecting cpu.EngineBatched), measurements whose points
+// share identical prepared artifacts — the same trace — are partitioned
+// into batches of up to k and advanced through one shared streaming pass
+// per batch (cpu.BatchSimulator). Results are bit-identical to the serial
+// path; points measured this way carry Batched/BatchWidth in the report.
+// K=1 and reference scan-engine points always take the serial path.
 func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 	names := append([]string(nil), g.Benchmarks...)
 	// Workload labels per registered name; empty for named benchmarks.
@@ -189,15 +197,10 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 		return nil, err
 	}
 
-	type job struct {
-		bench string
-		wl    string // workload label, empty for named benchmarks
-		pt    gridPoint
-	}
-	jobs := make([]job, 0, len(names)*len(pts))
+	jobs := make([]sweepJob, 0, len(names)*len(pts))
 	for bi, bench := range names {
 		for _, pt := range pts {
-			jobs = append(jobs, job{bench: bench, wl: labels[bi], pt: pt})
+			jobs = append(jobs, sweepJob{bench: bench, wl: labels[bi], pt: pt})
 		}
 	}
 
@@ -211,20 +214,24 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 		Points:  make([]SweepPointReport, len(jobs)),
 	}
 	errs := make([]error, len(jobs))
-	var done atomic.Int64
-	r.forEach(ctx, len(jobs), func(i int) {
-		j := jobs[i]
-		point, perr := r.sweepPoint(ctx, j.bench, j.pt, targets)
-		if perr != nil {
-			errs[i] = fmt.Errorf("%s@%s: %w", j.bench, strings.Join(j.pt.labels, ","), perr)
-		} else {
-			point.Workload = j.wl
-			rep.Points[i] = point
-		}
-		r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
-			Point: strings.Join(j.pt.labels, ","), Err: perr,
-			Done: int(done.Add(1)), Total: len(jobs)})
-	})
+	if k := r.effectiveBatchWidth(); k >= 2 {
+		r.sweepBatched(ctx, jobs, targets, k, rep, errs)
+	} else {
+		var done atomic.Int64
+		r.forEach(ctx, len(jobs), func(i int) {
+			j := jobs[i]
+			point, perr := r.sweepPoint(ctx, j.bench, j.pt, targets)
+			if perr != nil {
+				errs[i] = fmt.Errorf("%s@%s: %w", j.bench, j.pt.point(), perr)
+			} else {
+				point.Workload = j.wl
+				rep.Points[i] = point
+			}
+			r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
+				Point: j.pt.point(), Err: perr,
+				Done: int(done.Add(1)), Total: len(jobs)})
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -233,6 +240,16 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 	}
 	return rep, nil
 }
+
+// sweepJob is one (benchmark, grid point) evaluation of a sweep.
+type sweepJob struct {
+	bench string
+	wl    string // workload label, empty for named benchmarks
+	pt    gridPoint
+}
+
+// point renders the job's axis labels as the Point field of progress events.
+func (pt gridPoint) point() string { return strings.Join(pt.labels, ",") }
 
 // sweepPoint prepares and measures one (benchmark, grid point) pair.
 func (r *Runner) sweepPoint(ctx context.Context, bench string, pt gridPoint, targets []pthsel.Target) (SweepPointReport, error) {

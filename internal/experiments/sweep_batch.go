@@ -1,0 +1,241 @@
+package experiments
+
+// Batched sweep scheduling: Runner.Sweep's K>=2 path. Measurements are
+// split from preparation, grouped by shared trace artifact, and advanced
+// through cpu.BatchSimulator so up to K grid points ride one streaming
+// pass over the trace's column chunks. Every simulated Result is
+// bit-identical to the serial path's (pinned by TestBatchedMatchesSerial
+// and the sweep differential tests); only scheduling, wall-clock and the
+// report's Batched/BatchWidth provenance fields differ.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/pthsel"
+	"repro/internal/trace"
+)
+
+// batchPool recycles batch simulators across sweep batches, mirroring
+// simPool: each batch grabs a fully-grown struct-of-simulators and Resets
+// it onto its configs, so steady-state batched sweeps allocate nothing in
+// the simulation hot loop.
+var batchPool sync.Pool
+
+// effectiveBatchWidth resolves the sweep batch width: the installed
+// SetBatchWidth value, defaulted to DefaultBatchWidth when the base
+// configuration selects cpu.EngineBatched without an explicit width.
+func (r *Runner) effectiveBatchWidth() int {
+	k := r.batchWidth
+	if k < 2 && r.cfg.CPU.Engine == cpu.EngineBatched {
+		k = DefaultBatchWidth
+	}
+	return k
+}
+
+// sweepUnit is one (grid point, target) measurement scheduled by the
+// batched sweep. Workers fill run/err/batched for disjoint unit sets; the
+// per-job pending counter publishes them to whichever worker assembles the
+// finished point.
+type sweepUnit struct {
+	job     int // index into jobs / rep.Points
+	ti      int // index into targets
+	batched bool
+	run     *TargetRun
+	err     error
+}
+
+// sweepBatched evaluates jobs × targets with batch width k, filling
+// rep.Points and errs exactly as the serial path does (same indexing, same
+// error wrapping, same event kinds and Done/Total accounting).
+func (r *Runner) sweepBatched(ctx context.Context, jobs []sweepJob, targets []pthsel.Target,
+	k int, rep *SweepReport, errs []error) {
+	var done atomic.Int64
+
+	// Phase 1: prepare every point through the staged store, in parallel —
+	// identical store traffic to the serial path. Points that fail to
+	// prepare finish (and report) here.
+	preps := make([]*Prepared, len(jobs))
+	r.forEach(ctx, len(jobs), func(i int) {
+		j := jobs[i]
+		p, perr := r.Prepare(ctx, j.bench, j.pt.cfg.MeasureInput, j.pt.cfg)
+		if perr != nil {
+			errs[i] = fmt.Errorf("%s@%s: %w", j.bench, j.pt.point(), perr)
+			r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
+				Point: j.pt.point(), Err: perr,
+				Done: int(done.Add(1)), Total: len(jobs)})
+			return
+		}
+		preps[i] = p
+	})
+
+	// Partition measurements into batches. Units are enumerated in job-major,
+	// target-minor order and grouped by trace pointer: two units share a
+	// group exactly when their points' prepared artifacts resolved to the
+	// same trace (same benchmark, input and workload). Each group is chunked
+	// into batches of up to k, deterministically. Reference scan-engine
+	// points cannot batch and become singleton batches, which take the
+	// serial path below.
+	units := make([]sweepUnit, 0, len(jobs)*len(targets))
+	unitsOf := make([][]int, len(jobs))
+	groups := map[*trace.Trace][]int{}
+	var groupOrder []*trace.Trace
+	var scanUnits []int
+	for i := range jobs {
+		if preps[i] == nil {
+			continue
+		}
+		for ti := range targets {
+			u := len(units)
+			units = append(units, sweepUnit{job: i, ti: ti})
+			unitsOf[i] = append(unitsOf[i], u)
+			if jobs[i].pt.cfg.CPU.Engine == cpu.EngineScan {
+				scanUnits = append(scanUnits, u)
+				continue
+			}
+			tr := preps[i].Trace
+			if _, ok := groups[tr]; !ok {
+				groupOrder = append(groupOrder, tr)
+			}
+			groups[tr] = append(groups[tr], u)
+		}
+	}
+	var batches [][]int
+	for _, tr := range groupOrder {
+		g := groups[tr]
+		for len(g) > k {
+			batches = append(batches, g[:k])
+			g = g[k:]
+		}
+		if len(g) > 0 {
+			batches = append(batches, g)
+		}
+	}
+	for _, u := range scanUnits {
+		batches = append(batches, []int{u})
+	}
+
+	// pending counts each job's outstanding units; the worker that retires
+	// a job's last unit assembles and reports its point (the atomic
+	// decrement publishes every sibling unit's result to it).
+	pending := make([]atomic.Int32, len(jobs))
+	for i := range jobs {
+		pending[i].Store(int32(len(unitsOf[i])))
+	}
+	finishJob := func(i int) {
+		j := jobs[i]
+		var perr error
+		for _, u := range unitsOf[i] {
+			if units[u].err != nil {
+				perr = units[u].err
+				break
+			}
+		}
+		if perr != nil {
+			errs[i] = fmt.Errorf("%s@%s: %w", j.bench, j.pt.point(), perr)
+		} else {
+			point := SweepPointReport{Bench: j.bench, Workload: j.wl, Labels: j.pt.labels}
+			for _, u := range unitsOf[i] {
+				point.Runs = append(point.Runs, runReport(units[u].run))
+				if units[u].batched {
+					point.Batched = true
+					point.BatchWidth = k
+				}
+			}
+			rep.Points[i] = point
+		}
+		r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
+			Point: j.pt.point(), Err: perr,
+			Done: int(done.Add(1)), Total: len(jobs)})
+	}
+
+	// Phase 2: run the batches on the worker pool.
+	r.forEach(ctx, len(batches), func(bi int) {
+		batch := batches[bi]
+		r.runSweepBatch(ctx, batch, units, jobs, preps, targets)
+		for _, u := range batch {
+			if pending[units[u].job].Add(-1) == 0 {
+				finishJob(units[u].job)
+			}
+		}
+	})
+}
+
+// runSweepBatch measures one batch of units. Singletons take the serial
+// RunTarget path (also the scan-engine fallback); wider batches select
+// p-threads per unit and advance all instances through one shared-cursor
+// pass of the common trace.
+func (r *Runner) runSweepBatch(ctx context.Context, batch []int, units []sweepUnit,
+	jobs []sweepJob, preps []*Prepared, targets []pthsel.Target) {
+	if len(batch) == 1 {
+		u := &units[batch[0]]
+		prep, tgt, cfg := preps[u.job], targets[u.ti], jobs[u.job].pt.cfg
+		r.emit(ctx, Event{Kind: EventRunStart, Bench: prep.Name, Target: tgt.String()})
+		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
+		ev := Event{Kind: EventRunDone, Bench: prep.Name, Target: tgt.String(), Err: err}
+		if err == nil {
+			ev.SimCyclesPerSec = run.SimCyclesPerSec()
+		}
+		r.emit(ctx, ev)
+		u.run, u.err = run, err
+		return
+	}
+
+	w := len(batch)
+	tr := preps[units[batch[0]].job].Trace
+	cfgs := make([]cpu.Config, w)
+	pthreads := make([][]*cpu.PThread, w)
+	sels := make([]*pthsel.Selection, w)
+	for bi, ui := range batch {
+		u := &units[ui]
+		prep, tgt := preps[u.job], targets[u.ti]
+		r.emit(ctx, Event{Kind: EventRunStart, Bench: prep.Name, Target: tgt.String()})
+		sel := pthsel.Select(prep.Trace, prep.Prof, prep.Trees, prep.Params, tgt)
+		sels[bi] = sel
+		cfg := jobs[u.job].pt.cfg.CPU
+		cfg.Engine = cpu.EngineEvent
+		cfgs[bi] = cfg
+		pthreads[bi] = sel.PThreads
+	}
+
+	bs, _ := batchPool.Get().(*cpu.BatchSimulator)
+	if bs == nil {
+		bs = cpu.NewBatchSimulator()
+	}
+	start := time.Now()
+	err := bs.Reset(cfgs, tr, pthreads)
+	var results []*cpu.Result
+	var serrs []error
+	if err == nil {
+		results, serrs, err = bs.RunContext(ctx)
+	}
+	elapsed := time.Since(start).Seconds()
+	for bi, ui := range batch {
+		u := &units[ui]
+		prep, tgt := preps[u.job], targets[u.ti]
+		switch {
+		case err != nil: // whole-batch failure: bad reset or cancellation
+			u.err = fmt.Errorf("%s/%s: %w", prep.Name, tgt, err)
+		case serrs[bi] != nil:
+			u.err = fmt.Errorf("%s/%s: %w", prep.Name, tgt, serrs[bi])
+		default:
+			// The batch result borrows simulator memory; clone before the
+			// pooled batch is reused. Wall-clock is amortized across the
+			// batch (SimSeconds stays a health metric, not an artifact).
+			run := Derive(sels[bi], prep.Baseline, results[bi].Clone())
+			run.SimSeconds = elapsed / float64(w)
+			u.run = run
+			u.batched = true
+		}
+		ev := Event{Kind: EventRunDone, Bench: prep.Name, Target: tgt.String(), Err: u.err}
+		if u.err == nil {
+			ev.SimCyclesPerSec = u.run.SimCyclesPerSec()
+		}
+		r.emit(ctx, ev)
+	}
+	batchPool.Put(bs)
+}

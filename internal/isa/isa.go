@@ -140,6 +140,44 @@ func (i Inst) HasDst() bool {
 	return (i.IsALU() || i.Op == Load) && i.Dst != Zero
 }
 
+// Predicate flag bits packed by Inst.Flags. A precomputed flags byte lets
+// per-entry hot loops test several predicates with single-bit probes instead
+// of re-running the Op switches behind IsALU/HasDst on every dynamic
+// instance of the same static instruction.
+const (
+	FlagLoad uint8 = 1 << iota
+	FlagStore
+	FlagBranch
+	FlagJump
+	FlagALU
+	FlagHasDst
+)
+
+// Flags packs the instruction's classification predicates into one byte
+// (bit set exactly when the corresponding Is*/HasDst method returns true).
+func (i Inst) Flags() uint8 {
+	var f uint8
+	if i.IsLoad() {
+		f |= FlagLoad
+	}
+	if i.IsStore() {
+		f |= FlagStore
+	}
+	if i.IsBranch() {
+		f |= FlagBranch
+	}
+	if i.IsJump() {
+		f |= FlagJump
+	}
+	if i.IsALU() {
+		f |= FlagALU
+	}
+	if i.HasDst() {
+		f |= FlagHasDst
+	}
+	return f
+}
+
 // ValidateRegs checks that every register operand names one of the NumRegs
 // architectural registers. Reg is a uint8, so raw Inst values (built outside
 // the Builder helpers) can carry operands past the register file; the

@@ -44,6 +44,17 @@ type Config struct {
 	MaxStoreBytes int64
 	// Parallelism bounds the engine's worker pool (<= 0: GOMAXPROCS).
 	Parallelism int
+	// Engine names the simulation engine for every job ("", "event",
+	// "scan" or "batched"); unknown names are rejected by New with one
+	// error listing the valid engines. Engine choice is the daemon
+	// operator's, not the submitting client's, so every job shares the
+	// engine's cached artifacts.
+	Engine string
+	// BatchWidth is the sweep batch width k: with k >= 2 (or the batched
+	// engine's default width), same-trace measurements of a job ride
+	// shared streaming passes in batches of up to k. Scheduling only —
+	// results and artifact fingerprints are identical to serial runs.
+	BatchWidth int
 	// QueueLen is each event subscriber's bounded queue length
 	// (<= 0: 1024). Tests shrink it to exercise the lagging path.
 	QueueLen int
@@ -106,6 +117,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReplayLen <= 0 {
 		cfg.ReplayLen = 8192
 	}
+	engine, err := preexec.ParseEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		mux:      http.NewServeMux(),
@@ -115,8 +130,12 @@ func New(cfg Config) (*Server, error) {
 		cancel:   cancel,
 		jobs:     map[string]*job{},
 	}
+	labCfg := preexec.DefaultConfig()
+	labCfg.CPU.Engine = engine
 	s.lab = preexec.New(
+		preexec.WithConfig(labCfg),
 		preexec.WithParallelism(cfg.Parallelism),
+		preexec.WithBatchWidth(cfg.BatchWidth),
 		preexec.WithObserver(s.observe),
 		preexec.WithDiskStore(cfg.Dir, cfg.MaxStoreBytes),
 	)

@@ -361,3 +361,47 @@ func TestReplayBufferBound(t *testing.T) {
 		t.Errorf("stream ended with %q, want job-done", lines[len(lines)-1].Kind)
 	}
 }
+
+// TestBatchedDaemonMatchesSerial pins the daemon's -batch/-engine wiring: a
+// batched daemon rejects unknown engines at construction with one error
+// listing the valid set, and a batched daemon's sweep artifact is
+// byte-identical to a serial daemon's modulo throughput and the
+// Batched/BatchWidth provenance fields.
+func TestBatchedDaemonMatchesSerial(t *testing.T) {
+	if _, err := New(Config{Dir: t.TempDir(), Engine: "bogus"}); err == nil {
+		t.Fatal("New accepted an unknown engine")
+	} else if !strings.Contains(err.Error(), "valid engines: event, scan, batched") {
+		t.Errorf("error %q does not list the valid engines", err)
+	}
+
+	run := func(cfg Config) *preexec.SweepReport {
+		_, ts := newTestServer(t, cfg)
+		id := submitSweep(t, ts.URL, smokeRequest)
+		return sweepArtifact(t, streamEvents(t, ts.URL, id))
+	}
+	serial := run(Config{Dir: t.TempDir()})
+	batched := run(Config{Dir: t.TempDir(), BatchWidth: 4})
+
+	for i := range batched.Points {
+		if !batched.Points[i].Batched || batched.Points[i].BatchWidth != 4 {
+			t.Errorf("point %d = {Batched: %v, BatchWidth: %d}, want {true, 4}",
+				i, batched.Points[i].Batched, batched.Points[i].BatchWidth)
+		}
+	}
+	strip := func(rep *preexec.SweepReport) {
+		for i := range rep.Points {
+			rep.Points[i].Batched = false
+			rep.Points[i].BatchWidth = 0
+			for j := range rep.Points[i].Runs {
+				rep.Points[i].Runs[j].SimCyclesPerSec = 0
+			}
+		}
+	}
+	strip(serial)
+	strip(batched)
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(batched)
+	if !bytes.Equal(a, b) {
+		t.Errorf("batched daemon report diverges from serial:\nserial:  %s\nbatched: %s", a, b)
+	}
+}

@@ -9,28 +9,14 @@ import (
 	"repro/internal/trace"
 )
 
-// corpusSpecs returns the seeded differential corpus: every family under a
-// matrix of knob settings, ≥20 specs in total, kept small enough that both
-// engines cover the whole corpus in seconds.
-func corpusSpecs() []Spec {
-	var specs []Spec
-	for fi, f := range Families() {
-		seed := uint64(100 + fi)
-		specs = append(specs,
-			Spec{Family: f, Seed: seed, WorkingSet: 1 << 13, Depth: 300},
-			Spec{Family: f, Seed: seed + 1, WorkingSet: 1 << 15, Depth: 200, ProblemLoads: 2, BranchMix: 60},
-			Spec{Family: f, Seed: seed + 2, WorkingSet: 1 << 14, Depth: 250, ProblemLoads: 4, BranchMix: 10, ILP: 6},
-			Spec{Family: f, Seed: seed + 3, WorkingSet: 1 << 12, Depth: 400, BranchMix: 85, ILP: 1},
-		)
-	}
-	return specs
-}
+// corpusSpecs returns the shared differential corpus (see CorpusSpecs).
+func corpusSpecs() []Spec { return CorpusSpecs() }
 
 // corpusConfig selects an engine on the default configuration. The corpus
 // here runs without p-threads (pure main-thread scheduling); engine
 // agreement with selector-chosen p-threads installed is covered by
 // TestGenSelectedPThreadsEnginesAgree in the experiments package.
-func corpusConfig(engine string) cpu.Config {
+func corpusConfig(engine cpu.Engine) cpu.Config {
 	cfg := cpu.DefaultConfig()
 	cfg.Engine = engine
 	return cfg
@@ -116,7 +102,7 @@ func TestGenCorpusDeltaLimitEscape(t *testing.T) {
 			if escapes == 0 {
 				t.Fatal("spec produced no long-range producer links; the escape path was not exercised")
 			}
-			for _, engine := range []string{cpu.EngineEvent, cpu.EngineScan} {
+			for _, engine := range []cpu.Engine{cpu.EngineEvent, cpu.EngineScan} {
 				a, err1 := cpu.Run(corpusConfig(engine), inline, nil)
 				b, err2 := cpu.Run(corpusConfig(engine), escaped, nil)
 				if err1 != nil || err2 != nil {

@@ -1,0 +1,129 @@
+package trace
+
+// DecodedView is a flat, fully decoded mirror of a Trace's columns for
+// batched simulation. Where the Trace stores chunked columns with
+// producer-delta encoding and bit-packed branch outcomes — compact, but
+// paying a chunk lookup plus a delta decode on every access — the view
+// holds one plain slice per column, indexed directly by dynamic index:
+// absolute producer indices (NoProducer for none), unpacked branch
+// outcomes, and a per-entry static-predicate byte (isa.Inst.Flags) plus
+// execution latency so hot loops never re-derive them from the Op switches.
+//
+// The point of the view is amortization: decoding is one linear pass per
+// chunk, and a BatchSimulator decodes each chunk once for all K instances
+// it advances — work a serial run would pay per run is paid once per batch.
+// Reset against the same Trace keeps previously decoded chunks, so a batch
+// re-run over a trace it has already streamed decodes nothing at all.
+//
+// All storage is grow-only: steady-state reuse across traces of
+// non-increasing length performs no allocation.
+type DecodedView struct {
+	t        *Trace
+	frontier int // chunks [0, frontier) are decoded
+
+	PC    []int32
+	Prod1 []int64 // absolute producer dynamic index, or NoProducer
+	Prod2 []int64
+	Addr  []int64
+	Val   []int64
+	Taken []bool
+	Flags []uint8 // isa.Inst.Flags() of the entry's static instruction
+	Lat   []uint8 // isa.Inst.ExecLatency() of the entry's static instruction
+
+	// Per-PC predicate summaries, rebuilt on Reset (grow-only scratch).
+	pcFlags []uint8
+	pcLats  []uint8
+}
+
+// NewDecodedView returns an empty view; Reset installs a trace.
+func NewDecodedView() *DecodedView { return &DecodedView{} }
+
+// Reset points the view at t. Resetting to the trace already installed
+// keeps every decoded chunk; any other trace invalidates the view and
+// regrows the columns (grow-only) for t's length.
+func (v *DecodedView) Reset(t *Trace) {
+	if v.t == t {
+		return
+	}
+	v.t = t
+	v.frontier = 0
+	n := t.Len()
+	v.PC = growCol(v.PC, n)
+	v.Prod1 = growCol(v.Prod1, n)
+	v.Prod2 = growCol(v.Prod2, n)
+	v.Addr = growCol(v.Addr, n)
+	v.Val = growCol(v.Val, n)
+	v.Taken = growCol(v.Taken, n)
+	v.Flags = growCol(v.Flags, n)
+	v.Lat = growCol(v.Lat, n)
+	// The static program is tiny (tens of instructions); summarize each PC
+	// once here and fan the bytes out per entry during chunk decode.
+	insts := t.Prog.Insts
+	v.pcFlags = growCol(v.pcFlags, len(insts))
+	v.pcLats = growCol(v.pcLats, len(insts))
+	for i, in := range insts {
+		v.pcFlags[i] = in.Flags()
+		v.pcLats[i] = uint8(in.ExecLatency())
+	}
+}
+
+// EnsureDecoded decodes forward until every entry in [0, hi) is available.
+// Decoding is chunk-granular and monotonic; already-decoded chunks are
+// never revisited.
+func (v *DecodedView) EnsureDecoded(hi int) {
+	for v.frontier < len(v.t.chunks) && v.frontier<<chunkBits < hi {
+		v.decodeChunk(v.frontier)
+		v.frontier++
+	}
+}
+
+// decodeChunk materializes chunk ci into the flat columns.
+func (v *DecodedView) decodeChunk(ci int) {
+	t := v.t
+	c := &t.chunks[ci]
+	lo := ci << chunkBits
+	n := t.n - lo
+	if n > chunkLen {
+		n = chunkLen
+	}
+	copy(v.PC[lo:lo+n], c.pc[:n])
+	copy(v.Addr[lo:lo+n], c.addr[:n])
+	copy(v.Val[lo:lo+n], c.val[:n])
+	for i := 0; i < n; i++ {
+		d := int64(lo + i)
+		p1 := c.prod1[i]
+		switch p1 {
+		case noProdDelta:
+			v.Prod1[lo+i] = NoProducer
+		case escDelta:
+			v.Prod1[lo+i] = t.over1[d]
+		default:
+			v.Prod1[lo+i] = d - int64(p1)
+		}
+		p2 := c.prod2[i]
+		switch p2 {
+		case noProdDelta:
+			v.Prod2[lo+i] = NoProducer
+		case escDelta:
+			v.Prod2[lo+i] = t.over2[d]
+		default:
+			v.Prod2[lo+i] = d - int64(p2)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v.Taken[lo+i] = c.taken[i>>6]&(1<<uint(i&63)) != 0
+	}
+	for i := 0; i < n; i++ {
+		pc := v.PC[lo+i]
+		v.Flags[lo+i] = v.pcFlags[pc]
+		v.Lat[lo+i] = v.pcLats[pc]
+	}
+}
+
+// growCol grows a column to at least n entries, reusing capacity.
+func growCol[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

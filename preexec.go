@@ -45,6 +45,17 @@
 //	names, _ := lab.RegisterSpecs(preexec.WorkloadSpec{Family: preexec.FamilyPointerChase, Seed: 7})
 //	rep, _ := lab.RunCampaign(ctx, names, []preexec.Target{preexec.TargetP})
 //
+// # Observability probes
+//
+// A Lab exposes counters that pin its caching guarantees in tests and let
+// servers report cache health: StagePrepares(stage) counts cold executions
+// of one preparation pipeline stage (the per-stage reuse guarantee — a
+// swept knob rebuilds only the stages that read it); StoreStats snapshots
+// every stage's request outcomes (cold, cached, shared in-flight, disk
+// load) plus the disk tier's counters; DiskStoreErr reports whether a
+// requested disk store opened. Prepares, the original whole-preparation
+// counter, is deprecated in favor of StagePrepares(StagePrepared).
+//
 // # Migration from the pre-Lab API
 //
 // The package previously exposed free functions that re-prepared each
@@ -88,6 +99,9 @@ type (
 	// Config parameterizes the processor, hierarchy, energy model and
 	// selection framework.
 	Config = experiments.Config
+	// Engine selects the simulation engine (Config.CPU.Engine); see the
+	// EngineEvent, EngineScan and EngineBatched constants and ParseEngine.
+	Engine = cpu.Engine
 	// Target selects the optimization objective (latency, energy, ED, ED²).
 	Target = pthsel.Target
 	// Result is one simulation's outcome.
@@ -188,6 +202,23 @@ const (
 	TargetP  = pthsel.TargetP
 	TargetP2 = pthsel.TargetP2
 )
+
+// Simulation engines. EngineEvent (the zero value) is the event-driven
+// production engine; EngineScan is the bit-identical every-cycle reference
+// engine; EngineBatched runs event-driven semantics and additionally opts
+// sweeps into batched scheduling at the default batch width (see
+// WithBatchWidth) — a single run under EngineBatched is exactly an
+// EngineEvent run.
+const (
+	EngineEvent   = cpu.EngineEvent
+	EngineScan    = cpu.EngineScan
+	EngineBatched = cpu.EngineBatched
+)
+
+// ParseEngine parses an engine name as used by cmd/sweep's and cmd/labd's
+// -engine flags: "event" (or the empty string), "scan" or "batched".
+// Unknown names produce one error listing the valid engines.
+func ParseEngine(s string) (Engine, error) { return cpu.ParseEngine(s) }
 
 // Figure 5's sensitivity axes.
 const (
@@ -302,6 +333,18 @@ func WithParallelism(n int) Option { return func(l *Lab) { l.parallelism = n } }
 // serialized (never concurrently) but from worker goroutines.
 func WithObserver(fn func(Event)) Option { return func(l *Lab) { l.observe = fn } }
 
+// WithBatchWidth sets the engine's sweep batch width: with k >= 2, sweep
+// measurements whose grid points resolved to identical prepared artifacts
+// (the same trace) are partitioned into batches of up to k and advanced
+// through one shared streaming pass over the trace's column chunks instead
+// of k separate passes. Batched results are bit-identical to serial runs;
+// points measured this way carry Batched/BatchWidth in the sweep report.
+// k <= 1 keeps every measurement serial, as do reference scan-engine
+// points. Batch width is scheduling state, not configuration — it never
+// enters artifact fingerprints, so batched and serial sweeps share every
+// cached stage.
+func WithBatchWidth(k int) Option { return func(l *Lab) { l.batchWidth = k } }
+
 // WithDiskStore attaches an on-disk content-addressed spill tier at dir
 // behind the engine's in-memory artifact store, with a byte budget
 // (maxBytes <= 0: unlimited; least-recently-used artifacts are evicted over
@@ -335,7 +378,9 @@ type Lab struct {
 	cfg         Config
 	parallelism int
 	observe     func(Event)
+	batchWidth  int
 	run         *experiments.Runner
+	cfgErr      error
 
 	diskDir string
 	diskMax int64
@@ -343,18 +388,28 @@ type Lab struct {
 	diskErr error
 }
 
-// New creates a Lab engine.
+// New creates a Lab engine. An out-of-enum engine in the configuration is
+// caught here: every entry point then fails with one error listing the
+// valid engines (also available up front through ConfigErr).
 func New(opts ...Option) *Lab {
 	l := &Lab{cfg: experiments.DefaultConfig()}
 	for _, opt := range opts {
 		opt(l)
 	}
+	l.cfgErr = experiments.ValidateEngine(l.cfg.CPU.Engine)
 	l.run = experiments.NewRunner(l.cfg, l.parallelism, l.observe)
+	l.run.SetBatchWidth(l.batchWidth)
 	if l.diskSet {
 		l.diskErr = l.run.AttachDiskStore(l.diskDir, l.diskMax)
 	}
 	return l
 }
+
+// ConfigErr reports whether the engine's configuration validated at
+// construction; entry points of a Lab with a non-nil ConfigErr return it.
+// Servers check it at startup to reject a bad engine configuration loudly
+// instead of failing on the first job.
+func (l *Lab) ConfigErr() error { return l.cfgErr }
 
 // DiskStoreErr reports whether WithDiskStore's directory could be opened;
 // nil when no disk store was requested. A Lab with a failed disk store
@@ -368,9 +423,12 @@ func (l *Lab) Config() Config { return l.cfg }
 // Prepares reports how many whole-config preparations the engine has
 // assembled cold; the artifact store keeps it at one per (benchmark, input,
 // configuration) regardless of how many figures run. Sweep points count one
-// each even when every underlying pipeline stage was cached — use
-// StagePrepares to observe the per-stage reuse beneath them.
-func (l *Lab) Prepares() int64 { return l.run.Prepares() }
+// each even when every underlying pipeline stage was cached.
+//
+// Deprecated: Prepares is StagePrepares(StagePrepared) by definition; use
+// StagePrepares, which generalizes it to every pipeline stage and observes
+// the per-stage reuse beneath whole preparations.
+func (l *Lab) Prepares() int64 { return l.run.StagePrepares(experiments.StagePrepared) }
 
 // StagePrepares reports how many cold executions of one preparation
 // pipeline stage the engine has performed (generalizing Prepares, which
@@ -427,6 +485,9 @@ type Study struct {
 
 // Analyze traces, profiles and baselines a custom program.
 func (l *Lab) Analyze(ctx context.Context, prog *Program) (*Study, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -445,6 +506,9 @@ func (l *Lab) Analyze(ctx context.Context, prog *Program) (*Study, error) {
 // preparation goes through the artifact store, so repeated studies and
 // figures over the same benchmark share one.
 func (l *Lab) AnalyzeBenchmark(ctx context.Context, name string) (*Study, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	prep, err := l.run.Prepare(ctx, name, l.cfg.MeasureInput, l.cfg)
 	if err != nil {
 		return nil, err
@@ -490,37 +554,58 @@ func (s *Study) Run(ctx context.Context, target Target) (*TargetRun, error) {
 // per-benchmark failures are carried inside the report (see
 // CampaignReport.Err).
 func (l *Lab) RunCampaign(ctx context.Context, names []string, targets []Target) (*CampaignReport, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Campaign(ctx, names, targets)
 }
 
 // Figure2 reproduces the paper's Figure 2 breakdowns for the given
 // benchmarks.
 func (l *Lab) Figure2(ctx context.Context, names []string) (*Figure2Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Figure2(ctx, names)
 }
 
 // Figure3 reproduces the paper's primary study (Figure 3).
 func (l *Lab) Figure3(ctx context.Context, names []string) (*Figure3Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Figure3(ctx, names)
 }
 
 // Table3 reproduces the paper's model-validation table.
 func (l *Lab) Table3(ctx context.Context, names []string) (*Table3Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Table3(ctx, names)
 }
 
 // Figure4 reproduces the realistic-profiling experiment (§5.3).
 func (l *Lab) Figure4(ctx context.Context, names []string) (*Figure4Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Figure4(ctx, names)
 }
 
 // Figure5 reproduces one sensitivity sweep (Figure 5).
 func (l *Lab) Figure5(ctx context.Context, axis SweepAxis, names []string) (*Figure5Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Figure5(ctx, axis, names)
 }
 
 // ED2Study reproduces the §5.1 ED² discussion.
 func (l *Lab) ED2Study(ctx context.Context, names []string) (*ED2Report, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.ED2Study(ctx, names)
 }
 
@@ -533,11 +618,19 @@ func (l *Lab) ED2Study(ctx context.Context, names []string) (*ED2Report, error) 
 // not three. Per-point progress is streamed to the observer as
 // EventPointDone events.
 //
+// With a batch width installed (WithBatchWidth, or EngineBatched in the
+// configuration), measurements sharing one prepared trace additionally ride
+// shared streaming passes in batches of up to k, bit-identical to serial
+// evaluation; such points carry Batched/BatchWidth in the report.
+//
 //	rep, err := lab.Sweep(ctx, preexec.Grid{
 //	        Axes:       []preexec.Axis{preexec.GridAxis(preexec.SweepIdleFactor), preexec.GridAxis(preexec.SweepMemLatency)},
 //	        Benchmarks: []string{"mcf", "twolf"},
 //	})
 func (l *Lab) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
 	return l.run.Sweep(ctx, g)
 }
 
