@@ -19,7 +19,12 @@
 //     speedup4, which interleaves four serial runs against one width-4 batch
 //     per workload so machine-speed drift cancels out of the ratio) must
 //     stay at or above the baseline's MinBatchSpeedupK4 (machine-independent
-//     > 1.0: four batched runs must beat four serial runs).
+//     > 1.0: four batched runs must beat four serial runs), and
+//   - the critical-path scheduler's paired cold-sweep gain on the 3-axis
+//     grid (BenchmarkSweepSched, naive and scheduled sides interleaved per
+//     iteration) must stay at or above the baseline's MinSweepSchedGain
+//     (machine-independent; 1.0 = scheduling must never lose to naive
+//     grid order).
 //
 // Usage:
 //
@@ -77,6 +82,16 @@ type Report struct {
 	SweepWarmSec        float64
 	ColdGridStageBuilds float64
 	WarmGridStageBuilds float64
+
+	// Scheduler columns (BenchmarkSweepSched): seconds per cold 3-axis
+	// 27-point sweep over three benchmarks under naive bench-major order
+	// vs the critical-path scheduler, paired on interleaved timers within
+	// each iteration so machine drift cancels out of SweepSchedGain
+	// (naive / scheduled; > 1 means the scheduler wins). The gain ratio is
+	// the gated column: the scheduler must never be slower than naive.
+	SweepColdNaiveSec float64
+	SweepColdSchedSec float64
+	SweepSchedGain    float64
 }
 
 // Baseline is the committed gate (testdata/bench_baseline.json).
@@ -100,6 +115,10 @@ type Baseline struct {
 	// ratio at width 4 (machine-independent; > 1.0 = a width-4 batch must
 	// beat four serial runs of the same workloads).
 	MinBatchSpeedupK4 float64
+	// MinSweepSchedGain is the required paired naive/scheduled cold-sweep
+	// wall-clock ratio (machine-independent; 1.0 = the critical-path
+	// scheduler must be no worse than naive grid order on the 3-axis grid).
+	MinSweepSchedGain float64
 	Note              string `json:",omitempty"`
 }
 
@@ -176,6 +195,22 @@ func main() {
 		fatal("missing warm sweep grid benchmark output (BenchmarkSweepGrid/warm)")
 	}
 
+	// The scheduler comparison is paired like speedup4: naive and scheduled
+	// cold sweeps of the same 3-axis grid interleave within each iteration,
+	// so the gain ratio is robust to drift; best-of over repeats, because a
+	// single sample's ratio carries per-run noise the pairing cannot cancel.
+	sched, err := runBench("BenchmarkSweepSched", "1x", 3)
+	if err != nil {
+		fatal("sweep scheduler benchmark: %v", err)
+	}
+	ss := sched["BenchmarkSweepSched"]
+	rep.SweepColdNaiveSec = ss.sweepNaiveSec
+	rep.SweepColdSchedSec = ss.sweepSchedSec
+	rep.SweepSchedGain = ss.sweepSchedGain
+	if rep.SweepSchedGain <= 0 {
+		fatal("missing sweep-sched-gain metric in scheduler benchmark output")
+	}
+
 	if !*skipSuite {
 		suite, err := runBench("BenchmarkFigureSuite", "1x", 1)
 		if err != nil {
@@ -196,6 +231,8 @@ func main() {
 	fmt.Printf("benchgate: batched k1 %.0f, k2 %.0f, k4 %.0f, k8 %.0f sim-cycles/s; paired k4 speedup %.2fx (%.0f allocs/op)\n",
 		rep.BatchK1CyclesPerSec, rep.BatchK2CyclesPerSec, rep.BatchK4CyclesPerSec,
 		rep.BatchK8CyclesPerSec, rep.BatchSpeedupK4, rep.BatchAllocsPerOp)
+	fmt.Printf("benchgate: 3-axis cold sweep naive %.2fs, scheduled %.2fs, paired gain %.2fx\n",
+		rep.SweepColdNaiveSec, rep.SweepColdSchedSec, rep.SweepSchedGain)
 
 	if *update {
 		b := Baseline{
@@ -205,6 +242,7 @@ func main() {
 			MaxEventBytesPerOp:     rep.EventBytesPerOp,
 			MaxWarmGridStageBuilds: rep.WarmGridStageBuilds,
 			MinBatchSpeedupK4:      1.0,
+			MinSweepSchedGain:      1.0,
 			Note:                   "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
 		}
 		braw, _ := json.MarshalIndent(b, "", "  ")
@@ -254,8 +292,12 @@ func main() {
 		fatal("batch speedup regression: paired k4 %.2fx < required %.2fx (a width-4 batch must beat four serial runs)",
 			rep.BatchSpeedupK4, base.MinBatchSpeedupK4)
 	}
-	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds, min batch speedup %.2fx)\n",
-		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds, base.MinBatchSpeedupK4)
+	if base.MinSweepSchedGain > 0 && rep.SweepSchedGain < base.MinSweepSchedGain {
+		fatal("scheduler regression: paired cold-sweep gain %.2fx < required %.2fx (critical-path scheduling must be no worse than naive grid order)",
+			rep.SweepSchedGain, base.MinSweepSchedGain)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds, min batch speedup %.2fx, min sched gain %.2fx)\n",
+		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds, base.MinBatchSpeedupK4, base.MinSweepSchedGain)
 }
 
 type benchLine struct {
@@ -263,6 +305,9 @@ type benchLine struct {
 	metric          float64 // the benchmark's custom sim-cycles/s metric, if reported
 	batchSpeedup    float64 // BenchmarkSimBatched/speedup4's paired batch-speedup-k4 ratio
 	gridStageBuilds float64 // BenchmarkSweepGrid's grid-stage-builds metric
+	sweepNaiveSec   float64 // BenchmarkSweepSched's sweep-cold-naive-sec metric
+	sweepSchedSec   float64 // BenchmarkSweepSched's sweep-cold-sched-sec metric
+	sweepSchedGain  float64 // BenchmarkSweepSched's paired sweep-sched-gain ratio
 	bytesPerOp      float64 // -benchmem B/op
 	allocsPerOp     float64 // -benchmem allocs/op
 }
@@ -306,6 +351,12 @@ func runBench(pattern, benchtime string, count int) (map[string]benchLine, error
 				bl.batchSpeedup = v
 			case "grid-stage-builds":
 				bl.gridStageBuilds = v
+			case "sweep-cold-naive-sec":
+				bl.sweepNaiveSec = v
+			case "sweep-cold-sched-sec":
+				bl.sweepSchedSec = v
+			case "sweep-sched-gain":
+				bl.sweepSchedGain = v
 			case "B/op":
 				bl.bytesPerOp = v
 			case "allocs/op":
@@ -319,6 +370,9 @@ func runBench(pattern, benchtime string, count int) (map[string]benchLine, error
 			bl.allocsPerOp = max(bl.allocsPerOp, prev.allocsPerOp)
 			bl.bytesPerOp = max(bl.bytesPerOp, prev.bytesPerOp)
 			bl.gridStageBuilds = max(bl.gridStageBuilds, prev.gridStageBuilds)
+			bl.sweepNaiveSec = min(bl.sweepNaiveSec, prev.sweepNaiveSec)
+			bl.sweepSchedSec = min(bl.sweepSchedSec, prev.sweepSchedSec)
+			bl.sweepSchedGain = max(bl.sweepSchedGain, prev.sweepSchedGain)
 		}
 		res[name] = bl
 	}

@@ -17,6 +17,11 @@
 // one prepared trace ride a single streaming pass in batches of up to k —
 // bit-identical results, fewer passes over the trace columns.
 //
+// Local sweeps order their work through the cost-modeled critical-path
+// scheduler by default; -sched=false falls back to naive bench-major grid
+// order (identical results and report, different build order). To inspect
+// the planned schedule without running it, see `report -dag`.
+//
 // Generated workloads join the sweep through the repeatable -gen flag,
 // taking the generator spec grammar family:seed[:knob=value,...]. With -gen
 // alone the grid sweeps only the generated workloads; adding -bench or -all
@@ -66,6 +71,7 @@ type cli struct {
 	engine      preexec.Engine
 	batch       int
 	parallelism int
+	sched       bool
 	asJSON      bool
 	addr        string
 }
@@ -84,6 +90,7 @@ func parseCLI(args []string) (*cli, error) {
 	engineName := fs.String("engine", "", "simulation engine: event, scan or batched (local sweeps; a daemon uses its own -engine)")
 	fs.IntVar(&c.batch, "batch", 0, "batch width k: run up to k same-trace measurements per streaming pass (local sweeps; 0/1 = serial)")
 	fs.IntVar(&c.parallelism, "j", 0, "worker-pool bound (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.sched, "sched", true, "cost-modeled critical-path scheduling of the grid's stage DAG (local sweeps; false = naive grid order, identical results)")
 	fs.BoolVar(&c.asJSON, "json", false, "emit the JSON artifact instead of the rendered table")
 	fs.StringVar(&c.addr, "addr", "", "submit to a lab daemon at this base URL instead of sweeping locally")
 	fs.Func("gen", "generated workload spec family:seed[:knob=value,...] (repeatable)", func(text string) error {
@@ -168,6 +175,7 @@ func main() {
 		preexec.WithConfig(cfg),
 		preexec.WithParallelism(c.parallelism),
 		preexec.WithBatchWidth(c.batch),
+		preexec.WithScheduling(c.sched),
 		preexec.WithObserver(func(ev preexec.Event) {
 			switch ev.Kind {
 			case preexec.EventStageStart:

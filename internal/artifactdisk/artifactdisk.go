@@ -208,6 +208,17 @@ func (s *Store) Load(k Key) ([]byte, bool) {
 	return payload, true
 }
 
+// Has reports whether an artifact is resident under k, without touching its
+// recency or counting a load or miss. It is a scheduling probe — the
+// critical-path planner uses it to cost a stage as a disk load rather than
+// a rebuild — so it must not perturb the LRU order the way Load does.
+func (s *Store) Has(k Key) bool {
+	path := s.pathFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[path] != nil
+}
+
 // Quarantine removes the artifact stored under k (if any) and counts it as
 // quarantined. Callers use it when a payload that passed the container
 // checksum still fails semantic decoding.

@@ -280,8 +280,8 @@ func TestUnknownEngineFailsFast(t *testing.T) {
 			t.Errorf("error %q missing %q", err, wantSub)
 		}
 	}
-	if r.Prepares() != 0 {
-		t.Errorf("invalid engine still assembled %d preparations", r.Prepares())
+	if n := r.StagePrepares(StagePrepared); n != 0 {
+		t.Errorf("invalid engine still assembled %d preparations", n)
 	}
 	if _, err := PrepareTrace(context.Background(), "x", nil, cfg); err == nil {
 		t.Error("PrepareTrace accepted an unknown engine")

@@ -1,0 +1,229 @@
+package experiments
+
+// The stage cost model behind critical-path scheduling: an EWMA of observed
+// wall-clock build cost per (stage, workload size class). Every cold stage
+// build feeds it (see Runner.stage); the scheduler reads it to project each
+// DAG node's remaining critical-path cost before a sweep or campaign fans
+// out. With a disk store attached the model persists alongside the
+// artifacts, so a restarted daemon schedules its first sweep with warm cost
+// estimates instead of priors.
+//
+// Size classes bucket workloads by the log2 of their trace length: a stage's
+// cost scales roughly linearly with trace size, so one observed gcc-sized
+// trace build predicts other gcc-sized ones without a per-workload table.
+// Class 0 aggregates every observation of a stage and is the fallback when a
+// workload's size is not yet known (never traced, no persisted model).
+
+import (
+	"encoding/json"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/program"
+)
+
+// stageMeasure is the cost model's pseudo-stage for measurement work (one
+// target's selection + simulation at a grid point). It is not a pipeline
+// stage — it never touches the artifact store or the stage counters — but
+// measurement nodes need projected costs like build nodes do.
+const stageMeasure Stage = "measure"
+
+// costAlpha is the EWMA smoothing factor: high enough to track a machine
+// whose load changes between sweeps, low enough that one descheduled build
+// does not wreck the estimate.
+const costAlpha = 0.4
+
+// costPriors seed the model before any observation: relative magnitudes of
+// the pipeline stages (trace dominates, then baseline simulation, then the
+// analysis stages; assembly and derivation are near-free). Absolute values
+// only matter relative to each other — the scheduler orders by projected
+// cost, it never budgets wall-clock.
+var costPriors = map[Stage]float64{
+	StageTrace:    1.0,
+	StageProfile:  0.25,
+	StageProblems: 0.01,
+	StageSlices:   0.2,
+	StageCurves:   0.1,
+	StageBaseline: 0.5,
+	StageParams:   0.01,
+	StagePrepared: 0.005,
+	stageMeasure:  0.5,
+}
+
+// costKey is one EWMA cell: a stage at a workload size class (0 = the
+// stage's global aggregate).
+type costKey struct {
+	Stage Stage
+	Class int
+}
+
+// costObs is one persisted EWMA cell.
+type costObs struct {
+	Stage Stage   `json:"stage"`
+	Class int     `json:"class"`
+	Sec   float64 `json:"sec"`
+}
+
+// costModelFile is the on-disk shape of a persisted cost model.
+type costModelFile struct {
+	EWMA  []costObs        `json:"ewma"`
+	Sizes map[string]int64 `json:"sizes"`
+}
+
+// costModel is the mutex-guarded EWMA store. One per Runner, shared by every
+// concurrent sweep; all methods are safe for concurrent use.
+type costModel struct {
+	mu    sync.Mutex
+	ewma  map[costKey]float64
+	sizes map[string]int64 // "name/input" -> trace instruction count
+	path  string           // persistence file; empty = in-memory only
+	dirty bool
+}
+
+func newCostModel() *costModel {
+	return &costModel{
+		ewma:  map[costKey]float64{},
+		sizes: map[string]int64{},
+	}
+}
+
+func sizeKey(name string, input program.InputClass) string {
+	return name + "/" + input.String()
+}
+
+// classOf buckets a trace length into a log2 size class (>= 1; 0 is the
+// global aggregate).
+func classOf(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(n))
+}
+
+// observeSize records a workload's trace length, the input to size-class
+// lookups. Called whenever a trace is built, spill-loaded or hit.
+func (m *costModel) observeSize(name string, input program.InputClass, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.sizes[sizeKey(name, input)] != n {
+		m.sizes[sizeKey(name, input)] = n
+		m.dirty = true
+	}
+	m.mu.Unlock()
+}
+
+// record folds one observed cold build (or measurement) into the EWMA, both
+// in the workload's size class and in the stage's global aggregate.
+func (m *costModel) record(st Stage, name string, input program.InputClass, sec float64) {
+	if sec <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cells := []costKey{{st, 0}}
+	if class := classOf(m.sizes[sizeKey(name, input)]); class != 0 {
+		cells = append(cells, costKey{st, class})
+	}
+	for _, k := range cells {
+		if prev, ok := m.ewma[k]; ok {
+			m.ewma[k] = costAlpha*sec + (1-costAlpha)*prev
+		} else {
+			m.ewma[k] = sec
+		}
+	}
+	m.dirty = true
+}
+
+// estimate projects one stage build's cost for a workload: the size-class
+// EWMA if that cell has observations, else the stage's global EWMA, else the
+// prior. Never zero for a real stage, so critical paths of entirely
+// unobserved chains still order by depth.
+func (m *costModel) estimate(st Stage, name string, input program.InputClass) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if class := classOf(m.sizes[sizeKey(name, input)]); class != 0 {
+		if sec, ok := m.ewma[costKey{st, class}]; ok {
+			return sec
+		}
+	}
+	if sec, ok := m.ewma[costKey{st, 0}]; ok {
+		return sec
+	}
+	if sec, ok := costPriors[st]; ok {
+		return sec
+	}
+	return 0.01
+}
+
+// loadFrom attaches the model to a persistence file and folds in whatever a
+// previous process left there. Best-effort: an absent or corrupt file is an
+// empty model, never an error (the disk tier has the same contract).
+func (m *costModel) loadFrom(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.path = path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var f costModelFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return
+	}
+	for _, obs := range f.EWMA {
+		if obs.Sec > 0 {
+			m.ewma[costKey{obs.Stage, obs.Class}] = obs.Sec
+		}
+	}
+	for k, n := range f.Sizes {
+		if n > 0 {
+			m.sizes[k] = n
+		}
+	}
+}
+
+// flush persists the model if it is file-backed and has new observations.
+// Atomic (tmp + rename) and best-effort, like every disk-tier write.
+func (m *costModel) flush() {
+	m.mu.Lock()
+	if m.path == "" || !m.dirty {
+		m.mu.Unlock()
+		return
+	}
+	f := costModelFile{Sizes: make(map[string]int64, len(m.sizes))}
+	for k, sec := range m.ewma {
+		f.EWMA = append(f.EWMA, costObs{Stage: k.Stage, Class: k.Class, Sec: sec})
+	}
+	for k, n := range m.sizes {
+		f.Sizes[k] = n
+	}
+	m.dirty = false
+	path := m.path
+	m.mu.Unlock()
+
+	data, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/critpath"
@@ -52,10 +53,26 @@ const (
 )
 
 // Stages lists every pipeline stage in dependency order (StagePrepared
-// last: the assembled whole-config view behind Prepares()).
+// last: the assembled whole-config view behind StagePrepares).
 func Stages() []Stage {
 	return []Stage{StageTrace, StageProfile, StageProblems, StageSlices,
 		StageCurves, StageBaseline, StageParams, StagePrepared}
+}
+
+// stageDeps maps each pipeline stage to its direct upstream stages — the
+// edge set of the stage DAG drawn above, which the scheduler expands into
+// per-workload dependency nodes. Iterating Stages() guarantees every
+// stage's deps precede it.
+var stageDeps = map[Stage][]Stage{
+	StageTrace:    nil,
+	StageProfile:  {StageTrace},
+	StageProblems: {StageProfile},
+	StageSlices:   {StageTrace, StageProfile, StageProblems},
+	StageCurves:   {StageTrace, StageProfile, StageProblems},
+	StageBaseline: {StageTrace},
+	StageParams:   {StageBaseline, StageCurves},
+	StagePrepared: {StageTrace, StageProfile, StageProblems, StageSlices,
+		StageCurves, StageBaseline, StageParams},
 }
 
 // problemsConfig is the configuration of the problem-load mining stage.
@@ -270,15 +287,21 @@ func (r *Runner) stage(ctx context.Context, name string, input program.InputClas
 	key := artifactKey{name: name, input: input, stage: st, fp: plan.fps[st]}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
 		if v, ok := r.spillLoad(key); ok {
+			r.observeArtifact(name, input, v)
 			r.stageCount(st).spill.Add(1)
 			r.emit(ctx, Event{Kind: EventStageSpill, Bench: name, Input: input.String(), Stage: string(st)})
 			return v, nil
 		}
 		r.stageCount(st).cold.Add(1)
 		r.emit(ctx, Event{Kind: EventStageStart, Bench: name, Input: input.String(), Stage: string(st)})
+		start := time.Now()
 		v, cerr := compute()
-		r.emit(ctx, Event{Kind: EventStageDone, Bench: name, Input: input.String(), Stage: string(st), Err: cerr})
+		elapsed := time.Since(start)
+		r.emit(ctx, Event{Kind: EventStageDone, Bench: name, Input: input.String(), Stage: string(st),
+			Err: cerr, DurationNS: elapsed.Nanoseconds()})
 		if cerr == nil {
+			r.observeArtifact(name, input, v)
+			r.observeBuild(st, name, input, elapsed)
 			r.spillSave(key, v)
 		}
 		return v, cerr
@@ -299,7 +322,9 @@ func (r *Runner) stage(ctx context.Context, name string, input program.InputClas
 // stagedPrepare assembles a Prepared from per-stage artifacts, computing
 // each missing stage at most once per engine (shared across every sweep
 // point, figure and campaign worker whose configuration agrees on the
-// fields that stage reads).
+// fields that stage reads). The per-stage walk and the scheduler's DAG
+// nodes share one implementation, ensureStage, so both orders produce
+// identical store traffic for identical work.
 func (r *Runner) stagedPrepare(ctx context.Context, name string, input program.InputClass, cfg Config) (*Prepared, error) {
 	wfp, err := workloadFingerprint(name)
 	if err != nil {
@@ -309,62 +334,127 @@ func (r *Runner) stagedPrepare(ctx context.Context, name string, input program.I
 	if err != nil {
 		return nil, err
 	}
-	trV, err := r.stage(ctx, name, input, StageTrace, plan, func() (any, error) {
-		return stageTrace(name, input)
-	})
-	if err != nil {
-		return nil, err
+	vals := make(map[Stage]any, len(stageDeps))
+	for _, st := range Stages() {
+		if st == StagePrepared {
+			break // assembled below, not through the store (we are its compute)
+		}
+		v, err := r.ensureStage(ctx, name, input, cfg, plan, st)
+		if err != nil {
+			return nil, err
+		}
+		vals[st] = v
 	}
-	tr := trV.(*trace.Trace)
-
-	profV, err := r.stage(ctx, name, input, StageProfile, plan, func() (any, error) {
-		return profile.Collect(tr, plan.profileCfg), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	prof := profV.(*profile.Profile)
-
-	problemsV, err := r.stage(ctx, name, input, StageProblems, plan, func() (any, error) {
-		return stageProblems(prof, plan.problemsCfg), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	problems := problemsV.([]*profile.LoadStats)
-
-	treesV, err := r.stage(ctx, name, input, StageSlices, plan, func() (any, error) {
-		return slicer.BuildTrees(tr, prof, problems, plan.slicerCfg), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	trees := treesV.([]*slicer.Tree)
-
-	curvesV, err := r.stage(ctx, name, input, StageCurves, plan, func() (any, error) {
-		return stageCurves(ctx, tr, prof, problems, plan.critCfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	curves := curvesV.(map[int32]critpath.Curve)
-
-	baseV, err := r.stage(ctx, name, input, StageBaseline, plan, func() (any, error) {
-		return stageBaseline(ctx, name, plan.timingCfg, tr)
-	})
-	if err != nil {
-		return nil, err
-	}
-	base := baselineFor(baseV.(*cpu.Result), cfg.CPU.Energy)
-
-	paramsV, err := r.stage(ctx, name, input, StageParams, plan, func() (any, error) {
-		return plan.deriveCfg.Derive(float64(base.Cycles), base.Energy.Total(), base.IPC(), curves), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	p := assemblePrepared(name, tr, prof, trees, curves, base, paramsV.(pthsel.Params))
+	base := baselineFor(vals[StageBaseline].(*cpu.Result), cfg.CPU.Energy)
+	p := assemblePrepared(name, vals[StageTrace].(*trace.Trace), vals[StageProfile].(*profile.Profile),
+		vals[StageSlices].([]*slicer.Tree), vals[StageCurves].(map[int32]critpath.Curve),
+		base, vals[StageParams].(pthsel.Params))
 	p.Input = input
 	return p, nil
+}
+
+// ensureStage requests one pipeline stage through the content-addressed
+// store, computing it on a cold miss. Compute closures read their upstream
+// artifacts through upstreamStage: when the caller already ordered them —
+// the sequential stagedPrepare walk, or the scheduler's dependency edges —
+// that read is a free peek; an out-of-order call recursively ensures them,
+// so ensureStage is correct from any call site.
+func (r *Runner) ensureStage(ctx context.Context, name string, input program.InputClass,
+	cfg Config, plan stagePlan, st Stage) (any, error) {
+	up := func(u Stage) (any, error) { return r.upstreamStage(ctx, name, input, cfg, plan, u) }
+	switch st {
+	case StageTrace:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			return stageTrace(name, input)
+		})
+	case StageProfile:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			trV, err := up(StageTrace)
+			if err != nil {
+				return nil, err
+			}
+			return profile.Collect(trV.(*trace.Trace), plan.profileCfg), nil
+		})
+	case StageProblems:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			profV, err := up(StageProfile)
+			if err != nil {
+				return nil, err
+			}
+			return stageProblems(profV.(*profile.Profile), plan.problemsCfg), nil
+		})
+	case StageSlices:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			tr, prof, problems, err := r.analysisInputs(ctx, name, input, cfg, plan)
+			if err != nil {
+				return nil, err
+			}
+			return slicer.BuildTrees(tr, prof, problems, plan.slicerCfg), nil
+		})
+	case StageCurves:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			tr, prof, problems, err := r.analysisInputs(ctx, name, input, cfg, plan)
+			if err != nil {
+				return nil, err
+			}
+			return stageCurves(ctx, tr, prof, problems, plan.critCfg)
+		})
+	case StageBaseline:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			trV, err := up(StageTrace)
+			if err != nil {
+				return nil, err
+			}
+			return stageBaseline(ctx, name, plan.timingCfg, trV.(*trace.Trace))
+		})
+	case StageParams:
+		return r.stage(ctx, name, input, st, plan, func() (any, error) {
+			baseV, err := up(StageBaseline)
+			if err != nil {
+				return nil, err
+			}
+			curvesV, err := up(StageCurves)
+			if err != nil {
+				return nil, err
+			}
+			base := baselineFor(baseV.(*cpu.Result), cfg.CPU.Energy)
+			return plan.deriveCfg.Derive(float64(base.Cycles), base.Energy.Total(),
+				base.IPC(), curvesV.(map[int32]critpath.Curve)), nil
+		})
+	case StagePrepared:
+		return r.Prepare(ctx, name, input, cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown pipeline stage %q", st)
+}
+
+// analysisInputs gathers the (trace, profile, problems) triple the two
+// analysis stages consume.
+func (r *Runner) analysisInputs(ctx context.Context, name string, input program.InputClass,
+	cfg Config, plan stagePlan) (*trace.Trace, *profile.Profile, []*profile.LoadStats, error) {
+	trV, err := r.upstreamStage(ctx, name, input, cfg, plan, StageTrace)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	profV, err := r.upstreamStage(ctx, name, input, cfg, plan, StageProfile)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	problemsV, err := r.upstreamStage(ctx, name, input, cfg, plan, StageProblems)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return trV.(*trace.Trace), profV.(*profile.Profile), problemsV.([]*profile.LoadStats), nil
+}
+
+// upstreamStage reads an upstream artifact from inside a compute closure:
+// peek first — the value is an input being read, not a new request, so a
+// completed entry costs no counter or event traffic — falling back to a
+// full ensure when nothing ordered it yet (or a cancellation retired it).
+func (r *Runner) upstreamStage(ctx context.Context, name string, input program.InputClass,
+	cfg Config, plan stagePlan, st Stage) (any, error) {
+	key := artifactKey{name: name, input: input, stage: st, fp: plan.fps[st]}
+	if v, err, ok := r.store.peek(key); ok {
+		return v, err
+	}
+	return r.ensureStage(ctx, name, input, cfg, plan, st)
 }

@@ -9,10 +9,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/artifactdisk"
 	"repro/internal/program"
 	"repro/internal/pthsel"
+	"repro/internal/trace"
 )
 
 // EventKind classifies an observer notification.
@@ -48,6 +50,11 @@ type Event struct {
 	Done   int
 	Total  int
 	Err    error
+
+	// DurationNS carries the build's wall-clock nanoseconds on
+	// EventStageDone and EventPrepareDone (0 otherwise) — the observation
+	// stream the scheduler's cost model is built from.
+	DurationNS int64
 
 	// SimCyclesPerSec carries the run's measured simulator throughput on
 	// EventRunDone (0 otherwise), so observers can stream substrate health
@@ -92,13 +99,20 @@ type Runner struct {
 	// state, deliberately outside Config so it never reaches a fingerprint.
 	batchWidth int
 
+	// sched enables cost-modeled critical-path scheduling of sweeps and
+	// campaigns (the default; see SetScheduling). Like batchWidth it is
+	// scheduling state, never part of a fingerprint: toggling it changes
+	// build order, not results.
+	sched bool
+
 	obsMu sync.Mutex // serializes observer callbacks
 
 	store *artifactStore
 	disk  *artifactdisk.Store // optional spill tier (see AttachDiskStore)
+	costs *costModel          // EWMA build costs feeding the scheduler
 
-	prepares   atomic.Int64    // whole-config preparations assembled cold
-	stageStats []stageCounters // per-stage request outcomes, indexed by stageIndex
+	stageStats []stageCounters    // per-stage request outcomes, indexed by stageIndex
+	stageLat   []latencyReservoir // per-stage cold-build latencies, same indexing
 }
 
 // stageCounters tallies one stage's artifact-store request outcomes.
@@ -120,8 +134,11 @@ func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
 		cfg:         cfg,
 		parallelism: parallelism,
 		observe:     observe,
+		sched:       true,
 		store:       newArtifactStore(),
+		costs:       newCostModel(),
 		stageStats:  make([]stageCounters, len(stageIndex)),
+		stageLat:    make([]latencyReservoir, len(stageIndex)),
 	}
 }
 
@@ -141,11 +158,14 @@ const DefaultBatchWidth = 4
 // synchronized with in-flight sweeps.
 func (r *Runner) SetBatchWidth(k int) { r.batchWidth = k }
 
-// Prepares reports how many whole-config preparations the engine has
-// assembled cold — the probe behind the O(benchmarks) preparation
-// guarantee. Sweep points count one each even when every underlying stage
-// was cached; StagePrepares observes the per-stage reuse beneath them.
-func (r *Runner) Prepares() int64 { return r.prepares.Load() }
+// SetScheduling toggles cost-modeled critical-path scheduling of sweep and
+// campaign fan-out (enabled by default). Disabled, workers claim work in
+// naive bench-major grid order — the baseline the scheduling benchmark
+// gates against. Like batch width it is scheduling state, not
+// configuration: results are byte-identical either way, only build order
+// and wall-clock change. Call before issuing work; it is not synchronized
+// with in-flight sweeps.
+func (r *Runner) SetScheduling(enabled bool) { r.sched = enabled }
 
 // stageIndex maps each pipeline stage to its counter slot, derived from
 // Stages() so the stage list is maintained in exactly one place.
@@ -177,6 +197,71 @@ func (r *Runner) StagePrepares(st Stage) int64 {
 		return 0
 	}
 	return r.stageStats[i].cold.Load()
+}
+
+// latencyWindow bounds each stage's latency reservoir: percentiles are over
+// the most recent builds, so a daemon that has been up for days reports
+// current behaviour, not its lifetime average.
+const latencyWindow = 256
+
+// latencyReservoir is a mutex-guarded ring of recent build durations, the
+// sample behind the per-stage p50/p95 in StoreStats.
+type latencyReservoir struct {
+	mu  sync.Mutex
+	buf []int64 // nanoseconds, ring once full
+	pos int
+}
+
+func (l *latencyReservoir) record(ns int64) {
+	l.mu.Lock()
+	if len(l.buf) < latencyWindow {
+		l.buf = append(l.buf, ns)
+	} else {
+		l.buf[l.pos] = ns
+		l.pos = (l.pos + 1) % latencyWindow
+	}
+	l.mu.Unlock()
+}
+
+// percentiles reports the window's p50 and p95 (nearest-rank), 0/0 when no
+// build has been observed.
+func (l *latencyReservoir) percentiles() (p50, p95 int64) {
+	l.mu.Lock()
+	s := append([]int64(nil), l.buf...)
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(q float64) int64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return rank(0.50), rank(0.95)
+}
+
+func (r *Runner) stageLatency(st Stage) *latencyReservoir {
+	i, ok := stageIndex[st]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown pipeline stage %q", st))
+	}
+	return &r.stageLat[i]
+}
+
+// observeBuild feeds one observed cold build into the cost model and the
+// stage's latency reservoir.
+func (r *Runner) observeBuild(st Stage, name string, input program.InputClass, d time.Duration) {
+	r.costs.record(st, name, input, d.Seconds())
+	r.stageLatency(st).record(d.Nanoseconds())
+}
+
+// observeArtifact notes size facts about a freshly materialized artifact —
+// currently the trace's instruction count, which keys the cost model's
+// workload size classes.
+func (r *Runner) observeArtifact(name string, input program.InputClass, v any) {
+	if tr, ok := v.(*trace.Trace); ok {
+		r.costs.observeSize(name, input, int64(tr.Len()))
+	}
 }
 
 func (r *Runner) emit(ctx context.Context, ev Event) {
@@ -216,11 +301,16 @@ func (r *Runner) Prepare(ctx context.Context, name string, input program.InputCl
 	}
 	key := artifactKey{name: name, input: input, stage: StagePrepared, fp: fp}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
-		r.prepares.Add(1)
 		r.stageCount(StagePrepared).cold.Add(1)
 		r.emit(ctx, Event{Kind: EventPrepareStart, Bench: name, Input: input.String()})
+		start := time.Now()
 		p, perr := r.stagedPrepare(ctx, name, input, cfg)
-		r.emit(ctx, Event{Kind: EventPrepareDone, Bench: name, Input: input.String(), Err: perr})
+		elapsed := time.Since(start)
+		r.emit(ctx, Event{Kind: EventPrepareDone, Bench: name, Input: input.String(),
+			Err: perr, DurationNS: elapsed.Nanoseconds()})
+		if perr == nil {
+			r.observeBuild(StagePrepared, name, input, elapsed)
+		}
 		return p, perr
 	})
 	if err != nil {
@@ -307,6 +397,7 @@ func (r *Runner) runBench(ctx context.Context, name string, targets []pthsel.Tar
 		return nil, err
 	}
 	br := &BenchResult{Name: name, Prepared: prep, Runs: map[pthsel.Target]*TargetRun{}}
+	start := time.Now()
 	for _, tgt := range targets {
 		r.emit(ctx, Event{Kind: EventRunStart, Bench: name, Target: tgt.String()})
 		run, err := RunTarget(ctx, prep, prep, tgt, cfg)
@@ -319,6 +410,10 @@ func (r *Runner) runBench(ctx context.Context, name string, targets []pthsel.Tar
 			return nil, err
 		}
 		br.Runs[tgt] = run
+	}
+	if len(targets) > 0 {
+		r.costs.record(stageMeasure, name, cfg.MeasureInput,
+			time.Since(start).Seconds()/float64(len(targets)))
 	}
 	return br, nil
 }
@@ -360,7 +455,7 @@ func (r *Runner) Campaign(ctx context.Context, names []string, targets []pthsel.
 	}
 	errs := make([]error, len(names))
 	var done atomic.Int64
-	r.forEach(ctx, len(names), func(i int) {
+	runOne := func(ctx context.Context, i int) {
 		name := names[i]
 		br, err := r.runBench(ctx, name, targets, r.cfg)
 		if err != nil {
@@ -374,7 +469,24 @@ func (r *Runner) Campaign(ctx context.Context, names []string, targets []pthsel.
 		}
 		r.emit(ctx, Event{Kind: EventBenchDone, Bench: name, Err: err,
 			Done: int(done.Add(1)), Total: len(names)})
-	})
+	}
+	if r.sched {
+		// Critical-path order: expand every benchmark's preparation chain
+		// into the shared DAG and hang its measurement sink off the prepared
+		// node. Entries fill preassigned slots, so report order is names
+		// order regardless of completion order.
+		b := r.newDAGBuilder()
+		for i, name := range names {
+			prep, _ := b.addChain(name, r.cfg.MeasureInput, r.cfg)
+			i := i
+			b.addMeasure(name, r.measureEstimate(name, r.cfg.MeasureInput, len(targets)), prep,
+				func(ctx context.Context) { runOne(ctx, i) })
+		}
+		r.runDAG(ctx, b)
+		r.costs.flush()
+	} else {
+		r.forEach(ctx, len(names), func(i int) { runOne(ctx, i) })
+	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		// Benchmarks that never ran (cancelled before launch or mid-flight)
 		// are failures too: without this, partial-report consumers would

@@ -14,6 +14,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 
 	"repro/internal/artifactdisk"
 	"repro/internal/cpu"
@@ -111,6 +112,10 @@ func (r *Runner) AttachDiskStore(dir string, maxBytes int64) error {
 		return err
 	}
 	r.disk = disk
+	// The scheduler's cost model persists alongside the artifacts, so a
+	// restarted daemon projects its first sweep from observed costs instead
+	// of priors. Best-effort both ways, like every disk-tier operation.
+	r.costs.loadFrom(filepath.Join(dir, "costmodel.json"))
 	return nil
 }
 
@@ -131,6 +136,18 @@ func diskKey(key artifactKey) artifactdisk.Key {
 		Stage: string(key.stage),
 		FP:    key.fp,
 	}
+}
+
+// diskHas reports whether the disk tier could satisfy key without a build —
+// the scheduler's planning probe. It never touches recency or counters.
+func (r *Runner) diskHas(key artifactKey) bool {
+	if r.disk == nil {
+		return false
+	}
+	if _, ok := stageCodecs[key.stage]; !ok {
+		return false
+	}
+	return r.disk.Has(diskKey(key))
 }
 
 // spillLoad tries to satisfy a stage from the disk tier. A payload that
@@ -184,6 +201,12 @@ type StageStoreStats struct {
 	Shared     int64 `json:"shared"`
 	Cold       int64 `json:"cold"`
 	SpillLoads int64 `json:"spill_loads"`
+
+	// P50BuildNS / P95BuildNS are cold-build wall-clock percentiles over
+	// the stage's recent builds (a bounded window; 0 before the first cold
+	// build) — the observability surface of the scheduler's cost inputs.
+	P50BuildNS int64 `json:"p50_build_ns,omitempty"`
+	P95BuildNS int64 `json:"p95_build_ns,omitempty"`
 }
 
 // StoreStats is the artifact store's full observability surface: per-stage
@@ -201,11 +224,14 @@ func (r *Runner) StoreStats() StoreStats {
 	out := StoreStats{Stages: make(map[Stage]StageStoreStats, len(stageIndex))}
 	for st, i := range stageIndex {
 		c := &r.stageStats[i]
+		p50, p95 := r.stageLat[i].percentiles()
 		out.Stages[st] = StageStoreStats{
 			Hit:        c.hit.Load(),
 			Shared:     c.shared.Load(),
 			Cold:       c.cold.Load(),
 			SpillLoads: c.spill.Load(),
+			P50BuildNS: p50,
+			P95BuildNS: p95,
 		}
 	}
 	out.Disk = r.DiskStats()

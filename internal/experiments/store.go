@@ -47,6 +47,27 @@ func newArtifactStore() *artifactStore {
 	return &artifactStore{entries: map[artifactKey]*artifactEntry{}}
 }
 
+// peek returns a completed entry's value without counting an outcome or
+// waiting on an in-flight computation: ok is false when the key is absent or
+// still computing. It exists for two observers of the store, neither of
+// which is a request for the artifact: the scheduler's DAG planner (costing
+// already-built stages at zero) and compute closures reading upstream
+// artifacts their caller already ordered.
+func (s *artifactStore) peek(key artifactKey) (any, error, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
 // get returns the artifact for key, computing it at most once per store.
 // Concurrent requests for the same key share a single in-flight computation.
 // Failed computations are cached (an artifact that cannot build will not

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/program/gen"
 	"repro/internal/pthsel"
@@ -168,14 +169,63 @@ func (g Grid) points(base Config) ([]gridPoint, error) {
 // path; points measured this way carry Batched/BatchWidth in the report.
 // K=1 and reference scan-engine points always take the serial path.
 func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
+	jobs, targets, axes, err := r.expandGrid(g)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{
+		Axes:    axes,
+		Targets: targetNames(targets),
+		Points:  make([]SweepPointReport, len(jobs)),
+	}
+	errs := make([]error, len(jobs))
+	defer r.costs.flush()
+	var done atomic.Int64
+	switch {
+	case r.effectiveBatchWidth() >= 2:
+		r.sweepBatched(ctx, jobs, targets, r.effectiveBatchWidth(), rep, errs)
+	case r.sched:
+		// Critical-path order: the grid's full stage DAG plus one
+		// measurement sink per job, pulled longest-remaining-path-first.
+		// Identical store traffic, events and report indexing to the naive
+		// path below — only order (and wall-clock) changes.
+		b := r.newDAGBuilder()
+		for i, j := range jobs {
+			prep, _ := b.addChain(j.bench, j.pt.cfg.MeasureInput, j.pt.cfg)
+			i := i
+			b.addMeasure(j.pt.point(), r.measureEstimate(j.bench, j.pt.cfg.MeasureInput, len(targets)),
+				prep, func(ctx context.Context) {
+					r.runSweepJob(ctx, i, jobs, targets, rep, errs, &done)
+				})
+		}
+		r.runDAG(ctx, b)
+	default:
+		r.forEach(ctx, len(jobs), func(i int) {
+			r.runSweepJob(ctx, i, jobs, targets, rep, errs, &done)
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// expandGrid resolves a grid into its job list: workloads registered,
+// names validated, targets defaulted and the cartesian product expanded
+// benchmark-major, row-major — the report row order every execution
+// strategy must preserve.
+func (r *Runner) expandGrid(g Grid) (jobs []sweepJob, targets []pthsel.Target, axes []string, err error) {
 	names := append([]string(nil), g.Benchmarks...)
 	// Workload labels per registered name; empty for named benchmarks.
 	labels := make([]string, len(names))
 	if len(g.Workloads) > 0 {
 		for _, wp := range g.Workloads {
-			wnames, err := gen.Register(wp.Spec)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: workload %q: %w", wp.Label, err)
+			wnames, werr := gen.Register(wp.Spec)
+			if werr != nil {
+				return nil, nil, nil, fmt.Errorf("experiments: workload %q: %w", wp.Label, werr)
 			}
 			label := wp.Label
 			if label == "" {
@@ -186,59 +236,44 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 		}
 	}
 	if err := validateNames(names); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	targets := g.Targets
+	targets = g.Targets
 	if len(targets) == 0 {
 		targets = Figure4Targets
 	}
 	pts, err := g.points(r.cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-
-	jobs := make([]sweepJob, 0, len(names)*len(pts))
+	jobs = make([]sweepJob, 0, len(names)*len(pts))
 	for bi, bench := range names {
 		for _, pt := range pts {
 			jobs = append(jobs, sweepJob{bench: bench, wl: labels[bi], pt: pt})
 		}
 	}
-
-	axes := make([]string, len(g.Axes))
+	axes = make([]string, len(g.Axes))
 	for i, ax := range g.Axes {
 		axes[i] = ax.Name
 	}
-	rep := &SweepReport{
-		Axes:    axes,
-		Targets: targetNames(targets),
-		Points:  make([]SweepPointReport, len(jobs)),
-	}
-	errs := make([]error, len(jobs))
-	if k := r.effectiveBatchWidth(); k >= 2 {
-		r.sweepBatched(ctx, jobs, targets, k, rep, errs)
+	return jobs, targets, axes, nil
+}
+
+// runSweepJob evaluates one job and publishes its point, error and progress
+// event — the shared body of the naive and scheduled serial paths.
+func (r *Runner) runSweepJob(ctx context.Context, i int, jobs []sweepJob,
+	targets []pthsel.Target, rep *SweepReport, errs []error, done *atomic.Int64) {
+	j := jobs[i]
+	point, perr := r.sweepPoint(ctx, j.bench, j.pt, targets)
+	if perr != nil {
+		errs[i] = fmt.Errorf("%s@%s: %w", j.bench, j.pt.point(), perr)
 	} else {
-		var done atomic.Int64
-		r.forEach(ctx, len(jobs), func(i int) {
-			j := jobs[i]
-			point, perr := r.sweepPoint(ctx, j.bench, j.pt, targets)
-			if perr != nil {
-				errs[i] = fmt.Errorf("%s@%s: %w", j.bench, j.pt.point(), perr)
-			} else {
-				point.Workload = j.wl
-				rep.Points[i] = point
-			}
-			r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
-				Point: j.pt.point(), Err: perr,
-				Done: int(done.Add(1)), Total: len(jobs)})
-		})
+		point.Workload = j.wl
+		rep.Points[i] = point
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	r.emit(ctx, Event{Kind: EventPointDone, Bench: j.bench,
+		Point: j.pt.point(), Err: perr,
+		Done: int(done.Add(1)), Total: len(jobs)})
 }
 
 // sweepJob is one (benchmark, grid point) evaluation of a sweep.
@@ -257,6 +292,7 @@ func (r *Runner) sweepPoint(ctx context.Context, bench string, pt gridPoint, tar
 	if err != nil {
 		return SweepPointReport{}, err
 	}
+	start := time.Now()
 	point := SweepPointReport{Bench: bench, Labels: pt.labels}
 	for _, tgt := range targets {
 		r.emit(ctx, Event{Kind: EventRunStart, Bench: bench, Target: tgt.String()})
@@ -270,6 +306,10 @@ func (r *Runner) sweepPoint(ctx context.Context, bench string, pt gridPoint, tar
 			return SweepPointReport{}, err
 		}
 		point.Runs = append(point.Runs, runReport(run))
+	}
+	if len(targets) > 0 {
+		r.costs.record(stageMeasure, bench, pt.cfg.MeasureInput,
+			time.Since(start).Seconds()/float64(len(targets)))
 	}
 	return point, nil
 }

@@ -58,9 +58,12 @@ func (r *Runner) sweepBatched(ctx context.Context, jobs []sweepJob, targets []pt
 
 	// Phase 1: prepare every point through the staged store, in parallel —
 	// identical store traffic to the serial path. Points that fail to
-	// prepare finish (and report) here.
+	// prepare finish (and report) here. With scheduling enabled the
+	// preparations run in critical-path order over the grid's stage DAG;
+	// the measurement phase below keeps its own trace-grouped batching
+	// either way.
 	preps := make([]*Prepared, len(jobs))
-	r.forEach(ctx, len(jobs), func(i int) {
+	prepareJob := func(ctx context.Context, i int) {
 		j := jobs[i]
 		p, perr := r.Prepare(ctx, j.bench, j.pt.cfg.MeasureInput, j.pt.cfg)
 		if perr != nil {
@@ -71,7 +74,18 @@ func (r *Runner) sweepBatched(ctx context.Context, jobs []sweepJob, targets []pt
 			return
 		}
 		preps[i] = p
-	})
+	}
+	if r.sched {
+		b := r.newDAGBuilder()
+		for i, j := range jobs {
+			prep, _ := b.addChain(j.bench, j.pt.cfg.MeasureInput, j.pt.cfg)
+			i := i
+			b.addMeasure(j.pt.point(), 0, prep, func(ctx context.Context) { prepareJob(ctx, i) })
+		}
+		r.runDAG(ctx, b)
+	} else {
+		r.forEach(ctx, len(jobs), func(i int) { prepareJob(ctx, i) })
+	}
 
 	// Partition measurements into batches. Units are enumerated in job-major,
 	// target-minor order and grouped by trace pointer: two units share a

@@ -83,6 +83,10 @@ type StreamLine struct {
 	Err             string  `json:"err,omitempty"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
 
+	// DurationNS carries a completed stage build's (or preparation's)
+	// wall-clock nanoseconds on stage-done and prepare-done lines.
+	DurationNS int64 `json:"duration_ns,omitempty"`
+
 	// Dropped counts the events discarded before this line (KindLagging).
 	Dropped int64 `json:"dropped,omitempty"`
 

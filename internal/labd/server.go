@@ -7,6 +7,7 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        one job
 //	GET    /v1/jobs/{id}/events NDJSON event stream (replay + live)
+//	GET    /v1/jobs/{id}/dag    the job's planned stage DAG (Graphviz DOT)
 //	DELETE /v1/jobs/{id}        cancel a running job
 //	GET    /v1/stats            jobs + artifact-store counters
 //
@@ -86,6 +87,11 @@ type Server struct {
 type job struct {
 	id     string
 	cancel context.CancelFunc
+	// dag is the job's planned stage DAG in Graphviz DOT form, captured at
+	// submission against the engine's stores as they stood then (empty when
+	// planning failed; the run itself surfaces the error). Immutable after
+	// handleSweep publishes the job.
+	dag string
 
 	mu       sync.Mutex
 	state    labapi.JobState
@@ -147,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/dag", s.handleDAG)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s, nil
@@ -184,6 +191,7 @@ func (s *Server) observe(ev preexec.Event) {
 		Done:            ev.Done,
 		Total:           ev.Total,
 		SimCyclesPerSec: ev.SimCyclesPerSec,
+		DurationNS:      ev.DurationNS,
 	}
 	if ev.Err != nil {
 		line.Err = ev.Err.Error()
@@ -321,6 +329,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{state: labapi.JobRunning, cancel: cancel, subs: map[*subscriber]struct{}{}}
+	// Plan the job's schedule DAG before it runs, so clients can inspect
+	// what the scheduler saw — which stages were projected cold, cached or
+	// disk-resident — for the store state this job was submitted against.
+	// Best-effort: a grid that cannot be planned still runs (and fails)
+	// through the normal path.
+	if dag, err := s.lab.SweepDAG(grid); err == nil {
+		j.dag = dag.DOT()
+	}
 	s.mu.Lock()
 	s.nextID++
 	j.id = fmt.Sprintf("j%d", s.nextID)
@@ -388,6 +404,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if j := s.jobByID(w, r); j != nil {
 		writeJSON(w, http.StatusOK, j.snapshot())
 	}
+}
+
+// handleDAG serves the job's planned stage DAG as Graphviz DOT text — the
+// plan captured at submission, not a live view of execution.
+func (s *Server) handleDAG(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	if j.dag == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %q has no planned DAG", j.id))
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, j.dag)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -92,7 +92,7 @@ func TestLabSharesPreparations(t *testing.T) {
 	if _, err := lab.Figure2(ctx, names); err != nil {
 		t.Fatal(err)
 	}
-	afterFirst := lab.Prepares()
+	afterFirst := lab.StagePrepares(StagePrepared)
 	if afterFirst != 1 {
 		t.Fatalf("Figure2 performed %d prepares, want 1", afterFirst)
 	}
@@ -100,7 +100,7 @@ func TestLabSharesPreparations(t *testing.T) {
 	if _, err := lab.ED2Study(ctx, names); err != nil {
 		t.Fatal(err)
 	}
-	if got := lab.Prepares(); got != afterFirst {
+	if got := lab.StagePrepares(StagePrepared); got != afterFirst {
 		t.Errorf("second figure performed %d additional prepares, want 0", got-afterFirst)
 	}
 
@@ -108,7 +108,7 @@ func TestLabSharesPreparations(t *testing.T) {
 	if _, err := lab.AnalyzeBenchmark(ctx, "gap"); err != nil {
 		t.Fatal(err)
 	}
-	if got := lab.Prepares(); got != afterFirst {
+	if got := lab.StagePrepares(StagePrepared); got != afterFirst {
 		t.Errorf("AnalyzeBenchmark re-prepared (%d total prepares)", got)
 	}
 
@@ -273,8 +273,8 @@ func TestLabRejectsBadBenchmarkNames(t *testing.T) {
 			t.Errorf("%s(duplicate): err = %v, want duplicate-name error", name, err)
 		}
 	}
-	if lab.Prepares() != 0 {
-		t.Errorf("rejected calls still prepared %d benchmarks", lab.Prepares())
+	if lab.StagePrepares(StagePrepared) != 0 {
+		t.Errorf("rejected calls still prepared %d benchmarks", lab.StagePrepares(StagePrepared))
 	}
 }
 

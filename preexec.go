@@ -150,6 +150,14 @@ type (
 	StageStoreStats = experiments.StageStoreStats
 	// DiskStoreStats is the on-disk spill tier's counter snapshot.
 	DiskStoreStats = artifactdisk.Stats
+	// DAGReport is a sweep grid's scheduled stage DAG — nodes annotated
+	// with projected cost and cold/cached/spill status — as planned by the
+	// critical-path scheduler (see Lab.SweepDAG; DOT renders Graphviz).
+	DAGReport = experiments.DAGReport
+	// DAGNode is one node of a DAGReport.
+	DAGNode = experiments.DAGNode
+	// DAGEdge is one dependency edge of a DAGReport.
+	DAGEdge = experiments.DAGEdge
 
 	// WorkloadSpec declares one generated synthetic workload: a memory-
 	// behaviour family, a seed, and knobs for working-set size, chain depth,
@@ -345,6 +353,19 @@ func WithObserver(fn func(Event)) Option { return func(l *Lab) { l.observe = fn 
 // cached stage.
 func WithBatchWidth(k int) Option { return func(l *Lab) { l.batchWidth = k } }
 
+// WithScheduling toggles cost-modeled critical-path scheduling of sweep and
+// campaign fan-out (default: enabled). Enabled, the engine expands every
+// pending (benchmark × stage) chain into a dependency DAG before fanning
+// out, projects each node's remaining critical-path cost from an EWMA cost
+// model fed by observed build times, and has the worker pool pull ready
+// nodes longest-critical-path-first — speculatively pre-building stages the
+// grid will need ahead of the first point that demands them. Disabled,
+// workers claim points in naive bench-major grid order. Results and report
+// row order are byte-identical either way; only build order and cold-sweep
+// wall-clock change. Like batch width, scheduling is never part of an
+// artifact fingerprint.
+func WithScheduling(enabled bool) Option { return func(l *Lab) { l.scheduling = &enabled } }
+
 // WithDiskStore attaches an on-disk content-addressed spill tier at dir
 // behind the engine's in-memory artifact store, with a byte budget
 // (maxBytes <= 0: unlimited; least-recently-used artifacts are evicted over
@@ -379,6 +400,7 @@ type Lab struct {
 	parallelism int
 	observe     func(Event)
 	batchWidth  int
+	scheduling  *bool // nil: default (enabled)
 	run         *experiments.Runner
 	cfgErr      error
 
@@ -399,6 +421,9 @@ func New(opts ...Option) *Lab {
 	l.cfgErr = experiments.ValidateEngine(l.cfg.CPU.Engine)
 	l.run = experiments.NewRunner(l.cfg, l.parallelism, l.observe)
 	l.run.SetBatchWidth(l.batchWidth)
+	if l.scheduling != nil {
+		l.run.SetScheduling(*l.scheduling)
+	}
 	if l.diskSet {
 		l.diskErr = l.run.AttachDiskStore(l.diskDir, l.diskMax)
 	}
@@ -632,6 +657,20 @@ func (l *Lab) Sweep(ctx context.Context, g Grid) (*SweepReport, error) {
 		return nil, l.cfgErr
 	}
 	return l.run.Sweep(ctx, g)
+}
+
+// SweepDAG plans a grid without running it: the stage dependency DAG the
+// critical-path scheduler would execute, with every node annotated by its
+// projected status against the engine's current stores (cold / cached /
+// spill / measure), its cost estimate and its remaining critical-path cost.
+// The report's DOT method renders Graphviz (cmd/report -dag; the daemon's
+// GET /v1/jobs/{id}/dag). Planning registers the grid's workloads but
+// builds nothing and touches no counters.
+func (l *Lab) SweepDAG(g Grid) (*DAGReport, error) {
+	if l.cfgErr != nil {
+		return nil, l.cfgErr
+	}
+	return l.run.SweepDAG(g)
 }
 
 // GridAxis converts a Figure 5 sensitivity axis into a declarative sweep

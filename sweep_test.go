@@ -47,8 +47,8 @@ func TestSweepGridStageReuse(t *testing.T) {
 			t.Errorf("idle axis: StagePrepares(%s) = %d, want %d", st, got[st], n)
 		}
 	}
-	if lab.Prepares() != 3 {
-		t.Errorf("idle axis: Prepares() = %d, want 3 (one assembly per point)", lab.Prepares())
+	if lab.StagePrepares(StagePrepared) != 3 {
+		t.Errorf("idle axis: StagePrepares(prepared) = %d, want 3 (one assembly per point)", lab.StagePrepares(StagePrepared))
 	}
 
 	// Memory-latency axis: a timing knob. Trace, profile and slices are
