@@ -18,6 +18,9 @@ import (
 	"testing"
 	"time"
 
+	"bytes"
+
+	"repro/internal/artifactdisk"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -579,4 +582,72 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += run.Res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkTraceSpill times the two warm trace-load paths against each
+// other over the paper suite's spilled traces: the v1 heap path (container
+// read, whole-payload checksum, serial delta decode into fresh columns)
+// versus the zero-copy mapped path (mmap, chunk-parallel checksum + PC-range
+// verify, columns aliasing the mapping). Both sides run back to back per
+// iteration so machine-speed drift cancels out of the reported
+// spill-map-gain ratio, which cmd/benchgate gates (MinSpillMapGain).
+func BenchmarkTraceSpill(b *testing.B) {
+	if !artifactdisk.MapSupported() {
+		b.Skip("platform cannot map files")
+	}
+	workloads := hotLoopWorkloads(b)
+	store, err := artifactdisk.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heapKeys := make([]artifactdisk.Key, len(workloads))
+	mapKeys := make([]artifactdisk.Key, len(workloads))
+	for i, wl := range workloads {
+		name := fmt.Sprintf("wl%d", i)
+		heapKeys[i] = artifactdisk.Key{Name: name, Input: "train", Stage: "trace", FP: "v1"}
+		mapKeys[i] = artifactdisk.Key{Name: name, Input: "train", Stage: "trace", FP: "v2"}
+		var v1buf, v2buf bytes.Buffer
+		if err := wl.trace.EncodeBinary(&v1buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Save(heapKeys[i], v1buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		if err := wl.trace.EncodeBinaryV2(&v2buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.SaveAligned(mapKeys[i], v2buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var loadT, mapT time.Duration
+	for i := 0; i < b.N; i++ {
+		for j, wl := range workloads {
+			start := time.Now()
+			data, ok := store.Load(heapKeys[j])
+			if !ok {
+				b.Fatal("heap load missed")
+			}
+			if _, err := trace.DecodeBinary(bytes.NewReader(data), wl.trace.Prog); err != nil {
+				b.Fatal(err)
+			}
+			loadT += time.Since(start)
+			start = time.Now()
+			m, ok := store.LoadMapped(mapKeys[j])
+			if !ok {
+				b.Fatal("mapped load missed")
+			}
+			if _, _, err := trace.MapBytes(m.Payload(), wl.trace.Prog); err != nil {
+				b.Fatal(err)
+			}
+			// The unmap is untimed: production retains the mapping for the
+			// engine's lifetime, so teardown is not part of the load path.
+			mapT += time.Since(start)
+			m.Close()
+		}
+	}
+	b.ReportMetric(loadT.Seconds()/float64(b.N), "trace-spill-load-sec")
+	b.ReportMetric(mapT.Seconds()/float64(b.N), "trace-spill-map-sec")
+	b.ReportMetric(loadT.Seconds()/mapT.Seconds(), "spill-map-gain")
 }

@@ -24,13 +24,16 @@
 //     grid (BenchmarkSweepSched, naive and scheduled sides interleaved per
 //     iteration) must stay at or above the baseline's MinSweepSchedGain
 //     (machine-independent; 1.0 = scheduling must never lose to naive
-//     grid order).
+//     grid order), and
+//   - the mapped trace-spill load (BenchmarkTraceSpill, v1 heap decode and
+//     mapped open+verify interleaved per iteration so drift cancels) must
+//     stay at or above the baseline's MinSpillMapGain over the v1 path
+//     (machine-independent; the zero-copy tentpole's >= 5x requirement).
 //
 // Usage:
 //
 //	go run ./cmd/benchgate                 # measure + gate against testdata/bench_baseline.json
 //	go run ./cmd/benchgate -update         # refresh the baseline from this machine
-//	go run ./cmd/benchgate -skip-suite     # hot loop only (quick local check)
 //
 // The refresh procedure is documented in EXPERIMENTS.md: -update records
 // this machine's measured throughput verbatim (and the measured allocation
@@ -57,7 +60,15 @@ type Report struct {
 	Speedup           float64 // event / scan
 	EventAllocsPerOp  float64 // steady-state allocations per full-suite op (event engine)
 	EventBytesPerOp   float64 // steady-state bytes allocated per full-suite op
-	FigureSuiteSec    float64 // BenchmarkFigureSuite seconds per full suite (0 when skipped)
+
+	// Trace spill columns (BenchmarkTraceSpill): seconds per warm load of
+	// the full paper suite's spilled traces through the v1 heap path (read +
+	// checksum + serial decode) vs the zero-copy mapped path (mmap + chunk
+	// verify). The two sides run back to back per iteration, so the gated
+	// SpillMapGain ratio (load / map) is robust to machine drift.
+	TraceSpillLoadSec float64
+	TraceSpillMapSec  float64
+	SpillMapGain      float64
 
 	// Batched engine columns (BenchmarkSimBatched): aggregate sim-cycles/s
 	// across all instances of a batch, per width (informational — measured
@@ -119,7 +130,12 @@ type Baseline struct {
 	// wall-clock ratio (machine-independent; 1.0 = the critical-path
 	// scheduler must be no worse than naive grid order on the 3-axis grid).
 	MinSweepSchedGain float64
-	Note              string `json:",omitempty"`
+	// MinSpillMapGain is the required paired v1-decode/mapped-open ratio for
+	// warm trace spill loads (machine-independent; the zero-copy mapped path
+	// must load the paper suite's traces at least this much faster than the
+	// v1 heap decode).
+	MinSpillMapGain float64
+	Note            string `json:",omitempty"`
 }
 
 func main() {
@@ -128,7 +144,6 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional throughput regression")
 	benchtime := flag.String("benchtime", "5x", "go test -benchtime for the hot loop")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
-	skipSuite := flag.Bool("skip-suite", false, "skip the full-figure-suite benchmark")
 	flag.Parse()
 
 	rep := Report{}
@@ -211,12 +226,18 @@ func main() {
 		fatal("missing sweep-sched-gain metric in scheduler benchmark output")
 	}
 
-	if !*skipSuite {
-		suite, err := runBench("BenchmarkFigureSuite", "1x", 1)
-		if err != nil {
-			fatal("figure suite benchmark: %v", err)
-		}
-		rep.FigureSuiteSec = suite["BenchmarkFigureSuite"].nsPerOp / 1e9
+	// The spill comparison pairs its two sides per iteration like speedup4
+	// and the scheduler gate; best-of over repeats for the same reason.
+	spill, err := runBench("BenchmarkTraceSpill", "10x", 3)
+	if err != nil {
+		fatal("trace spill benchmark: %v", err)
+	}
+	sp := spill["BenchmarkTraceSpill"]
+	rep.TraceSpillLoadSec = sp.spillLoadSec
+	rep.TraceSpillMapSec = sp.spillMapSec
+	rep.SpillMapGain = sp.spillMapGain
+	if rep.SpillMapGain <= 0 {
+		fatal("missing spill-map-gain metric in trace spill benchmark output")
 	}
 
 	raw, _ := json.MarshalIndent(rep, "", "  ")
@@ -233,6 +254,8 @@ func main() {
 		rep.BatchK8CyclesPerSec, rep.BatchSpeedupK4, rep.BatchAllocsPerOp)
 	fmt.Printf("benchgate: 3-axis cold sweep naive %.2fs, scheduled %.2fs, paired gain %.2fx\n",
 		rep.SweepColdNaiveSec, rep.SweepColdSchedSec, rep.SweepSchedGain)
+	fmt.Printf("benchgate: trace spill v1 decode %.4fs, mapped open %.4fs, paired gain %.2fx\n",
+		rep.TraceSpillLoadSec, rep.TraceSpillMapSec, rep.SpillMapGain)
 
 	if *update {
 		b := Baseline{
@@ -243,6 +266,7 @@ func main() {
 			MaxWarmGridStageBuilds: rep.WarmGridStageBuilds,
 			MinBatchSpeedupK4:      1.0,
 			MinSweepSchedGain:      1.0,
+			MinSpillMapGain:        5.0,
 			Note:                   "measured by cmd/benchgate -update; scale EventCyclesPerSec down for heterogeneous CI runners (see EXPERIMENTS.md)",
 		}
 		braw, _ := json.MarshalIndent(b, "", "  ")
@@ -296,8 +320,12 @@ func main() {
 		fatal("scheduler regression: paired cold-sweep gain %.2fx < required %.2fx (critical-path scheduling must be no worse than naive grid order)",
 			rep.SweepSchedGain, base.MinSweepSchedGain)
 	}
-	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds, min batch speedup %.2fx, min sched gain %.2fx)\n",
-		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds, base.MinBatchSpeedupK4, base.MinSweepSchedGain)
+	if base.MinSpillMapGain > 0 && rep.SpillMapGain < base.MinSpillMapGain {
+		fatal("spill regression: paired mapped trace-load gain %.2fx < required %.2fx (the zero-copy mapped path must beat the v1 heap decode)",
+			rep.SpillMapGain, base.MinSpillMapGain)
+	}
+	fmt.Printf("benchgate: PASS (floor %.0f sim-cycles/s, min speedup %.2fx, max %.0f allocs/op, max %.0f warm grid stage builds, min batch speedup %.2fx, min sched gain %.2fx, min spill map gain %.2fx)\n",
+		floor, base.MinSpeedup, base.MaxEventAllocsPerOp, base.MaxWarmGridStageBuilds, base.MinBatchSpeedupK4, base.MinSweepSchedGain, base.MinSpillMapGain)
 }
 
 type benchLine struct {
@@ -308,6 +336,9 @@ type benchLine struct {
 	sweepNaiveSec   float64 // BenchmarkSweepSched's sweep-cold-naive-sec metric
 	sweepSchedSec   float64 // BenchmarkSweepSched's sweep-cold-sched-sec metric
 	sweepSchedGain  float64 // BenchmarkSweepSched's paired sweep-sched-gain ratio
+	spillLoadSec    float64 // BenchmarkTraceSpill's trace-spill-load-sec metric
+	spillMapSec     float64 // BenchmarkTraceSpill's trace-spill-map-sec metric
+	spillMapGain    float64 // BenchmarkTraceSpill's paired spill-map-gain ratio
 	bytesPerOp      float64 // -benchmem B/op
 	allocsPerOp     float64 // -benchmem allocs/op
 }
@@ -357,6 +388,12 @@ func runBench(pattern, benchtime string, count int) (map[string]benchLine, error
 				bl.sweepSchedSec = v
 			case "sweep-sched-gain":
 				bl.sweepSchedGain = v
+			case "trace-spill-load-sec":
+				bl.spillLoadSec = v
+			case "trace-spill-map-sec":
+				bl.spillMapSec = v
+			case "spill-map-gain":
+				bl.spillMapGain = v
 			case "B/op":
 				bl.bytesPerOp = v
 			case "allocs/op":
@@ -373,6 +410,9 @@ func runBench(pattern, benchtime string, count int) (map[string]benchLine, error
 			bl.sweepNaiveSec = min(bl.sweepNaiveSec, prev.sweepNaiveSec)
 			bl.sweepSchedSec = min(bl.sweepSchedSec, prev.sweepSchedSec)
 			bl.sweepSchedGain = max(bl.sweepSchedGain, prev.sweepSchedGain)
+			bl.spillLoadSec = min(bl.spillLoadSec, prev.spillLoadSec)
+			bl.spillMapSec = min(bl.spillMapSec, prev.spillMapSec)
+			bl.spillMapGain = max(bl.spillMapGain, prev.spillMapGain)
 		}
 		res[name] = bl
 	}

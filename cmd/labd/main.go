@@ -41,6 +41,7 @@ func main() {
 	parallelism := flag.Int("j", 0, "worker-pool bound (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "", "simulation engine for every job: event, scan or batched")
 	batch := flag.Int("batch", 0, "sweep batch width k: run up to k same-trace measurements per streaming pass (0/1 = serial)")
+	mmapSpill := flag.Bool("mmap", true, "serve warm trace loads from read-only memory mappings (zero-copy; false = heap decode)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -48,7 +49,8 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := labd.New(labd.Config{Dir: *dir, MaxStoreBytes: *maxBytes,
-		Parallelism: *parallelism, Engine: *engine, BatchWidth: *batch})
+		Parallelism: *parallelism, Engine: *engine, BatchWidth: *batch,
+		DisableMappedSpill: !*mmapSpill})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labd:", err)
 		os.Exit(1)

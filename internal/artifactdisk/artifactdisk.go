@@ -54,6 +54,12 @@ type Key struct {
 type Stats struct {
 	Files int64 `json:"files"`
 	Bytes int64 `json:"bytes"`
+	// MappedFiles/MappedBytes cover files with at least one live mapping
+	// (LoadMapped readers that have not closed yet), including files already
+	// evicted or quarantined whose byte accounting is deferred until the
+	// last reader unmaps.
+	MappedFiles int64 `json:"mapped_files"`
+	MappedBytes int64 `json:"mapped_bytes"`
 
 	Saves       int64 `json:"saves"`
 	SaveErrors  int64 `json:"save_errors"`
@@ -63,17 +69,30 @@ type Stats struct {
 	Evicted     int64 `json:"evicted"`
 }
 
-// fileMagic identifies the artifact container format; bump on layout change
-// so stale files quarantine instead of misloading.
-const fileMagic = "LABART01"
+// Container format magics. LABART01 is the original packed container;
+// LABART02 pads the header to a 4 KiB boundary so the payload is
+// page-aligned in the file — mappable — and marks the payload
+// self-verifying (no whole-payload checksum; the payload format carries its
+// own). Bump on layout change so stale files quarantine instead of
+// misloading.
+const (
+	fileMagic        = "LABART01"
+	fileMagicAligned = "LABART02"
+)
+
+// touchInterval throttles the recency mtime touch on Load: restart-time LRU
+// reconstruction only needs mtimes to minute-level fidelity, not an
+// os.Chtimes syscall per hit.
+const touchInterval = time.Minute
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // entry is one resident artifact in the LRU index.
 type entry struct {
-	path string
-	size int64
-	elem *list.Element // position in lru (front = most recent)
+	path      string
+	size      int64
+	lastTouch time.Time     // last recency mtime write (throttled)
+	elem      *list.Element // position in lru (front = most recent)
 }
 
 // Store is the on-disk spill tier rooted at one directory.
@@ -86,6 +105,13 @@ type Store struct {
 	lru     *list.List        // of path strings
 	bytes   int64
 	files   int64
+	// Live-mapping bookkeeping: refs counts open Mappings per path, size
+	// remembers the mapped file's accounted size, and pending holds bytes
+	// of evicted/quarantined files whose release is deferred until the last
+	// reader unmaps (the pages stay resident until then).
+	mappedRefs   map[string]int
+	mappedSize   map[string]int64
+	pendingBytes map[string]int64
 
 	saves, saveErrors, loads, misses, quarantined, evicted atomic.Int64
 }
@@ -102,10 +128,13 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		return nil, fmt.Errorf("artifactdisk: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		maxBytes: maxBytes,
-		entries:  map[string]*entry{},
-		lru:      list.New(),
+		dir:          dir,
+		maxBytes:     maxBytes,
+		entries:      map[string]*entry{},
+		lru:          list.New(),
+		mappedRefs:   map[string]int{},
+		mappedSize:   map[string]int64{},
+		pendingBytes: map[string]int64{},
 	}
 	type found struct {
 		path  string
@@ -137,10 +166,18 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("artifactdisk: scan %s: %w", dir, err)
 	}
-	// Oldest first so the LRU front ends up the most recently used.
-	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	// Oldest first so the LRU front ends up the most recently used. Path is
+	// the tie-break: filesystems with 1 s mtime granularity make equal
+	// mtimes common, and without a total order the eviction sequence would
+	// differ from restart to restart.
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].mtime.Equal(all[j].mtime) {
+			return all[i].mtime.Before(all[j].mtime)
+		}
+		return all[i].path < all[j].path
+	})
 	for _, f := range all {
-		e := &entry{path: f.path, size: f.size}
+		e := &entry{path: f.path, size: f.size, lastTouch: f.mtime}
 		e.elem = s.lru.PushFront(f.path)
 		s.entries[f.path] = e
 		s.bytes += f.size
@@ -179,12 +216,7 @@ func (s *Store) pathFor(k Key) string {
 // has been quarantined and the caller should rebuild).
 func (s *Store) Load(k Key) ([]byte, bool) {
 	path := s.pathFor(k)
-	s.mu.Lock()
-	e := s.entries[path]
-	if e != nil {
-		s.lru.MoveToFront(e.elem)
-	}
-	s.mu.Unlock()
+	e, touch, now := s.hit(path)
 	if e == nil {
 		s.misses.Add(1)
 		return nil, false
@@ -201,12 +233,135 @@ func (s *Store) Load(k Key) ([]byte, bool) {
 		s.quarantinePath(path)
 		return nil, false
 	}
-	// Touch so restart-time LRU reconstruction sees the access.
-	now := time.Now()
-	os.Chtimes(path, now, now)
+	if touch {
+		os.Chtimes(path, now, now)
+	}
 	s.loads.Add(1)
 	return payload, true
 }
+
+// hit records a read hit on path: bumps LRU recency and decides whether the
+// on-disk mtime touch is due (at most once per touchInterval per file, so
+// restart-time LRU reconstruction sees accesses without a syscall per hit).
+func (s *Store) hit(path string) (e *entry, touch bool, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e = s.entries[path]
+	if e == nil {
+		return nil, false, now
+	}
+	s.lru.MoveToFront(e.elem)
+	now = time.Now()
+	if now.Sub(e.lastTouch) >= touchInterval {
+		e.lastTouch = now
+		touch = true
+	}
+	return e, touch, now
+}
+
+// LoadMapped returns a read-only memory mapping of the artifact stored
+// under k, or ok=false when the artifact is absent, held in the unmappable
+// v1 container, or the platform cannot map files — callers fall back to
+// Load. A file that fails container verification is quarantined, as in
+// Load. The caller must Close the mapping when the payload is no longer
+// referenced; the store keeps byte accounting for a mapped file alive until
+// its last reader closes, even across eviction or quarantine.
+func (s *Store) LoadMapped(k Key) (*Mapping, bool) {
+	if !mmapSupported {
+		return nil, false
+	}
+	path := s.pathFor(k)
+	e, touch, now := s.hit(path)
+	if e == nil {
+		return nil, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.forget(path)
+		}
+		return nil, false
+	}
+	defer f.Close()
+	hdr, err := readHeader(f, k)
+	if err != nil {
+		s.quarantinePath(path)
+		return nil, false
+	}
+	if !hdr.aligned {
+		return nil, false // v1 container: valid but unmappable
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false
+	}
+	if fi.Size() != hdr.payloadOff+hdr.payloadLen {
+		s.quarantinePath(path)
+		return nil, false
+	}
+	data, err := mmapFile(f, int(fi.Size()))
+	if err != nil {
+		return nil, false // capability miss, not corruption
+	}
+	if touch {
+		os.Chtimes(path, now, now)
+	}
+	s.mu.Lock()
+	s.mappedRefs[path]++
+	s.mappedSize[path] = e.size
+	s.mu.Unlock()
+	s.loads.Add(1)
+	return &Mapping{
+		s:       s,
+		path:    path,
+		data:    data,
+		payload: data[hdr.payloadOff : hdr.payloadOff+hdr.payloadLen],
+	}, true
+}
+
+// Mapping is one reader's live memory mapping of an artifact file. The
+// payload stays valid until Close; the underlying file may meanwhile be
+// evicted or quarantined (on Unix the pages survive the unlink), in which
+// case the store defers releasing the file's byte accounting until the last
+// mapping closes.
+type Mapping struct {
+	s       *Store
+	path    string
+	data    []byte
+	payload []byte
+	once    sync.Once
+}
+
+// Payload returns the mapped artifact payload. The bytes are read-only and
+// alias the page cache; writing through them faults.
+func (m *Mapping) Payload() []byte { return m.payload }
+
+// Close unmaps the file and releases the reader's reference. After the last
+// reference on an evicted or quarantined file closes, its bytes leave the
+// store's accounting.
+func (m *Mapping) Close() error {
+	var err error
+	m.once.Do(func() {
+		err = munmapFile(m.data)
+		s := m.s
+		s.mu.Lock()
+		s.mappedRefs[m.path]--
+		if s.mappedRefs[m.path] <= 0 {
+			delete(s.mappedRefs, m.path)
+			delete(s.mappedSize, m.path)
+			if p, ok := s.pendingBytes[m.path]; ok {
+				s.bytes -= p
+				delete(s.pendingBytes, m.path)
+			}
+		}
+		s.mu.Unlock()
+		m.data, m.payload = nil, nil
+	})
+	return err
+}
+
+// MapSupported reports whether the platform supports LoadMapped.
+func MapSupported() bool { return mmapSupported }
 
 // Has reports whether an artifact is resident under k, without touching its
 // recency or counting a load or miss. It is a scheduling probe — the
@@ -243,9 +398,20 @@ func (s *Store) forget(path string) bool {
 	}
 	delete(s.entries, path)
 	s.lru.Remove(e.elem)
-	s.bytes -= e.size
 	s.files--
+	s.releaseLocked(path, e.size)
 	return true
+}
+
+// releaseLocked returns size bytes to the budget — immediately when no live
+// mapping holds the file, otherwise deferred until the last Mapping closes
+// (the mapped pages genuinely stay resident until then).
+func (s *Store) releaseLocked(path string, size int64) {
+	if s.mappedRefs[path] > 0 {
+		s.pendingBytes[path] += size
+		return
+	}
+	s.bytes -= size
 }
 
 // Save stores payload under k: written to a temporary file, fsynced, then
@@ -253,6 +419,20 @@ func (s *Store) forget(path string) bool {
 // an already-present key refreshes its recency and is otherwise a no-op
 // (the store is content-addressed — equal keys hold equal payloads).
 func (s *Store) Save(k Key, payload []byte) error {
+	return s.save(k, payload, false)
+}
+
+// SaveAligned stores payload in the page-aligned LABART02 container: the
+// payload starts on a 4 KiB boundary of the file, so LoadMapped can hand it
+// out page-aligned in memory. The container carries no whole-payload
+// checksum — aligned payloads are self-verifying formats (the v2 trace
+// layout checks per-chunk CRCs), which keeps both the mapped open and the
+// heap fallback from re-hashing the full file.
+func (s *Store) SaveAligned(k Key, payload []byte) error {
+	return s.save(k, payload, true)
+}
+
+func (s *Store) save(k Key, payload []byte, aligned bool) error {
 	path := s.pathFor(k)
 	s.mu.Lock()
 	if e := s.entries[path]; e != nil {
@@ -262,13 +442,13 @@ func (s *Store) Save(k Key, payload []byte) error {
 	}
 	s.mu.Unlock()
 
-	if err := s.writeArtifact(path, k, payload); err != nil {
+	if err := s.writeArtifact(path, k, payload, aligned); err != nil {
 		s.saveErrors.Add(1)
 		return err
 	}
 	s.mu.Lock()
 	if e := s.entries[path]; e == nil {
-		e = &entry{path: path, size: artifactFileSize(k, payload)}
+		e = &entry{path: path, size: artifactFileSize(k, payload, aligned), lastTouch: time.Now()}
 		e.elem = s.lru.PushFront(path)
 		s.entries[path] = e
 		s.bytes += e.size
@@ -297,9 +477,9 @@ func (s *Store) evictLocked(keep *entry) {
 		}
 		delete(s.entries, path)
 		s.lru.Remove(back)
-		s.bytes -= e.size
 		s.files--
 		os.Remove(path)
+		s.releaseLocked(path, e.size)
 		s.evicted.Add(1)
 	}
 }
@@ -308,10 +488,17 @@ func (s *Store) evictLocked(keep *entry) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	files, bytes := s.files, s.bytes
+	mappedFiles := int64(len(s.mappedRefs))
+	var mappedBytes int64
+	for _, sz := range s.mappedSize {
+		mappedBytes += sz
+	}
 	s.mu.Unlock()
 	return Stats{
 		Files:       files,
 		Bytes:       bytes,
+		MappedFiles: mappedFiles,
+		MappedBytes: mappedBytes,
 		Saves:       s.saves.Load(),
 		SaveErrors:  s.saveErrors.Load(),
 		Loads:       s.loads.Load(),
@@ -326,17 +513,28 @@ func (s *Store) Stats() Stats {
 // Layout: magic(8) | keyLen(u32) | key JSON | payloadLen(u64) |
 // crc32c(payload)(u32) | payload. The embedded key guards against hash
 // collisions and misdirected files; the checksum guards payload integrity.
+//
+// The aligned LABART02 variant has identical fields, writes 0 in the
+// checksum slot (the payload format is self-verifying), and zero-pads the
+// header to the next 4 KiB boundary so the payload is page-aligned in the
+// file and mappable page-aligned in memory.
 
-func headerSize(keyJSON []byte) int64 {
-	return int64(8 + 4 + len(keyJSON) + 8 + 4)
+const alignPage = 4096
+
+func headerSize(keyJSON []byte, aligned bool) int64 {
+	n := int64(8 + 4 + len(keyJSON) + 8 + 4)
+	if aligned {
+		n += (alignPage - n%alignPage) % alignPage
+	}
+	return n
 }
 
-func artifactFileSize(k Key, payload []byte) int64 {
+func artifactFileSize(k Key, payload []byte, aligned bool) int64 {
 	kj, _ := json.Marshal(k)
-	return headerSize(kj) + int64(len(payload))
+	return headerSize(kj, aligned) + int64(len(payload))
 }
 
-func (s *Store) writeArtifact(path string, k Key, payload []byte) error {
+func (s *Store) writeArtifact(path string, k Key, payload []byte, aligned bool) error {
 	kj, err := json.Marshal(k)
 	if err != nil {
 		return fmt.Errorf("artifactdisk: marshal key: %w", err)
@@ -355,7 +553,11 @@ func (s *Store) writeArtifact(path string, k Key, payload []byte) error {
 		}
 	}()
 	var hdr [12]byte
-	if _, err := tmp.WriteString(fileMagic); err != nil {
+	magic := fileMagic
+	if aligned {
+		magic = fileMagicAligned
+	}
+	if _, err := tmp.WriteString(magic); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(kj)))
@@ -366,9 +568,19 @@ func (s *Store) writeArtifact(path string, k Key, payload []byte) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	if !aligned {
+		binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	}
 	if _, err := tmp.Write(hdr[:12]); err != nil {
 		return err
+	}
+	if aligned {
+		written := int64(8 + 4 + len(kj) + 12)
+		if pad := headerSize(kj, true) - written; pad > 0 {
+			if _, err := tmp.Write(make([]byte, pad)); err != nil {
+				return err
+			}
+		}
 	}
 	if _, err := tmp.Write(payload); err != nil {
 		return err
@@ -397,59 +609,95 @@ func (s *Store) writeArtifact(path string, k Key, payload []byte) error {
 	return nil
 }
 
+// artifactHeader is the verified container header of an artifact file.
+type artifactHeader struct {
+	aligned    bool  // LABART02: payload page-aligned, self-verifying
+	payloadOff int64 // file offset of the payload
+	payloadLen int64
+	crc        uint32 // whole-payload CRC32-C; meaningful only when !aligned
+}
+
+// readHeader parses and verifies the container header of either format,
+// leaving f positioned at the payload.
+func readHeader(f *os.File, want Key) (artifactHeader, error) {
+	var h artifactHeader
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return h, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	switch string(magic[:]) {
+	case fileMagic:
+	case fileMagicAligned:
+		h.aligned = true
+	default:
+		return h, fmt.Errorf("artifactdisk: bad magic %q", magic[:])
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(f, u32[:]); err != nil {
+		return h, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	keyLen := binary.LittleEndian.Uint32(u32[:])
+	if keyLen > 1<<20 {
+		return h, fmt.Errorf("artifactdisk: implausible key length %d", keyLen)
+	}
+	kj := make([]byte, keyLen)
+	if _, err := io.ReadFull(f, kj); err != nil {
+		return h, fmt.Errorf("artifactdisk: short key: %w", err)
+	}
+	var got Key
+	if err := json.Unmarshal(kj, &got); err != nil {
+		return h, fmt.Errorf("artifactdisk: corrupt key: %w", err)
+	}
+	if got != want {
+		return h, fmt.Errorf("artifactdisk: key mismatch: file holds %+v", got)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(f, u64[:]); err != nil {
+		return h, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	payloadLen := binary.LittleEndian.Uint64(u64[:])
+	if payloadLen > 1<<40 {
+		return h, fmt.Errorf("artifactdisk: implausible payload length %d", payloadLen)
+	}
+	h.payloadLen = int64(payloadLen)
+	if _, err := io.ReadFull(f, u32[:]); err != nil {
+		return h, fmt.Errorf("artifactdisk: short header: %w", err)
+	}
+	h.crc = binary.LittleEndian.Uint32(u32[:])
+	h.payloadOff = headerSize(kj, h.aligned)
+	if h.aligned {
+		if _, err := f.Seek(h.payloadOff, io.SeekStart); err != nil {
+			return h, fmt.Errorf("artifactdisk: seek payload: %w", err)
+		}
+	}
+	return h, nil
+}
+
 func readArtifact(path string, want Key) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
+	h, err := readHeader(f, want)
+	if err != nil {
+		return nil, err
 	}
-	if string(magic[:]) != fileMagic {
-		return nil, fmt.Errorf("artifactdisk: bad magic %q", magic[:])
-	}
-	var u32 [4]byte
-	if _, err := io.ReadFull(f, u32[:]); err != nil {
-		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
-	}
-	keyLen := binary.LittleEndian.Uint32(u32[:])
-	if keyLen > 1<<20 {
-		return nil, fmt.Errorf("artifactdisk: implausible key length %d", keyLen)
-	}
-	kj := make([]byte, keyLen)
-	if _, err := io.ReadFull(f, kj); err != nil {
-		return nil, fmt.Errorf("artifactdisk: short key: %w", err)
-	}
-	var got Key
-	if err := json.Unmarshal(kj, &got); err != nil {
-		return nil, fmt.Errorf("artifactdisk: corrupt key: %w", err)
-	}
-	if got != want {
-		return nil, fmt.Errorf("artifactdisk: key mismatch: file holds %+v", got)
-	}
-	var u64 [8]byte
-	if _, err := io.ReadFull(f, u64[:]); err != nil {
-		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
-	}
-	payloadLen := binary.LittleEndian.Uint64(u64[:])
-	if payloadLen > 1<<40 {
-		return nil, fmt.Errorf("artifactdisk: implausible payload length %d", payloadLen)
-	}
-	if _, err := io.ReadFull(f, u32[:]); err != nil {
-		return nil, fmt.Errorf("artifactdisk: short header: %w", err)
-	}
-	wantCRC := binary.LittleEndian.Uint32(u32[:])
-	payload := make([]byte, payloadLen)
+	payload := make([]byte, h.payloadLen)
 	if _, err := io.ReadFull(f, payload); err != nil {
 		return nil, fmt.Errorf("artifactdisk: short payload: %w", err)
 	}
-	if extra, err := f.Read(make([]byte, 1)); err != io.EOF || extra != 0 {
+	var one [1]byte
+	if extra, err := f.Read(one[:]); err != io.EOF || extra != 0 {
 		return nil, errors.New("artifactdisk: trailing bytes after payload")
 	}
-	if crc := crc32.Checksum(payload, crcTable); crc != wantCRC {
-		return nil, fmt.Errorf("artifactdisk: checksum mismatch (%08x != %08x)", crc, wantCRC)
+	// Aligned payloads are self-verifying (per-chunk CRCs inside the
+	// payload format); re-hashing the whole file here would double the cost
+	// of the heap fallback for no added integrity.
+	if !h.aligned {
+		if crc := crc32.Checksum(payload, crcTable); crc != h.crc {
+			return nil, fmt.Errorf("artifactdisk: checksum mismatch (%08x != %08x)", crc, h.crc)
+		}
 	}
 	return payload, nil
 }

@@ -175,7 +175,7 @@ func TestLRUEviction(t *testing.T) {
 	dir := t.TempDir()
 	// Budget fits roughly three of the five artifacts saved below.
 	payload := bytes.Repeat([]byte("p"), 1024)
-	one := artifactFileSize(testKey(0), payload)
+	one := artifactFileSize(testKey(0), payload, false)
 	s, err := Open(dir, 3*one+one/2)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package artifactdisk
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("artifactdisk: memory mapping unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

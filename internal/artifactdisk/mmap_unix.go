@@ -1,0 +1,29 @@
+//go:build unix && !linux
+
+package artifactdisk
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates LoadMapped; callers on other platforms fall back to
+// the heap Load path.
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and shared: the pages
+// alias the page cache, so N processes mapping one artifact hold one copy.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, errors.New("artifactdisk: cannot map empty file")
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -286,9 +286,13 @@ func (r *Runner) stage(ctx context.Context, name string, input program.InputClas
 	st Stage, plan stagePlan, compute func() (any, error)) (any, error) {
 	key := artifactKey{name: name, input: input, stage: st, fp: plan.fps[st]}
 	val, outcome, err := r.store.get(ctx, key, func() (any, error) {
-		if v, ok := r.spillLoad(key); ok {
+		if v, ok, mapped := r.spillLoad(key); ok {
 			r.observeArtifact(name, input, v)
-			r.stageCount(st).spill.Add(1)
+			sc := r.stageCount(st)
+			sc.spill.Add(1)
+			if mapped {
+				sc.mapped.Add(1)
+			}
 			r.emit(ctx, Event{Kind: EventStageSpill, Bench: name, Input: input.String(), Stage: string(st)})
 			return v, nil
 		}

@@ -105,6 +105,19 @@ type Runner struct {
 	// build order, not results.
 	sched bool
 
+	// mappedSpill enables the zero-copy mmap trace-spill path (the
+	// default; see SetMappedSpill). Like sched it is never part of a
+	// fingerprint: results are byte-identical mapped or decoded, only the
+	// load cost changes.
+	mappedSpill bool
+
+	// mappings holds the live artifact mappings whose columns back mapped
+	// traces. In-memory artifacts live for the Runner's lifetime, so their
+	// backing mappings must too; the store's deferred byte accounting
+	// handles eviction underneath a live reader.
+	mapMu    sync.Mutex
+	mappings []*artifactdisk.Mapping
+
 	obsMu sync.Mutex // serializes observer callbacks
 
 	store *artifactStore
@@ -121,6 +134,7 @@ type stageCounters struct {
 	hit    atomic.Int64 // served from a completed in-memory entry
 	shared atomic.Int64 // waited on another caller's in-flight build
 	spill  atomic.Int64 // satisfied by a disk-tier load
+	mapped atomic.Int64 // of the spill loads, served via the mmap path
 }
 
 // NewRunner creates an engine over cfg. parallelism bounds concurrent
@@ -135,6 +149,7 @@ func NewRunner(cfg Config, parallelism int, observe func(Event)) *Runner {
 		parallelism: parallelism,
 		observe:     observe,
 		sched:       true,
+		mappedSpill: true,
 		store:       newArtifactStore(),
 		costs:       newCostModel(),
 		stageStats:  make([]stageCounters, len(stageIndex)),
@@ -166,6 +181,13 @@ func (r *Runner) SetBatchWidth(k int) { r.batchWidth = k }
 // and wall-clock change. Call before issuing work; it is not synchronized
 // with in-flight sweeps.
 func (r *Runner) SetScheduling(enabled bool) { r.sched = enabled }
+
+// SetMappedSpill toggles the zero-copy mmap path for trace spill loads
+// (enabled by default). Disabled — or on platforms without mmap — warm
+// trace loads fall back to the chunk-parallel heap decode. Results are
+// byte-identical either way; only load cost and memory sharing change.
+// Call before issuing work; it is not synchronized with in-flight loads.
+func (r *Runner) SetMappedSpill(enabled bool) { r.mappedSpill = enabled }
 
 // stageIndex maps each pipeline stage to its counter slot, derived from
 // Stages() so the stage list is maintained in exactly one place.

@@ -32,6 +32,9 @@ import (
 type stageCodec struct {
 	encode func(v any) ([]byte, error)
 	decode func(name string, input program.InputClass, data []byte) (any, error)
+	// aligned routes the encoded payload through the page-aligned
+	// container (SaveAligned) so LoadMapped can serve it zero-copy.
+	aligned bool
 }
 
 func jsonCodec[T any]() stageCodec {
@@ -55,9 +58,13 @@ func jsonCodec[T any]() stageCodec {
 // exported data and go through JSON.
 var stageCodecs = map[Stage]stageCodec{
 	StageTrace: {
+		// Traces spill in the page-aligned v2 format so the warm path can
+		// mmap them; the decoder still accepts v1-era files (a populated
+		// store directory keeps working across the format bump — v1 files
+		// just load through the heap path until rewritten).
 		encode: func(v any) ([]byte, error) {
 			var buf bytes.Buffer
-			if err := v.(*trace.Trace).EncodeBinary(&buf); err != nil {
+			if err := v.(*trace.Trace).EncodeBinaryV2(&buf); err != nil {
 				return nil, err
 			}
 			return buf.Bytes(), nil
@@ -67,8 +74,13 @@ var stageCodecs = map[Stage]stageCodec{
 			if err != nil {
 				return nil, err
 			}
-			return trace.DecodeBinary(bytes.NewReader(data), bm.Build(input))
+			prog := bm.Build(input)
+			if trace.IsV2(data) {
+				return trace.DecodeBinaryV2(data, prog)
+			}
+			return trace.DecodeBinary(bytes.NewReader(data), prog)
 		},
+		aligned: true,
 	},
 	StageProfile: {
 		encode: func(v any) ([]byte, error) {
@@ -150,28 +162,73 @@ func (r *Runner) diskHas(key artifactKey) bool {
 	return r.disk.Has(diskKey(key))
 }
 
-// spillLoad tries to satisfy a stage from the disk tier. A payload that
-// passes the container checksum but fails stage decoding is quarantined —
-// deleted and counted — and the caller falls through to a cold compute.
-func (r *Runner) spillLoad(key artifactKey) (any, bool) {
+// spillLoad tries to satisfy a stage from the disk tier, reporting whether
+// the artifact was served and whether it came through the zero-copy mapped
+// path. A payload that passes container verification but fails stage
+// decoding is quarantined — deleted and counted — and the caller falls
+// through to a cold compute.
+func (r *Runner) spillLoad(key artifactKey) (v any, ok, mapped bool) {
 	if r.disk == nil {
-		return nil, false
+		return nil, false, false
 	}
 	codec, ok := stageCodecs[key.stage]
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	dk := diskKey(key)
+	if key.stage == StageTrace && r.mappedSpill {
+		if v, ok := r.spillLoadMapped(key, dk); ok {
+			return v, true, true
+		}
+		// Fall through to the heap path: the artifact may be absent, held
+		// in the unmappable v1 container, on a platform without mmap, or
+		// freshly quarantined (in which case the load below misses and the
+		// caller rebuilds).
+	}
 	data, ok := r.disk.Load(dk)
+	if !ok {
+		return nil, false, false
+	}
+	val, err := codec.decode(key.name, key.input, data)
+	if err != nil {
+		r.disk.Quarantine(dk)
+		return nil, false, false
+	}
+	return val, true, false
+}
+
+// spillLoadMapped serves a trace from a read-only mapping of its spill
+// file: container and v2 verification run once per chunk, the columns alias
+// the mapping, and the mapping is retained for the Runner's lifetime (the
+// in-memory artifact it backs lives that long too). Any verification
+// failure quarantines the file, exactly like the heap path.
+func (r *Runner) spillLoadMapped(key artifactKey, dk artifactdisk.Key) (any, bool) {
+	m, ok := r.disk.LoadMapped(dk)
 	if !ok {
 		return nil, false
 	}
-	v, err := codec.decode(key.name, key.input, data)
+	bm, err := program.ByName(key.name)
 	if err != nil {
+		m.Close()
+		return nil, false
+	}
+	tr, aliased, err := trace.MapBytes(m.Payload(), bm.Build(key.input))
+	if err != nil {
+		m.Close()
 		r.disk.Quarantine(dk)
 		return nil, false
 	}
-	return v, true
+	if !aliased {
+		// The verifier fell back to a heap copy (unaligned mapping or
+		// big-endian host): the trace is fine but does not reference the
+		// mapping, so release it now.
+		m.Close()
+		return tr, true
+	}
+	r.mapMu.Lock()
+	r.mappings = append(r.mappings, m)
+	r.mapMu.Unlock()
+	return tr, true
 }
 
 // spillSave writes a freshly built stage artifact to the disk tier,
@@ -189,6 +246,10 @@ func (r *Runner) spillSave(key artifactKey, v any) {
 	if err != nil {
 		return
 	}
+	if codec.aligned {
+		r.disk.SaveAligned(diskKey(key), data)
+		return
+	}
 	r.disk.Save(diskKey(key), data)
 }
 
@@ -201,6 +262,9 @@ type StageStoreStats struct {
 	Shared     int64 `json:"shared"`
 	Cold       int64 `json:"cold"`
 	SpillLoads int64 `json:"spill_loads"`
+	// SpillMapped counts the subset of SpillLoads served through the
+	// zero-copy mmap path (trace stage only).
+	SpillMapped int64 `json:"spill_mapped"`
 
 	// P50BuildNS / P95BuildNS are cold-build wall-clock percentiles over
 	// the stage's recent builds (a bounded window; 0 before the first cold
@@ -226,12 +290,13 @@ func (r *Runner) StoreStats() StoreStats {
 		c := &r.stageStats[i]
 		p50, p95 := r.stageLat[i].percentiles()
 		out.Stages[st] = StageStoreStats{
-			Hit:        c.hit.Load(),
-			Shared:     c.shared.Load(),
-			Cold:       c.cold.Load(),
-			SpillLoads: c.spill.Load(),
-			P50BuildNS: p50,
-			P95BuildNS: p95,
+			Hit:         c.hit.Load(),
+			Shared:      c.shared.Load(),
+			Cold:        c.cold.Load(),
+			SpillLoads:  c.spill.Load(),
+			SpillMapped: c.mapped.Load(),
+			P50BuildNS:  p50,
+			P95BuildNS:  p95,
 		}
 	}
 	out.Disk = r.DiskStats()

@@ -56,6 +56,11 @@ type Config struct {
 	// shared streaming passes in batches of up to k. Scheduling only —
 	// results and artifact fingerprints are identical to serial runs.
 	BatchWidth int
+	// DisableMappedSpill turns off the zero-copy mmap path for warm trace
+	// loads (cmd/labd's -mmap=false). The zero value keeps the default:
+	// mapped spill on, falling back to heap decode where mmap is
+	// unavailable. Results are identical either way.
+	DisableMappedSpill bool
 	// QueueLen is each event subscriber's bounded queue length
 	// (<= 0: 1024). Tests shrink it to exercise the lagging path.
 	QueueLen int
@@ -144,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 		preexec.WithBatchWidth(cfg.BatchWidth),
 		preexec.WithObserver(s.observe),
 		preexec.WithDiskStore(cfg.Dir, cfg.MaxStoreBytes),
+		preexec.WithMappedSpill(!cfg.DisableMappedSpill),
 	)
 	if err := s.lab.DiskStoreErr(); err != nil {
 		cancel()

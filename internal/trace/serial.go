@@ -231,7 +231,9 @@ func DecodeBinary(r io.Reader, prog *isa.Program) (*Trace, error) {
 			return nil, fmt.Errorf("trace: implausible overflow count %d for %d entries", cnt, n64)
 		}
 		if cnt > 0 {
-			m := make(map[int64]int64, cnt)
+			// Cap the size hint: cnt is attacker-controlled until the pairs
+			// actually parse, and a hint is only an optimization.
+			m := make(map[int64]int64, minInt64(int64(cnt), 1<<16))
 			for i := uint32(0); i < cnt; i++ {
 				k, err := readI64()
 				if err != nil {
@@ -247,7 +249,11 @@ func DecodeBinary(r io.Reader, prog *isa.Program) (*Trace, error) {
 		}
 	}
 	numChunks := (t.n + chunkLen - 1) >> chunkBits
-	t.chunks = make([]chunk, numChunks)
+	// Chunks are appended as their columns actually parse, not allocated up
+	// front: the header's entry count is attacker-controlled, and an eager
+	// make([]chunk, numChunks) would commit gigabytes before the first
+	// short-read error on a tiny hostile payload.
+	t.chunks = make([]chunk, 0, minInt64(int64(numChunks), 64))
 	buf := make([]byte, chunkLen*8)
 	for ci := 0; ci < numChunks; ci++ {
 		filled := t.n - ci<<chunkBits
@@ -280,7 +286,7 @@ func DecodeBinary(r io.Reader, prog *isa.Program) (*Trace, error) {
 				return nil, fmt.Errorf("trace: chunk %d holds pc %d outside program (%d insts)", ci, pc, len(prog.Insts))
 			}
 		}
-		t.chunks[ci] = c
+		t.chunks = append(t.chunks, c)
 	}
 	// The payload must end exactly at the last column.
 	if _, err := br.ReadByte(); err != io.EOF {

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// encodeV2 encodes tr and returns the payload bytes. Heap slices of this
+// size are at least 8-byte aligned, so MapBytes on the result exercises the
+// true alias path.
+func encodeV2(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinaryV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSerialV2RoundTripHeap(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	data := encodeV2(t, tr)
+	if !IsV2(data) {
+		t.Fatal("encoded payload does not carry the v2 magic")
+	}
+	got, err := DecodeBinaryV2(data, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+
+	// Deterministic bytes: re-encoding the decoded trace yields identical
+	// output.
+	data2 := encodeV2(t, got)
+	if !bytes.Equal(data, data2) {
+		t.Error("re-encoding a v2-decoded trace changed the bytes")
+	}
+}
+
+func TestSerialV2RoundTripMapped(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	data := encodeV2(t, tr)
+	got, aliased, err := MapBytes(data, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostLittleEndian && !aliased {
+		t.Fatal("MapBytes did not alias an aligned buffer on a little-endian host")
+	}
+	tracesEqual(t, tr, got)
+
+	// A mapped trace must round-trip through both encoders: its columns
+	// alias read-only bytes but are otherwise ordinary slices.
+	var v1a, v1b bytes.Buffer
+	if err := tr.EncodeBinary(&v1a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.EncodeBinary(&v1b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1a.Bytes(), v1b.Bytes()) {
+		t.Error("v1 encoding of a mapped trace differs from the original")
+	}
+}
+
+func TestSerialV2MisalignedFallsBackToHeap(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	data := encodeV2(t, tr)
+	// Shift the payload off 8-byte alignment: aliasing is impossible but
+	// that is a capability miss, not corruption — the decode must succeed.
+	shifted := make([]byte, len(data)+1)
+	copy(shifted[1:], data)
+	got, aliased, err := MapBytes(shifted[1:], prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased {
+		t.Fatal("MapBytes claims to alias a misaligned buffer")
+	}
+	tracesEqual(t, tr, got)
+}
+
+func TestSerialV2EscapePath(t *testing.T) {
+	prog := serialProgram(t)
+	it := Interpreter{DeltaLimit: 2}
+	tr, err := it.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.over1) == 0 && len(tr.over2) == 0 {
+		t.Fatal("escape-path trace produced no overflow entries")
+	}
+	data := encodeV2(t, tr)
+	heap, err := DecodeBinaryV2(data, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, heap)
+	mapped, _, err := MapBytes(data, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, mapped)
+}
+
+func TestSerialV2Corruption(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	pristine := encodeV2(t, tr)
+
+	cases := []struct {
+		name    string
+		mutate  func(data []byte) []byte
+		wantErr string
+	}{
+		{"header magic flip", func(d []byte) []byte { d[0] ^= 0xff; return d }, "bad magic"},
+		{"stale v1 magic", func(d []byte) []byte { copy(d, serialMagic); return d }, "bad magic"},
+		{"header field flip", func(d []byte) []byte { d[9] ^= 1; return d }, "header crc"},
+		{"chunk bit flip", func(d []byte) []byte { d[v2Page+17] ^= 1; return d }, "crc mismatch"},
+		{"padding bit flip", func(d []byte) []byte {
+			// Last byte of the pc segment's padding, inside the CRC'd region.
+			d[v2Page+4*tr.Len()+int(v2PadLen(int64(4*tr.Len())))-1] ^= 1
+			return d
+		}, "crc mismatch"},
+		{"footer filled flip", func(d []byte) []byte {
+			// The footer's filled/minPC/maxPC words are covered by the chunk
+			// CRC, so a flip there reads as chunk corruption.
+			off := int(v2ChunkRegion(int64(tr.Len())))
+			d[off+4] ^= 1
+			return d
+		}, "crc mismatch"},
+		{"footer pc range forged", func(d []byte) []byte {
+			// Rewrite maxPC past the program and recompute the chunk CRC, so
+			// only the O(1) range check can catch it.
+			region := int(v2ChunkRegion(int64(tr.Len()))) - v2Page
+			footer := d[v2Page+region:]
+			serialOrder.PutUint32(footer[12:], 1<<20)
+			crc := crc32.Checksum(d[v2Page:v2Page+region], crcCastagnoli)
+			crc = crc32.Update(crc, crcCastagnoli, footer[4:16])
+			serialOrder.PutUint32(footer, crc)
+			return d
+		}, "outside program"},
+		{"truncated tail", func(d []byte) []byte { return d[:len(d)-3] }, "layout wants"},
+		{"truncated header", func(d []byte) []byte { return d[:100] }, "shorter than header"},
+		{"trailer flip", func(d []byte) []byte { d[len(d)-1] ^= 1; return d }, "trailer crc"},
+		{"empty", func(d []byte) []byte { return nil }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), pristine...))
+			if _, err := DecodeBinaryV2(data, prog); err == nil {
+				t.Fatal("heap decode accepted corrupted payload")
+			} else if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("heap decode error %q does not mention %q", err, tc.wantErr)
+			}
+			if _, _, err := MapBytes(data, prog); err == nil {
+				t.Fatal("MapBytes accepted corrupted payload")
+			}
+		})
+	}
+}
+
+func TestSerialV2WrongProgram(t *testing.T) {
+	prog := serialProgram(t)
+	tr := MustRun(prog)
+	data := encodeV2(t, tr)
+	other := sumLoop(8, []int64{1, 2, 3, 4})
+	if _, err := DecodeBinaryV2(data, other); err == nil {
+		t.Fatal("heap decode accepted a payload encoded for a different program")
+	}
+	if _, _, err := MapBytes(data, other); err == nil {
+		t.Fatal("MapBytes accepted a payload encoded for a different program")
+	}
+}

@@ -366,6 +366,18 @@ func WithBatchWidth(k int) Option { return func(l *Lab) { l.batchWidth = k } }
 // artifact fingerprint.
 func WithScheduling(enabled bool) Option { return func(l *Lab) { l.scheduling = &enabled } }
 
+// WithMappedSpill toggles the zero-copy mmap path for warm trace loads
+// from a disk store (default: enabled). Enabled, a spilled trace in the
+// page-aligned v2 format is memory-mapped read-only and its columns alias
+// the mapping directly — per-chunk CRC and PC-range verification at open,
+// no decode, no copy, and N processes sharing one store directory share
+// one page-cache copy. Disabled — or on platforms without mmap — warm
+// trace loads fall back to the chunk-parallel v2 heap decode (still ahead
+// of the serial v1 path). Results are byte-identical either way; like
+// batch width and scheduling, the switch never enters an artifact
+// fingerprint.
+func WithMappedSpill(enabled bool) Option { return func(l *Lab) { l.mappedSpill = &enabled } }
+
 // WithDiskStore attaches an on-disk content-addressed spill tier at dir
 // behind the engine's in-memory artifact store, with a byte budget
 // (maxBytes <= 0: unlimited; least-recently-used artifacts are evicted over
@@ -401,6 +413,7 @@ type Lab struct {
 	observe     func(Event)
 	batchWidth  int
 	scheduling  *bool // nil: default (enabled)
+	mappedSpill *bool // nil: default (enabled)
 	run         *experiments.Runner
 	cfgErr      error
 
@@ -423,6 +436,9 @@ func New(opts ...Option) *Lab {
 	l.run.SetBatchWidth(l.batchWidth)
 	if l.scheduling != nil {
 		l.run.SetScheduling(*l.scheduling)
+	}
+	if l.mappedSpill != nil {
+		l.run.SetMappedSpill(*l.mappedSpill)
 	}
 	if l.diskSet {
 		l.diskErr = l.run.AttachDiskStore(l.diskDir, l.diskMax)
