@@ -1,0 +1,60 @@
+// labvet checks the repo's four static invariants over the given package
+// patterns (default ./...): determinism (no order-sensitive map iteration in
+// render/fingerprint/event paths, no wall clock or math/rand in simulation
+// packages), hot-path allocation freedom (//lab:hotpath), fingerprint
+// coverage of stage Config fields, and panic/error hygiene on persistence
+// paths. Findings print in vet format; -json emits them machine-readably.
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+//
+// See EXPERIMENTS.md "Static invariants" for the rules, the //lab:hotpath
+// and //lab:nofp annotations, and the //lab:allow waiver syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: labvet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	loader, err := lint.NewLoader(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.DefaultPolicy())
+	if findings == nil {
+		findings = []lint.Finding{} // a clean tree is [], not null
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "labvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -59,6 +59,7 @@ type Cache struct {
 // indicates a configuration bug.
 func New(cfg Config) *Cache {
 	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 || cfg.Sets() <= 0 {
+		//lab:allow(panicpath: constructor precondition; a degenerate geometry is a configuration bug caught at sweep setup, never at run time)
 		panic("cache: invalid geometry")
 	}
 	n := cfg.Sets() * cfg.Ways
@@ -187,6 +188,7 @@ func log2(n int) int {
 		b++
 	}
 	if 1<<uint(b) != n {
+		//lab:allow(panicpath: reachable only via New, whose geometry check already enforces power-of-two sets)
 		panic("cache: size not a power of two")
 	}
 	return b

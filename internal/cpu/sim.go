@@ -334,6 +334,8 @@ func (s *Simulator) installPThreads(pthreads []*PThread) {
 }
 
 // Run simulates to completion and returns the result.
+//
+//lab:hotpath
 func (s *Simulator) Run() (*Result, error) {
 	return s.RunContext(context.Background())
 }
@@ -347,6 +349,8 @@ const ctxCheckMask = 1<<12 - 1
 // cancelled mid-simulation. The returned Result borrows simulator-owned
 // memory; it is valid until the simulator's next Reset (Clone it to keep
 // it longer).
+//
+//lab:hotpath
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	if s.ev == nil {
 		return s.runScan(ctx)
@@ -357,6 +361,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 // noCommitLimit aborts a run with no forward progress (deadlock guard).
 const noCommitLimit = 1_000_000
 
+//lab:hotpath
 func (s *Simulator) done() bool {
 	return s.fetchIdx >= s.n && s.fqLen == 0 && s.robLen == 0
 }
@@ -368,6 +373,7 @@ func (s *Simulator) maxCycles() int64 {
 	return defaultMaxCycles
 }
 
+//lab:hotpath
 func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.trPC(int(d))] }
 
 // Trace-column accessors for the pipeline stages: reads go through the
@@ -376,6 +382,7 @@ func (s *Simulator) inst(d int32) isa.Inst { return s.prog.Insts[s.trPC(int(d))]
 // trace's chunked accessors for serial runs. Both paths return identical
 // values, so engine results do not depend on how an instance is driven.
 
+//lab:hotpath
 func (s *Simulator) trPC(i int) int32 {
 	if v := s.vw; v != nil {
 		return v.PC[i]
@@ -383,6 +390,7 @@ func (s *Simulator) trPC(i int) int32 {
 	return s.tr.PC(i)
 }
 
+//lab:hotpath
 func (s *Simulator) trAddr(i int) int64 {
 	if v := s.vw; v != nil {
 		return v.Addr[i]
@@ -390,6 +398,7 @@ func (s *Simulator) trAddr(i int) int64 {
 	return s.tr.Addr(i)
 }
 
+//lab:hotpath
 func (s *Simulator) trVal(i int) int64 {
 	if v := s.vw; v != nil {
 		return v.Val[i]
@@ -397,6 +406,7 @@ func (s *Simulator) trVal(i int) int64 {
 	return s.tr.Val(i)
 }
 
+//lab:hotpath
 func (s *Simulator) trProd1(i int) int64 {
 	if v := s.vw; v != nil {
 		return v.Prod1[i]
@@ -404,6 +414,7 @@ func (s *Simulator) trProd1(i int) int64 {
 	return s.tr.Prod1(i)
 }
 
+//lab:hotpath
 func (s *Simulator) trProd2(i int) int64 {
 	if v := s.vw; v != nil {
 		return v.Prod2[i]
@@ -411,6 +422,7 @@ func (s *Simulator) trProd2(i int) int64 {
 	return s.tr.Prod2(i)
 }
 
+//lab:hotpath
 func (s *Simulator) trTaken(i int) bool {
 	if v := s.vw; v != nil {
 		return v.Taken[i]
@@ -420,6 +432,8 @@ func (s *Simulator) trTaken(i int) bool {
 
 // trFlags returns the entry's static-predicate byte (isa.Inst.Flags); pc
 // must be the entry's static index, already loaded by the caller.
+//
+//lab:hotpath
 func (s *Simulator) trFlags(i int, pc int32) uint8 {
 	if v := s.vw; v != nil {
 		return v.Flags[i]
@@ -429,6 +443,8 @@ func (s *Simulator) trFlags(i int, pc int32) uint8 {
 
 // trFlagsAt is trFlags for callers that have not already loaded the
 // entry's PC.
+//
+//lab:hotpath
 func (s *Simulator) trFlagsAt(i int) uint8 {
 	if v := s.vw; v != nil {
 		return v.Flags[i]
@@ -437,6 +453,8 @@ func (s *Simulator) trFlagsAt(i int) uint8 {
 }
 
 // trLat returns the entry's functional-unit latency (isa.Inst.ExecLatency).
+//
+//lab:hotpath
 func (s *Simulator) trLat(i int, pc int32) uint8 {
 	if v := s.vw; v != nil {
 		return v.Lat[i]
@@ -446,6 +464,7 @@ func (s *Simulator) trLat(i int, pc int32) uint8 {
 
 // ---------------------------------------------------------------- commit --
 
+//lab:hotpath
 func (s *Simulator) commitStage() int {
 	committed := 0
 	for s.robLen > 0 && committed < s.cfg.CommitWidth {
@@ -478,6 +497,8 @@ func (s *Simulator) commitStage() int {
 // attributeCycle classifies this cycle for the CPI-stack breakdown and
 // returns the category (the event engine attributes whole quiescent spans
 // to the same category in one step).
+//
+//lab:hotpath
 func (s *Simulator) attributeCycle(committed int) StallCategory {
 	var cat StallCategory
 	switch {
@@ -506,6 +527,7 @@ func (s *Simulator) attributeCycle(committed int) StallCategory {
 
 // ----------------------------------------------------------------- issue --
 
+//lab:hotpath
 func (s *Simulator) ready(prod int64) bool {
 	if prod == trace.NoProducer {
 		return true
@@ -518,6 +540,8 @@ func (s *Simulator) ready(prod int64) bool {
 // required port budget is exhausted or the MSHR file rejected the access;
 // the caller keeps the instruction in the ready set and retries next cycle.
 // mshrFull reports the rejection case.
+//
+//lab:hotpath
 func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, mshrFull bool) {
 	pc := s.trPC(int(d))
 	fl := s.trFlags(int(d), pc)
@@ -573,6 +597,8 @@ func (s *Simulator) issueMain(d int32, loadBudget, storeBudget *int) (issued, ms
 // issuePctx runs the in-order p-thread issue pass with the bandwidth left
 // over from the main thread, returning whether anything issued or freed and
 // whether an MSHR rejection forces a cycle-by-cycle retry.
+//
+//lab:hotpath
 func (s *Simulator) issuePctx(issueBudget, loadBudget *int) (active, mshrFull bool) {
 	if s.liveCtxs == 0 {
 		return false, false
@@ -634,6 +660,7 @@ func (s *Simulator) issuePctx(issueBudget, loadBudget *int) (active, mshrFull bo
 	return active, mshrFull
 }
 
+//lab:hotpath
 func (s *Simulator) pdepReady(ctx *pctx, d depRef) bool {
 	switch d.kind {
 	case depNone:
@@ -645,6 +672,7 @@ func (s *Simulator) pdepReady(ctx *pctx, d depRef) bool {
 	}
 }
 
+//lab:hotpath
 func (s *Simulator) freePctxRS(ctx *pctx) bool {
 	freed := false
 	for j := ctx.freed; j < ctx.issued; j++ {
@@ -661,6 +689,7 @@ func (s *Simulator) freePctxRS(ctx *pctx) bool {
 	return freed
 }
 
+//lab:hotpath
 func (s *Simulator) maybeRelease(ctx *pctx) {
 	// All issuable body instructions (everything before an abort point) have
 	// issued, completed and returned their resources: the context retires.
@@ -672,6 +701,7 @@ func (s *Simulator) maybeRelease(ctx *pctx) {
 	}
 }
 
+//lab:hotpath
 func (s *Simulator) creditPrefetch(spawnID int32, partial bool) {
 	stat := &s.pthStats[s.spawnStatic[spawnID]]
 	if partial {
@@ -690,6 +720,7 @@ func (s *Simulator) creditPrefetch(spawnID int32, partial bool) {
 
 // -------------------------------------------------------------- dispatch --
 
+//lab:hotpath
 func (s *Simulator) dispatchStage() bool {
 	active := false
 	budget := s.cfg.DispatchWidth
@@ -790,6 +821,8 @@ func (s *Simulator) dispatchStage() bool {
 
 // spawn starts an instance of installed p-thread ti on a free context, if
 // any.
+//
+//lab:hotpath
 func (s *Simulator) spawn(ti int32) {
 	pt := s.pthreads[ti]
 	si := s.statOf[ti]
@@ -832,6 +865,7 @@ func (s *Simulator) spawn(ti int32) {
 
 // ----------------------------------------------------------------- fetch --
 
+//lab:hotpath
 func (s *Simulator) fetchStage() bool {
 	// Single i-cache port: an eligible p-thread block fetch displaces the
 	// main thread this cycle (DDMT gives latency-critical p-threads fetch
@@ -902,6 +936,8 @@ func (s *Simulator) fetchStage() bool {
 
 // pthFetch performs at most one p-thread block fetch, returning whether the
 // i-cache port was consumed.
+//
+//lab:hotpath
 func (s *Simulator) pthFetch() bool {
 	nctx := len(s.ctxs)
 	if nctx == 0 || s.liveCtxs == 0 {

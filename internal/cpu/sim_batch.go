@@ -128,6 +128,8 @@ func (b *BatchSimulator) Run() ([]*Result, []error, error) {
 // batch-level error is non-nil only for whole-batch aborts (context
 // cancellation), in which case the slices are nil. Returned slices and
 // Results borrow batch-owned memory, valid until the next Reset.
+//
+//lab:hotpath
 func (b *BatchSimulator) RunContext(ctx context.Context) ([]*Result, []error, error) {
 	if b.k == 0 {
 		return nil, nil, fmt.Errorf("cpu: batch not reset")

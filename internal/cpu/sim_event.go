@@ -96,6 +96,8 @@ func (s *Simulator) runEvent(ctx context.Context) (*Result, error) {
 // Result. BatchSimulator uses this to advance K instances chunk-window by
 // chunk-window over one streaming pass of the trace columns. The caller
 // owns finalize; a completed run (s.done()) must be finalized exactly once.
+//
+//lab:hotpath
 func (s *Simulator) runEventUntil(ctx context.Context, stopFetch int) error {
 	maxCycles := s.maxCycles()
 	lastCommit := s.lastCommit
@@ -158,6 +160,8 @@ func (s *Simulator) runEventUntil(ctx context.Context, stopFetch int) error {
 // produce no pipeline activity is still skippable: every consequence of a
 // completion (station free, commit, wakeup issue) registers as activity in
 // the stage that performs it.
+//
+//lab:hotpath
 func (s *Simulator) processEvents() {
 	ev := s.ev
 	ev.popBuf = ev.cal.pop(s.now, ev.popBuf[:0])
@@ -187,6 +191,8 @@ func (s *Simulator) processEvents() {
 // watch subscribes consumer d to producer prod's completion. It returns
 // false without subscribing when the operand is already available (no
 // producer, or the producer has issued and completed).
+//
+//lab:hotpath
 func (s *Simulator) watch(prod int64, d int32) bool {
 	if prod == trace.NoProducer {
 		return false
@@ -211,6 +217,8 @@ func (s *Simulator) watch(prod int64, d int32) bool {
 
 // insertSorted places d into a queue kept in ascending dynamic order (issue
 // priority = ROB order, matching the reference scan).
+//
+//lab:hotpath
 func insertSorted(q []int32, d int32) []int32 {
 	lo, hi := 0, len(q)
 	for lo < hi {
@@ -227,8 +235,10 @@ func insertSorted(q []int32, d int32) []int32 {
 	return q
 }
 
+//lab:hotpath
 func (s *Simulator) insertReady(d int32) { s.ev.readyQ = insertSorted(s.ev.readyQ, d) }
 
+//lab:hotpath
 func (s *Simulator) insertUnfreed(d int32) { s.ev.unfreedQ = insertSorted(s.ev.unfreedQ, d) }
 
 // issueStageEvent performs one cycle of issue under the event engine: a
@@ -238,6 +248,8 @@ func (s *Simulator) insertUnfreed(d int32) { s.ev.unfreedQ = insertSorted(s.ev.u
 // whether anything issued, freed, or hit an MSHR rejection (a rejection
 // forces cycle-by-cycle retry, because every retry re-probes the stateful
 // hierarchy exactly as the reference engine does).
+//
+//lab:hotpath
 func (s *Simulator) issueStageEvent() bool {
 	ev := s.ev
 	active := false
@@ -335,6 +347,8 @@ func (s *Simulator) issueStageEvent() bool {
 // p-thread block becoming fetchable/dispatchable. Resource-blocked agents
 // (ROB/RS/registers full, MSHR-rejected loads) are unblocked only by one of
 // these events, so the minimum is exact.
+//
+//lab:hotpath
 func (s *Simulator) nextWakeAt() int64 {
 	next := s.ev.cal.nextAt(s.now)
 	if s.fqLen > 0 {

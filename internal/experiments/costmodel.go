@@ -19,6 +19,7 @@ import (
 	"math/bits"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"repro/internal/program"
@@ -195,9 +196,20 @@ func (m *costModel) flush() {
 		return
 	}
 	f := costModelFile{Sizes: make(map[string]int64, len(m.sizes))}
+	// Sorted observations so the persisted bytes are identical for identical
+	// models, regardless of map iteration order (the Sizes map is sorted by
+	// encoding/json itself).
+	obs := make([]costObs, 0, len(m.ewma))
 	for k, sec := range m.ewma {
-		f.EWMA = append(f.EWMA, costObs{Stage: k.Stage, Class: k.Class, Sec: sec})
+		obs = append(obs, costObs{Stage: k.Stage, Class: k.Class, Sec: sec})
 	}
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Stage != obs[j].Stage {
+			return obs[i].Stage < obs[j].Stage
+		}
+		return obs[i].Class < obs[j].Class
+	})
+	f.EWMA = obs
 	for k, n := range m.sizes {
 		f.Sizes[k] = n
 	}

@@ -202,6 +202,7 @@ var stageIndex = func() map[Stage]int {
 func (r *Runner) stageCount(st Stage) *stageCounters {
 	i, ok := stageIndex[st]
 	if !ok {
+		//lab:allow(panicpath: internal invariant; every Stage constant is in stageIndex, so a miss is a programming error in this package)
 		panic(fmt.Sprintf("experiments: unknown pipeline stage %q", st))
 	}
 	return &r.stageStats[i]
@@ -265,6 +266,7 @@ func (l *latencyReservoir) percentiles() (p50, p95 int64) {
 func (r *Runner) stageLatency(st Stage) *latencyReservoir {
 	i, ok := stageIndex[st]
 	if !ok {
+		//lab:allow(panicpath: internal invariant; every Stage constant is in stageIndex, so a miss is a programming error in this package)
 		panic(fmt.Sprintf("experiments: unknown pipeline stage %q", st))
 	}
 	return &r.stageLat[i]

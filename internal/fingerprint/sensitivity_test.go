@@ -1,0 +1,128 @@
+package fingerprint_test
+
+// Fingerprint sensitivity: every field of every stage Config struct must
+// move the fingerprint when it changes, or two distinct configurations
+// would share one content-addressed cache key and the artifact store would
+// serve stale results. The test enumerates the fields by reflection —
+// adding a field to any config automatically extends the test — and
+// complements labvet's static fpcover analyzer, which proves each field
+// reaches Fingerprint(); this proves the encoding actually distinguishes it.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/critpath"
+	"repro/internal/energy"
+	"repro/internal/profile"
+	"repro/internal/program/gen"
+	"repro/internal/pthsel"
+	"repro/internal/slicer"
+)
+
+type fingerprinter interface {
+	Fingerprint() (string, error)
+}
+
+// leaf is one mutable scalar field, addressed by its index chain through
+// nested structs.
+type leaf struct {
+	path  string
+	index []int
+}
+
+func leaves(t *testing.T, typ reflect.Type, prefix string, idx []int) []leaf {
+	t.Helper()
+	var out []leaf
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		ix := append(append([]int{}, idx...), i)
+		if !f.IsExported() {
+			t.Fatalf("%s%s: unexported config field; the whole-value JSON fingerprint would skip it", prefix, f.Name)
+		}
+		if f.Type.Kind() == reflect.Struct {
+			out = append(out, leaves(t, f.Type, prefix+f.Name+".", ix)...)
+			continue
+		}
+		out = append(out, leaf{path: prefix + f.Name, index: ix})
+	}
+	return out
+}
+
+// mutate perturbs one scalar field in place. Deltas are chosen to survive
+// normalization (gen.Spec rounds WorkingSet to a power of two and maps zero
+// values to family defaults, so baselines below use nonzero, non-default
+// values and mutations only move away from them).
+func mutate(t *testing.T, path string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 7)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		t.Fatalf("%s: unsupported config field kind %s; extend the sensitivity test", path, v.Kind())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  fingerprinter
+	}{
+		{"slicer.Config", slicer.DefaultConfig()},
+		{"profile.Config", profile.Config{
+			L1D:           cache.Config{SizeBytes: 16 << 10, Ways: 2, BlockBytes: 64, HitLatency: 2},
+			L2:            cache.Config{SizeBytes: 256 << 10, Ways: 4, BlockBytes: 64, HitLatency: 12},
+			StrideEntries: 16,
+			StrideDegree:  2,
+		}},
+		{"critpath.Config", critpath.Config{
+			Width: 6, ROBSize: 128, MispredPen: 10,
+			LatL1: 2, LatL2: 14, LatMem: 214, BusOcc: 16,
+		}},
+		{"pthsel.DeriveConfig", pthsel.DeriveConfig{
+			BWSEQproc: 6, MissLat: 214,
+			LatL1: 2, LatL2: 14, LatMem: 214,
+			Energy:    energy.DefaultParams(),
+			MinDCptcm: 32,
+		}},
+		{"gen.Spec", gen.Spec{
+			Family: gen.PointerChase, Seed: 3, WorkingSet: 1 << 14,
+			Depth: 100, ProblemLoads: 2, BranchMix: 30, ILP: 3,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := tc.cfg.Fingerprint()
+			if err != nil {
+				t.Fatalf("baseline fingerprint: %v", err)
+			}
+			again, err := tc.cfg.Fingerprint()
+			if err != nil || again != base {
+				t.Fatalf("fingerprint not stable: %q vs %q (err %v)", base, again, err)
+			}
+			typ := reflect.TypeOf(tc.cfg)
+			for _, lf := range leaves(t, typ, "", nil) {
+				cp := reflect.New(typ).Elem()
+				cp.Set(reflect.ValueOf(tc.cfg))
+				mutate(t, lf.path, cp.FieldByIndex(lf.index))
+				got, err := cp.Interface().(fingerprinter).Fingerprint()
+				if err != nil {
+					t.Errorf("%s mutated: fingerprint error: %v", lf.path, err)
+					continue
+				}
+				if got == base {
+					t.Errorf("mutating %s did not change the fingerprint %q; the field is not (or not distinguishably) encoded", lf.path, base)
+				}
+			}
+		})
+	}
+}

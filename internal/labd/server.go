@@ -228,6 +228,7 @@ func (j *job) publish(replayLen int, line labapi.StreamLine) {
 		j.lines = append([]json.RawMessage(nil), j.lines[drop:]...)
 		j.lost += int64(drop)
 	}
+	//lab:allow(maprange: per-subscriber fan-out of one already-ordered line; every subscriber receives the same stream and cross-subscriber delivery order is unobservable)
 	for sub := range j.subs {
 		select {
 		case sub.ch <- raw:
@@ -249,6 +250,7 @@ func (j *job) finish(replayLen int, state labapi.JobState, errMsg string, final 
 	j.state = state
 	j.errMsg = errMsg
 	j.finished = true
+	//lab:allow(maprange: closing distinct subscriber queues commutes; no subscriber observes the order)
 	for sub := range j.subs {
 		close(sub.ch)
 	}
@@ -387,22 +389,29 @@ func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	return j
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+// snapshotJobs collects every job sorted by ID (j1, j2, ...: numeric suffix
+// order), so listings and stats render identically regardless of the jobs
+// map's iteration order.
+func (s *Server) snapshotJobs() []*job {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool {
+		return len(jobs[a].id) < len(jobs[b].id) ||
+			(len(jobs[a].id) == len(jobs[b].id) && jobs[a].id < jobs[b].id)
+	})
+	return jobs
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.snapshotJobs()
 	out := make([]labapi.Job, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.snapshot()
 	}
-	// Job IDs are j1, j2, ...: sort by numeric suffix for stable listings.
-	sort.Slice(out, func(a, b int) bool {
-		return len(out[a].ID) < len(out[b].ID) ||
-			(len(out[a].ID) == len(out[b].ID) && out[a].ID < out[b].ID)
-	})
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -438,20 +447,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
-	}
-	s.mu.Unlock()
+	jobs := s.snapshotJobs()
 	stats := labapi.Stats{Jobs: make([]labapi.Job, len(jobs)), Store: s.lab.StoreStats()}
 	for i, j := range jobs {
 		stats.Jobs[i] = j.snapshot()
 	}
-	sort.Slice(stats.Jobs, func(a, b int) bool {
-		return len(stats.Jobs[a].ID) < len(stats.Jobs[b].ID) ||
-			(len(stats.Jobs[a].ID) == len(stats.Jobs[b].ID) && stats.Jobs[a].ID < stats.Jobs[b].ID)
-	})
 	writeJSON(w, http.StatusOK, stats)
 }
 

@@ -1,0 +1,382 @@
+// The determinism analyzers. The repo's headline guarantee is byte-identical
+// Results and reports across engines, trace variants and daemon restarts;
+// the two classic ways Go code silently breaks that are iterating a map in
+// an output path and reading wall-clock time (or math/rand) inside the
+// simulation kernel. maprange checks the first over every function reachable
+// from a rendering/fingerprinting/event-emission root; walltime bans the
+// second from the simulation packages outright.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// ---------------------------------------------------------------- maprange --
+
+type declInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	id   string
+	root string // name of the first root this decl was reached from
+}
+
+// analyzeMapRange flags map iterations whose bodies are order-sensitive in
+// any function reachable from a determinism root. Reachability is a static
+// over-approximation: direct calls and concrete method calls are followed
+// exactly; a call through an interface method conservatively reaches every
+// module method of that name; function values referenced anywhere in a body
+// count as called.
+func analyzeMapRange(pkgs []*Package, pol Policy) []Finding {
+	index := map[string]*declInfo{}
+	byName := map[string][]*declInfo{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				di := &declInfo{pkg: p, decl: fd, id: funcID(fn)}
+				index[di.id] = di
+				byName[fd.Name.Name] = append(byName[fd.Name.Name], di)
+			}
+		}
+	}
+
+	// BFS from the roots over the reference graph.
+	var queue []*declInfo
+	seen := map[string]bool{}
+	enqueue := func(d *declInfo, root string) {
+		if d == nil || seen[d.id] {
+			return
+		}
+		seen[d.id] = true
+		d.root = root
+		queue = append(queue, d)
+	}
+	// Deterministic root order for stable "reachable from" attribution.
+	ids := make([]string, 0, len(index))
+	for id := range index {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := index[id]
+		if pol.isRenderPackage(d.pkg.Path) || pol.isRootName(d.decl.Name.Name) {
+			enqueue(d, d.decl.Name.Name)
+		}
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := d.pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				for _, cand := range byName[fn.Name()] {
+					enqueue(cand, d.root)
+				}
+				return true
+			}
+			enqueue(index[funcID(fn)], d.root)
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, id := range ids {
+		d := index[id]
+		if !seen[d.id] {
+			continue
+		}
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := d.pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveLoop(d.pkg, d.decl, rs) {
+				return true
+			}
+			d.pkg.report(&out, "maprange", rs.Pos(),
+				"map iteration with order-sensitive body in %s (reachable from determinism root %s); iterate sorted keys or add //lab:allow(maprange: reason)",
+				d.decl.Name.Name, d.root)
+			return true
+		})
+	}
+	return out
+}
+
+// orderInsensitiveLoop reports whether a map-range body only performs
+// iteration-order-independent work: inserts into maps, commutative integer
+// accumulation, writes to loop-local state, and appends to slices that the
+// function sorts after the loop. Anything else — emitting output, appending
+// without a later sort, assigning last-writer-wins state — is order-
+// sensitive.
+func orderInsensitiveLoop(p *Package, decl *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	locals := map[types.Object]bool{}
+	ast.Inspect(rs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	return stmtsOrderInsensitive(p, decl, rs, rs.Body.List, locals)
+}
+
+func stmtsOrderInsensitive(p *Package, decl *ast.FuncDecl, rs *ast.RangeStmt, stmts []ast.Stmt, locals map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !stmtOrderInsensitive(p, decl, rs, s, locals) {
+			return false
+		}
+	}
+	return true
+}
+
+func stmtOrderInsensitive(p *Package, decl *ast.FuncDecl, rs *ast.RangeStmt, s ast.Stmt, locals map[types.Object]bool) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return assignOrderInsensitive(p, decl, rs, st, locals)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(p, st.X)
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK
+	case *ast.BlockStmt:
+		return stmtsOrderInsensitive(p, decl, rs, st.List, locals)
+	case *ast.IfStmt:
+		if st.Init != nil && !stmtOrderInsensitive(p, decl, rs, st.Init, locals) {
+			return false
+		}
+		if !stmtsOrderInsensitive(p, decl, rs, st.Body.List, locals) {
+			return false
+		}
+		return st.Else == nil || stmtOrderInsensitive(p, decl, rs, st.Else, locals)
+	case *ast.ForStmt:
+		if st.Init != nil && !stmtOrderInsensitive(p, decl, rs, st.Init, locals) {
+			return false
+		}
+		if st.Post != nil && !stmtOrderInsensitive(p, decl, rs, st.Post, locals) {
+			return false
+		}
+		return stmtsOrderInsensitive(p, decl, rs, st.Body.List, locals)
+	case *ast.RangeStmt:
+		return stmtsOrderInsensitive(p, decl, rs, st.Body.List, locals)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if !stmtsOrderInsensitive(p, decl, rs, cc.Body, locals) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		// Only the delete builtin is a known-commutative statement call.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, ok := p.Info.Uses[id].(*types.Builtin); ok && id.Name == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		// "Found one, return a fixed answer" is deterministic; returning
+		// the iteration's key/value or loop-local state is not.
+		for _, e := range st.Results {
+			sensitive := false
+			ast.Inspect(e, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && locals[p.Info.Uses[id]] {
+					sensitive = true
+				}
+				return !sensitive
+			})
+			if sensitive {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func assignOrderInsensitive(p *Package, decl *ast.FuncDecl, rs *ast.RangeStmt, st *ast.AssignStmt, locals map[types.Object]bool) bool {
+	if st.Tok == token.DEFINE {
+		return true // new locals; captured in the locals set
+	}
+	if st.Tok != token.ASSIGN {
+		// Compound assignment: commutative on integers (+=, -=, |=, &=, ^=,
+		// *=), order-dependent on floats and strings.
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			for _, lhs := range st.Lhs {
+				if !isIntegerExpr(p, lhs) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	for i, lhs := range st.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if locals[p.Info.Uses[l]] || l.Name == "_" {
+				continue
+			}
+			// s = append(s, ...) on an outer slice is fine iff the function
+			// sorts s after the loop.
+			if len(st.Rhs) == len(st.Lhs) {
+				if obj := p.Info.Uses[l]; obj != nil && isSelfAppend(p, st.Rhs[i], obj) && sortedAfter(p, decl, rs, obj) {
+					continue
+				}
+			}
+			return false
+		case *ast.IndexExpr:
+			// Map insert: commutative for distinct keys.
+			if t := p.Info.TypeOf(l.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					continue
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			// Writing a field of a loop-local value.
+			if base, ok := ast.Unparen(l.X).(*ast.Ident); ok && locals[p.Info.Uses[base]] {
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSelfAppend reports whether e is append(obj, ...).
+func isSelfAppend(p *Package, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && p.Info.Uses[arg] == obj
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement, anywhere in the function body.
+func sortedAfter(p *Package, decl *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		xid, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[xid].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Unwrap one conversion layer: sort.Sort(byCost(s)).
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIntegerExpr(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// ---------------------------------------------------------------- walltime --
+
+// analyzeWalltime bans wall-clock reads and math/rand from the simulation
+// packages: simulator output must be a pure function of (config, trace).
+func analyzeWalltime(pkgs []*Package, pol Policy) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !pol.isWalltimePackage(p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.report(&out, "walltime", imp.Pos(),
+						"import of %s in simulation package %s; results must be pure functions of (config, trace) — seed explicit PRNG state instead, or add //lab:allow(walltime: reason)",
+						path, p.Path)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, name := range []string{"Now", "Since", "Until"} {
+					if p.isPkgCall(call, "time", name) {
+						p.report(&out, "walltime", call.Pos(),
+							"time.%s in simulation package %s; wall-clock reads break run-to-run determinism — add //lab:allow(walltime: reason) if this cannot feed results",
+							name, p.Path)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// The fingerprint-coverage analyzer. The content-addressed artifact store is
+// only sound if every configuration field a stage reads is folded into that
+// stage's fingerprint: a field that never reaches Fingerprint() means two
+// different configurations share one cache key, and every client of a shared
+// labd store silently receives stale artifacts. fpcover turns that hazard
+// into a build break: for each struct type with a Fingerprint() (string,
+// error) method, every field must be covered by the method — either because
+// the whole receiver flows into the hash (the fingerprint.JSON(c) idiom) or
+// because the field is referenced explicitly — or carry a //lab:nofp waiver.
+//
+// When the whole receiver is marshaled, encoding/json still skips unexported
+// fields and fields tagged json:"-"; those are exactly the silently-dropped
+// cases the analyzer reports.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+func analyzeFPCover(pkgs []*Package, _ Policy) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		// Index this package's method decls by (receiver type, name).
+		methods := map[[2]string]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil {
+					methods[[2]string{recvTypeName(fd), fd.Name.Name}] = fd
+				}
+			}
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					fp := methods[[2]string{ts.Name.Name, "Fingerprint"}]
+					if fp == nil || !isFingerprintSig(p, fp) {
+						continue
+					}
+					checkFPCoverage(p, ts.Name.Name, st, fp, &out)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isFingerprintSig matches func (T) Fingerprint() (string, error).
+func isFingerprintSig(p *Package, fd *ast.FuncDecl) bool {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	r0, r1 := sig.Results().At(0).Type(), sig.Results().At(1).Type()
+	b, ok := r0.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String && r1.String() == "error"
+}
+
+func checkFPCoverage(p *Package, typeName string, st *ast.StructType, fp *ast.FuncDecl, out *[]Finding) {
+	wholeValue, selected := receiverFlow(p, fp)
+	for _, field := range st.Fields.List {
+		tag := fieldJSONTag(field)
+		names := field.Names
+		if len(names) == 0 { // embedded field
+			names = []*ast.Ident{{Name: embeddedName(field.Type), NamePos: field.Pos()}}
+		}
+		for _, name := range names {
+			if name.Name == "_" {
+				continue
+			}
+			if hasDirective(field.Doc, "nofp") || hasDirective(field.Comment, "nofp") {
+				continue
+			}
+			covered := selected[name.Name]
+			if wholeValue && ast.IsExported(name.Name) && tag != "-" {
+				covered = true
+			}
+			if covered {
+				continue
+			}
+			why := "is not referenced by Fingerprint()"
+			if wholeValue && !ast.IsExported(name.Name) {
+				why = "is unexported, so the whole-value JSON fingerprint skips it"
+			} else if wholeValue && tag == "-" {
+				why = `is tagged json:"-", so the whole-value JSON fingerprint skips it`
+			}
+			p.report(out, "fpcover", name.Pos(),
+				"field %s.%s %s; distinct configs would share a cache key — fold it in or waive it with //lab:nofp",
+				typeName, name.Name, why)
+		}
+	}
+}
+
+// receiverFlow analyzes how Fingerprint's receiver is used: wholeValue is
+// true when the receiver escapes as a complete value (passed to a call,
+// returned, stored, or a method is invoked on it — the fingerprint.JSON(c)
+// and JSON(c.Normalize()) idioms); selected collects field names accessed
+// individually.
+func receiverFlow(p *Package, fp *ast.FuncDecl) (wholeValue bool, selected map[string]bool) {
+	selected = map[string]bool{}
+	var recvObj types.Object
+	if len(fp.Recv.List) > 0 && len(fp.Recv.List[0].Names) > 0 {
+		recvObj = p.Info.Defs[fp.Recv.List[0].Names[0]]
+	}
+	if recvObj == nil {
+		return false, selected
+	}
+	parents := parentMap(fp.Body)
+	ast.Inspect(fp.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recvObj {
+			return true
+		}
+		if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+			if s, ok := p.Info.Selections[sel]; ok {
+				switch s.Kind() {
+				case types.FieldVal:
+					selected[sel.Sel.Name] = true
+					return true
+				case types.MethodVal, types.MethodExpr:
+					// A method sees the whole receiver.
+					wholeValue = true
+					return true
+				}
+			}
+		}
+		// Bare use: argument, return value, assignment source, composite.
+		wholeValue = true
+		return true
+	})
+	return wholeValue, selected
+}
+
+// fieldJSONTag returns the json tag name component of a struct field ("-"
+// when the field is excluded from marshaling).
+func fieldJSONTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	tag := reflect.StructTag(raw).Get("json")
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}
+
+func embeddedName(t ast.Expr) string {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// The panic/error hygiene analyzers. PR 5 converted the interpreter's and
+// fingerprinter's panic paths into errors because a panic deep inside the
+// artifact store kills a whole sweep — and, under labd, a daemon serving many
+// clients. panicpath keeps the tree that way: no new panic in internal
+// packages outside the documented Must* convention or an explicit waiver.
+// errdiscard guards the persistence layer's durability story: an ignored
+// Close/Sync/Rename error on an artifact write path can publish a file whose
+// contents never reached disk.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzePanic flags panic calls in non-test internal packages. Functions
+// whose names start with Must are the documented exception (fail-fast
+// helpers for known-good inputs at init/development time); everything else
+// needs a //lab:allow(panicpath: reason) waiver.
+func analyzePanic(pkgs []*Package, pol Policy) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !pol.isPanicPackage(p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if strings.HasPrefix(fd.Name.Name, "Must") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok || id.Name != "panic" {
+						return true
+					}
+					if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+						return true
+					}
+					p.report(&out, "panicpath", call.Pos(),
+						"panic in %s (package %s); return an error, rename the helper Must*, or add //lab:allow(panicpath: reason)",
+						fd.Name.Name, p.Path)
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// analyzeErrDiscard flags discarded Close/Sync/Rename errors in persistence
+// packages: bare statement calls and deferred calls whose error result
+// vanishes. An explicit `_ =` assignment or an //lab:allow(errdiscard:
+// reason) comment documents a deliberate discard.
+func analyzeErrDiscard(pkgs []*Package, pol Policy) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !pol.isPersistPackage(p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				var how string
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+					how = "discarded"
+				case *ast.DeferStmt:
+					call = st.Call
+					how = "discarded by defer"
+				case *ast.GoStmt:
+					call = st.Call
+					how = "discarded by go"
+				default:
+					return true
+				}
+				if call == nil || !isPersistCall(p, call) {
+					return true
+				}
+				sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				p.report(&out, "errdiscard", call.Pos(),
+					"%s error %s on persistence path; check it, assign to _ with a comment, or add //lab:allow(errdiscard: reason)",
+					sel.Sel.Name, how)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isPersistCall matches calls to methods named Close or Sync that return an
+// error, and to os.Rename.
+func isPersistCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if p.isPkgCall(call, "os", "Rename") {
+		return true
+	}
+	if sel.Sel.Name != "Close" && sel.Sel.Name != "Sync" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return sig.Results().At(0).Type().String() == "error"
+}

@@ -1,0 +1,244 @@
+// Package lint is labvet's analysis engine: a suite of repo-specific static
+// analyzers over go/ast + go/types that turn the reproduction's conventions
+// into build breaks. The four invariants checked are the ones the runtime
+// test suite can only probe after the fact:
+//
+//   - determinism: no unsorted map iteration in any function reachable from
+//     a rendering/fingerprinting/event-emission root, and no wall-clock or
+//     math/rand use inside the simulation packages (maprange, walltime);
+//   - hot-path allocation: functions tagged //lab:hotpath must not contain
+//     alloc-inducing constructs, complementing the 0 allocs/op benchmarks
+//     (hotalloc);
+//   - fingerprint coverage: every field of a stage Config struct must be
+//     folded into that type's Fingerprint method, or carry an explicit
+//     //lab:nofp waiver — a missed field is a silent stale-cache hit in the
+//     shared artifact store (fpcover);
+//   - panic/error hygiene: no panic in internal packages outside Must*
+//     helpers, and no discarded Close/Sync/Rename errors on artifact
+//     persistence paths (panicpath, errdiscard).
+//
+// Waivers are per-site comments of the form //lab:allow(analyzer: reason),
+// placed on the offending line or the line above; the reason is mandatory
+// so every exception documents itself. See EXPERIMENTS.md "Static
+// invariants".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, reported in standard vet position format.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// allows maps "file:line" to the set of analyzer names waived on that
+	// line by //lab:allow(name: reason) comments.
+	allows map[string]map[string]bool
+}
+
+// Run executes every analyzer over pkgs under the given policy and returns
+// the findings sorted by position. pkgs should be the full `./...` set for
+// the cross-package reachability analysis to see every root.
+func Run(pkgs []*Package, pol Policy) []Finding {
+	var out []Finding
+	out = append(out, analyzeMapRange(pkgs, pol)...)
+	out = append(out, analyzeWalltime(pkgs, pol)...)
+	out = append(out, analyzeHotpath(pkgs, pol)...)
+	out = append(out, analyzeFPCover(pkgs, pol)...)
+	out = append(out, analyzePanic(pkgs, pol)...)
+	out = append(out, analyzeErrDiscard(pkgs, pol)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ------------------------------------------------------------- directives --
+
+// allowRE matches one waiver inside a //lab:allow(...) comment. Multiple
+// directives may share a line; the reason after the colon is mandatory.
+var allowRE = regexp.MustCompile(`lab:allow\(([a-z]+):[^)]+\)`)
+
+// isDirectiveComment reports whether a comment is a lab directive proper —
+// the text starts with //lab: (no space, like //go:), so prose that merely
+// mentions a directive does not activate it.
+func isDirectiveComment(c *ast.Comment, name string) bool {
+	return strings.HasPrefix(c.Text, "//lab:"+name)
+}
+
+// buildAllows indexes every //lab:allow directive by file:line. A directive
+// waives findings reported on its own line and on the line directly below
+// (so a comment line can annotate the statement it precedes).
+func (p *Package) buildAllows() {
+	p.allows = map[string]map[string]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isDirectiveComment(c, "allow(") {
+					continue
+				}
+				for _, m := range allowRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := p.Fset.Position(c.Pos())
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if p.allows[key] == nil {
+							p.allows[key] = map[string]bool{}
+						}
+						p.allows[key][m[1]] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether findings of the named analyzer are waived at pos.
+func (p *Package) allowed(analyzer string, pos token.Pos) bool {
+	if p.allows == nil {
+		p.buildAllows()
+	}
+	at := p.Fset.Position(pos)
+	return p.allows[fmt.Sprintf("%s:%d", at.Filename, at.Line)][analyzer]
+}
+
+// hasDirective reports whether a comment group carries the bare //lab:<name>
+// marker (e.g. //lab:hotpath on a function's doc comment, //lab:nofp on a
+// struct field).
+func hasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if isDirectiveComment(c, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Package) finding(analyzer string, pos token.Pos, format string, args ...any) Finding {
+	at := p.Fset.Position(pos)
+	return Finding{
+		File:     at.Filename,
+		Line:     at.Line,
+		Col:      at.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// report appends a finding unless a lab:allow waiver covers its position.
+func (p *Package) report(out *[]Finding, analyzer string, pos token.Pos, format string, args ...any) {
+	if p.allowed(analyzer, pos) {
+		return
+	}
+	*out = append(*out, p.finding(analyzer, pos, format, args...))
+}
+
+// --------------------------------------------------------- shared helpers --
+
+// funcID names a function or method unambiguously across independently
+// type-checked packages (the same method seen from source and from export
+// data is a different *types.Func object, but has the same ID).
+func funcID(fn *types.Func) string {
+	if fn.Pkg() == nil { // builtins like error.Error
+		return fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Pkg().Path() + ".(recv)." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// recvTypeName returns the bare type name of a method receiver ("Config"
+// for func (c *Config) ...), or "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, when
+// that is statically known (direct calls and concrete method calls).
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes pkgPath.name (e.g. "time", "Now").
+func (p *Package) isPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

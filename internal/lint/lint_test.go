@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture tests use the analysistest convention: a `// want `+"`regex`"
+// comment marks a line where exactly one finding matching the regex must be
+// reported; every reported finding must be claimed by a want. Fixtures live
+// under testdata/src (invisible to the go tool) and are type-checked by the
+// same loader labvet uses, against real export data.
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// fixtureLoader builds one shared Loader for all tests: listing ./... (for
+// TestLabvetTreeClean) plus the stdlib packages the fixtures import.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = NewLoader(".", []string{"./..."},
+			"fmt", "os", "sort", "time", "math/rand")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+type wantMark struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans a fixture file for want comments.
+func collectWants(t *testing.T, path string) []*wantMark {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantMark
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &wantMark{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name> as package fix/<name>, runs the full
+// analyzer suite under pol, and diffs the findings against the want marks.
+func runFixture(t *testing.T, name string, pol Policy) {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir := filepath.Join("testdata", "src", name)
+	p, err := l.LoadDir(dir, "fix/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantMark
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			wants = append(wants, collectWants(t, filepath.Join(dir, e.Name()))...)
+		}
+	}
+	findings := Run([]*Package{p}, pol)
+	for _, f := range findings {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	runFixture(t, "maprange", Policy{
+		RootMethodNames:  []string{"Render", "DOT"},
+		RootNamePrefixes: []string{"Encode"},
+	})
+}
+
+func TestWalltimeFixture(t *testing.T) {
+	runFixture(t, "walltime", Policy{WalltimePackages: []string{"fix/walltime"}})
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, "hotpath", Policy{})
+}
+
+func TestFPCoverFixture(t *testing.T) {
+	runFixture(t, "fpcover", Policy{})
+}
+
+func TestPanicFixture(t *testing.T) {
+	runFixture(t, "panics", Policy{PanicPackagePrefixes: []string{"fix/panics"}})
+}
+
+func TestErrDiscardFixture(t *testing.T) {
+	runFixture(t, "errdiscard", Policy{PersistPackages: []string{"fix/errdiscard"}})
+}
+
+// TestLabvetTreeClean is the self-check: the repo's own tree must satisfy
+// every invariant labvet enforces (`go run ./cmd/labvet ./...` exits 0).
+func TestLabvetTreeClean(t *testing.T) {
+	l := fixtureLoader(t)
+	pkgs, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, DefaultPolicy()) {
+		t.Errorf("%s", f)
+	}
+}

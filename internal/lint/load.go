@@ -1,0 +1,184 @@
+// Loader: a dependency-free replacement for golang.org/x/tools/go/packages,
+// built on `go list -export` plus the stdlib gc importer. `go list -export`
+// compiles (or reuses from the build cache) export data for every dependency;
+// the packages under analysis are then parsed and type-checked from source
+// with their imports satisfied from that export data. This keeps labvet a
+// pure-stdlib tool: the module gains no dependency for its own linter.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages of one module. It is also the
+// fixture loader for labvet's own tests: LoadDir type-checks a directory the
+// go tool ignores (testdata) against the same export data.
+type Loader struct {
+	Root string // module root directory
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	targets []listPackage // pattern-matched module packages, listing order
+}
+
+// NewLoader lists patterns (plus extra packages whose export data tests may
+// need) from the module containing dir and prepares an importer over the
+// resulting export data. Patterns are resolved relative to the module root,
+// so "./..." always means the whole module regardless of dir.
+func NewLoader(dir string, patterns []string, extra ...string) (*Loader, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module,Error",
+	}, append(patterns, extra...)...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	l := &Loader{Root: root, fset: token.NewFileSet(), exports: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.DepOnly {
+			l.targets = append(l.targets, p)
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// Fset returns the loader's shared file set (one per loader, so positions
+// from module packages and fixture packages never collide).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks every pattern-matched module package. Test
+// files are excluded: the invariants bind non-test code, and _test.go files
+// would need their own package variants.
+func (l *Loader) Load() ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(l.targets))
+	for _, t := range l.targets {
+		files := make([]string, len(t.GoFiles))
+		for i, g := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, g)
+		}
+		p, err := l.check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the non-test .go files of one directory
+// outside the go tool's view (a testdata fixture package), under the given
+// synthetic import path.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.check(asPath, files)
+}
+
+func (l *Loader) check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// moduleRoot walks `go env GOMOD` to the directory that owns dir.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: %s is not inside a module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,37 @@
+// Fixture for the errdiscard analyzer: Close/Sync/Rename errors on
+// persistence paths must be checked or explicitly discarded.
+package errdiscard
+
+import "os"
+
+type file struct{}
+
+func (file) Close() error { return nil }
+func (file) Sync() error  { return nil }
+
+type quiet struct{}
+
+// Close without an error result is not a persistence call.
+func (quiet) Close() {}
+
+func flush(f file) error {
+	f.Sync()            // want `Sync error discarded on persistence path`
+	defer f.Close()     // want `Close error discarded by defer on persistence path`
+	os.Rename("a", "b") // want `Rename error discarded on persistence path`
+	return nil
+}
+
+func flushChecked(f file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard is acknowledged
+	var q quiet
+	q.Close()
+	//lab:allow(errdiscard: fixture waiver exercised by the test)
+	f.Close()
+	return os.Rename("a", "b")
+}
+
+var _ = flush
+var _ = flushChecked

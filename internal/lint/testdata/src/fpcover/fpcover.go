@@ -1,0 +1,44 @@
+// Fixture for the fpcover analyzer: every field of a struct with a
+// Fingerprint() (string, error) method must reach the fingerprint or carry
+// //lab:nofp.
+package fpcover
+
+import "fmt"
+
+func jsonOf(v any) (string, error) { return fmt.Sprintf("%+v", v), nil }
+
+// Whole flows into its fingerprint as a complete value (the
+// fingerprint.JSON(c) idiom); JSON marshaling still skips unexported and
+// json:"-" fields.
+type Whole struct {
+	Size  int
+	Ways  int
+	note  string `json:"note"` // want `field Whole\.note is unexported, so the whole-value JSON fingerprint skips it`
+	Debug bool   `json:"-"`    // want `field Whole\.Debug is tagged json:"-", so the whole-value JSON fingerprint skips it`
+	seed  int    //lab:nofp (derived from Size at build time; fixture waiver)
+}
+
+func (w Whole) Fingerprint() (string, error) { return jsonOf(w) }
+
+// Partial fingerprints fields explicitly and misses C.
+type Partial struct {
+	A int
+	B string
+	C bool // want `field Partial\.C is not referenced by Fingerprint\(\)`
+}
+
+func (p Partial) Fingerprint() (string, error) {
+	return fmt.Sprintf("%d/%s", p.A, p.B), nil
+}
+
+// NotConfig's Fingerprint has the wrong signature, so it is not a stage
+// config and must stay silent.
+type NotConfig struct {
+	hidden int
+}
+
+func (NotConfig) Fingerprint() string { return "" }
+
+var _ = Whole{}.note
+var _ = Whole{}.seed
+var _ = NotConfig{}.hidden

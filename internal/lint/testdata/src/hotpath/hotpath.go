@@ -1,0 +1,61 @@
+// Fixture for the hotalloc analyzer: every alloc-inducing construct inside a
+// //lab:hotpath function, plus the tolerated shapes (append, failure-exit
+// formatting, capture-free closures, untagged functions).
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+func (r *ring) reset() {}
+
+//lab:hotpath
+func (r *ring) push(v int) error {
+	if r.n >= 1<<20 {
+		return fmt.Errorf("ring full at %d", r.n) // formatting a failure exit is cold
+	}
+	r.buf = append(r.buf, v) // append into caller-owned storage is fine
+	r.n++
+	m := map[int]int{r.n: v} // want `map literal in hot path push allocates`
+	_ = m
+	s := []int{v} // want `slice literal in hot path push allocates`
+	_ = s
+	p := &ring{} // want `&composite literal in hot path push escapes to the heap`
+	_ = p
+	q := make([]int, 4) // want `make in hot path push allocates`
+	_ = q
+	fmt.Println(v)               // want `fmt\.Println boxes its arguments in hot path push`
+	f := func() int { return v } // want `closure capturing variables in hot path push allocates`
+	_ = f
+	g := func() int { return 42 } // a capture-free closure is a static value
+	_ = g
+	go r.reset()    // want `goroutine launch in hot path push`
+	defer r.reset() // want `defer in hot path push allocates per call`
+	return nil
+}
+
+//lab:hotpath
+func join(label string) string {
+	s := "x" + label // want `string concatenation in hot path join allocates`
+	return s
+}
+
+//lab:hotpath
+func str(b []byte) string {
+	s := string(b) // want `conversion to string in hot path str allocates`
+	return s
+}
+
+//lab:hotpath
+func pushWaived() []int {
+	//lab:allow(hotalloc: fixture waiver exercised by the test)
+	return make([]int, 1)
+}
+
+// coldSetup is untagged; allocation is fine here.
+func coldSetup(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,95 @@
+// Fixture for the maprange analyzer. Each `want` comment is an expected
+// finding on that line; everything else must stay silent.
+package maprange
+
+import "sort"
+
+var sink []string
+
+// EncodeStats is a determinism root by name prefix.
+func EncodeStats(m map[string]int) {
+	emit(m)
+}
+
+// emit is reachable from EncodeStats via a direct call; appending the
+// iteration key to package state without a later sort is order-sensitive.
+func emit(m map[string]int) {
+	for k := range m { // want `map iteration with order-sensitive body in emit \(reachable from determinism root EncodeStats\)`
+		sink = append(sink, k)
+	}
+}
+
+type R struct{}
+
+// Render is a determinism root by method name; collect-then-sort is the
+// sanctioned idiom and must not be flagged.
+func (R) Render(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeTotal accumulates commutatively over integers; order-insensitive.
+func EncodeTotal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// EncodeIndex inserts into another map; distinct keys commute.
+func EncodeIndex(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// EncodePrune deletes while ranging; the delete builtin commutes.
+func EncodePrune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// EncodeWaived carries an explicit waiver.
+func EncodeWaived(m map[string]int) {
+	//lab:allow(maprange: fixture waiver exercised by the test)
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+
+// idle has the same order-sensitive body as emit but is reachable from no
+// root, so it must not be flagged.
+func idle(m map[string]int) {
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+
+var _ = idle
+
+type sinkIface interface{ Flush(map[string]int) }
+
+type badSink struct{}
+
+// Flush is reached from DOT through the interface; the conservative
+// expansion must find it.
+func (badSink) Flush(m map[string]int) {
+	for k := range m { // want `map iteration with order-sensitive body in Flush \(reachable from determinism root DOT\)`
+		sink = append(sink, k)
+	}
+}
+
+type D struct{ s sinkIface }
+
+// DOT is a determinism root by method name.
+func (d D) DOT(m map[string]int) { d.s.Flush(m) }

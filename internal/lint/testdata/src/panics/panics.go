@@ -1,0 +1,26 @@
+// Fixture for the panicpath analyzer: no panic in internal packages outside
+// Must* helpers or an explicit waiver.
+package panics
+
+func Decode(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty") // want `panic in Decode \(package fix/panics\)`
+	}
+	return b[0]
+}
+
+// MustDecode is the documented fail-fast convention.
+func MustDecode(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty")
+	}
+	return b[0]
+}
+
+func DecodeAllowed(b []byte) byte {
+	if len(b) == 0 {
+		//lab:allow(panicpath: fixture waiver exercised by the test)
+		panic("empty")
+	}
+	return b[0]
+}

@@ -1,0 +1,29 @@
+// Fixture for the walltime analyzer: no wall-clock reads or math/rand in a
+// simulation package.
+package walltime
+
+import (
+	"math/rand" // want `import of math/rand in simulation package fix/walltime`
+	"time"
+)
+
+var counter int64
+
+func Step() int64 {
+	counter += time.Now().Unix() // want `time\.Now in simulation package fix/walltime`
+	return counter
+}
+
+func Seeded() int {
+	return rand.Intn(8)
+}
+
+// Elapsed only uses time's types, never the clock; must stay silent.
+func Elapsed(start, end time.Duration) time.Duration {
+	return end - start
+}
+
+func Allowed() time.Time {
+	//lab:allow(walltime: fixture waiver exercised by the test)
+	return time.Now()
+}

@@ -270,6 +270,7 @@ func (s Spec) Benchmark() (program.Benchmark, error) {
 			if err != nil {
 				// Unreachable: both inputs trial-built above and builds are
 				// deterministic.
+				//lab:allow(panicpath: unreachable; both input classes are trial-built before the closure is published and builds are deterministic)
 				panic(err)
 			}
 			return p

@@ -71,6 +71,7 @@ var (
 // programming error of two init funcs claiming one name.
 func register(b Benchmark) {
 	if err := Register(b); err != nil {
+		//lab:allow(panicpath: init-time registration; a duplicate benchmark name is a programming error that must fail the build of the binary, not a run)
 		panic(err)
 	}
 }

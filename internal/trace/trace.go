@@ -102,12 +102,16 @@ type Trace struct {
 func (t *Trace) Len() int { return t.n }
 
 // PC returns the static instruction index of dynamic entry i.
+//
+//lab:hotpath
 func (t *Trace) PC(i int) int32 {
 	return t.chunks[i>>chunkBits].pc[i&chunkMask]
 }
 
 // Prod1 returns the dynamic index of the producer of entry i's Src1, or
 // NoProducer.
+//
+//lab:hotpath
 func (t *Trace) Prod1(i int) int64 {
 	d := t.chunks[i>>chunkBits].prod1[i&chunkMask]
 	if d == noProdDelta {
@@ -121,6 +125,8 @@ func (t *Trace) Prod1(i int) int64 {
 
 // Prod2 returns the dynamic index of the producer of entry i's Src2, or
 // NoProducer.
+//
+//lab:hotpath
 func (t *Trace) Prod2(i int) int64 {
 	d := t.chunks[i>>chunkBits].prod2[i&chunkMask]
 	if d == noProdDelta {
@@ -134,23 +140,31 @@ func (t *Trace) Prod2(i int) int64 {
 
 // Addr returns the effective byte address of entry i (loads and stores; 0
 // otherwise).
+//
+//lab:hotpath
 func (t *Trace) Addr(i int) int64 {
 	return t.chunks[i>>chunkBits].addr[i&chunkMask]
 }
 
 // Val returns the value written (ALU/Load) or stored (Store) by entry i.
+//
+//lab:hotpath
 func (t *Trace) Val(i int) int64 {
 	return t.chunks[i>>chunkBits].val[i&chunkMask]
 }
 
 // Taken returns the branch outcome of entry i (conditional branches and
 // jumps; false otherwise).
+//
+//lab:hotpath
 func (t *Trace) Taken(i int) bool {
 	off := i & chunkMask
 	return t.chunks[i>>chunkBits].taken[off>>6]&(1<<uint(off&63)) != 0
 }
 
 // Inst returns the static instruction of dynamic entry i.
+//
+//lab:hotpath
 func (t *Trace) Inst(i int) isa.Inst { return t.Prog.Insts[t.PC(i)] }
 
 // StaticCounts returns per-PC dynamic execution counts.
@@ -190,6 +204,8 @@ func (t *Trace) Cursor() Cursor {
 }
 
 // Next advances to the next entry, reporting whether one exists.
+//
+//lab:hotpath
 func (cu *Cursor) Next() bool {
 	cu.i++
 	if cu.i >= cu.t.n {
@@ -204,15 +220,23 @@ func (cu *Cursor) Next() bool {
 }
 
 // Index returns the dynamic index of the current entry.
+//
+//lab:hotpath
 func (cu *Cursor) Index() int { return cu.i }
 
 // PC returns the current entry's static instruction index.
+//
+//lab:hotpath
 func (cu *Cursor) PC() int32 { return cu.c.pc[cu.off] }
 
 // Inst returns the current entry's static instruction.
+//
+//lab:hotpath
 func (cu *Cursor) Inst() isa.Inst { return cu.t.Prog.Insts[cu.c.pc[cu.off]] }
 
 // Prod1 returns the current entry's Src1 producer index, or NoProducer.
+//
+//lab:hotpath
 func (cu *Cursor) Prod1() int64 {
 	d := cu.c.prod1[cu.off]
 	if d == noProdDelta {
@@ -225,6 +249,8 @@ func (cu *Cursor) Prod1() int64 {
 }
 
 // Prod2 returns the current entry's Src2 producer index, or NoProducer.
+//
+//lab:hotpath
 func (cu *Cursor) Prod2() int64 {
 	d := cu.c.prod2[cu.off]
 	if d == noProdDelta {
@@ -237,12 +263,18 @@ func (cu *Cursor) Prod2() int64 {
 }
 
 // Addr returns the current entry's effective address.
+//
+//lab:hotpath
 func (cu *Cursor) Addr() int64 { return cu.c.addr[cu.off] }
 
 // Val returns the current entry's written/stored value.
+//
+//lab:hotpath
 func (cu *Cursor) Val() int64 { return cu.c.val[cu.off] }
 
 // Taken returns the current entry's branch outcome.
+//
+//lab:hotpath
 func (cu *Cursor) Taken() bool {
 	return cu.c.taken[cu.off>>6]&(1<<uint(cu.off&63)) != 0
 }
@@ -266,6 +298,8 @@ func (t *Trace) SharedCursor() SharedCursor {
 
 // Next advances to the next chunk window, reporting whether one exists. An
 // empty trace has no windows.
+//
+//lab:hotpath
 func (sc *SharedCursor) Next() bool {
 	sc.ci++
 	return sc.ci < len(sc.t.chunks)
@@ -273,6 +307,8 @@ func (sc *SharedCursor) Next() bool {
 
 // Window returns the current chunk's dynamic-index span [lo, hi). The final
 // chunk's window is truncated to the trace length.
+//
+//lab:hotpath
 func (sc *SharedCursor) Window() (lo, hi int) {
 	lo = sc.ci << chunkBits
 	hi = lo + chunkLen
